@@ -1,0 +1,94 @@
+"""Ablation: the overdetermined certificate vs the naive determined solve.
+
+DESIGN.md calls out the consistency certificate as the design choice that
+separates OpenAPI from the naive method.  This bench quantifies it: over a
+set of interpreted instances on the PLNN,
+
+* the naive method (no certificate) silently returns wrong answers at a
+  measurable rate for moderate h;
+* OpenAPI either returns an exact answer or (rarely) refuses — it never
+  returns a silently wrong one.
+
+Also reports the empirical residual separation the certificate relies on:
+the worst certified residual vs the best rejected residual across all
+shrink iterations.
+"""
+
+import numpy as np
+
+from repro.core import NaiveInterpreter, OpenAPIInterpreter
+from repro.eval.reporting import render_table
+from repro.exceptions import CertificateError
+from repro.metrics import l1_distance
+from repro.models.openbox import ground_truth_decision_features
+
+WRONG_THRESHOLD = 1e-4  # L1Dist above this counts as a wrong interpretation
+
+
+def test_ablation_certificate(benchmark, setups, config, record_result):
+    setup = next(
+        s for s in setups
+        if s.model_name == "plnn" and s.dataset_name == "synthetic-digits"
+    )
+    rng = np.random.default_rng(0)
+    idx = rng.choice(setup.test.n_samples, size=12, replace=False)
+    instances = setup.test.X[idx]
+    classes = setup.model.predict(instances)
+
+    def run():
+        rows = []
+        residuals_accepted: list[float] = []
+        residuals_rejected: list[float] = []
+        for h in (1e-2, 1e-3):
+            naive = NaiveInterpreter(h, seed=1)
+            wrong = 0
+            for x0, c in zip(instances, classes):
+                interp = naive.interpret(setup.api, x0, int(c))
+                gt = ground_truth_decision_features(setup.model, x0, int(c))
+                if l1_distance(gt, interp.decision_features) > WRONG_THRESHOLD:
+                    wrong += 1
+            rows.append([f"naive h={h:g}", wrong, 0, len(instances)])
+
+        interpreter = OpenAPIInterpreter(seed=1)
+        wrong = refused = 0
+        for x0, c in zip(instances, classes):
+            try:
+                interp = interpreter.interpret(setup.api, x0, int(c))
+            except CertificateError:
+                refused += 1
+                continue
+            for record in interpreter.last_run_history_:
+                if record.n_certified == record.n_pairs:
+                    residuals_accepted.append(record.worst_relative_residual)
+                else:
+                    residuals_rejected.append(record.worst_relative_residual)
+            gt = ground_truth_decision_features(setup.model, x0, int(c))
+            if l1_distance(gt, interp.decision_features) > WRONG_THRESHOLD:
+                wrong += 1
+        rows.append(["OpenAPI", wrong, refused, len(instances)])
+        return rows, residuals_accepted, residuals_rejected
+
+    rows, acc, rej = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    text = render_table(
+        ["method", "silently wrong", "refused", "instances"], rows
+    )
+    if acc and rej:
+        text += (
+            f"\n\ncertificate separation on {setup.label}: worst accepted "
+            f"residual {max(acc):.2e} vs best rejected {min(rej):.2e} "
+            f"({min(rej) / max(acc):.1e}x gap)"
+        )
+    text += (
+        "\n\nshape: the naive method is silently wrong on a large fraction"
+        "\nof instances at h=1e-2 (Theorem 1); OpenAPI is never silently"
+        "\nwrong — its only failure mode is an explicit refusal."
+    )
+    record_result("ablation_certificate", text)
+
+    openapi_row = rows[-1]
+    assert openapi_row[1] == 0, "OpenAPI returned a silently wrong answer"
+    naive_large_h = rows[0]
+    assert naive_large_h[1] > 0, "expected naive h=1e-2 to be wrong somewhere"
+    if acc and rej:
+        assert min(rej) > max(acc), "certificate bands overlap"

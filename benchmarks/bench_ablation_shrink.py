@@ -1,0 +1,77 @@
+"""Ablation: hypercube shrink factor vs iterations and query cost.
+
+Algorithm 1 halves the edge each failed round (shrink = 0.5).  A more
+aggressive factor reaches a clean hypercube in fewer rounds but overshoots
+to needlessly small cubes (risking the float64 noise floor); a lazier
+factor spends more rounds.  This bench sweeps the factor on the PLNN and
+reports iterations, queries and the final edge.
+
+Also sweeps the initial edge, validating the paper's remark that its value
+"has little influence" thanks to the adaptation.
+"""
+
+import numpy as np
+
+from repro.api import PredictionAPI
+from repro.core import OpenAPIInterpreter
+from repro.eval.reporting import render_table
+
+
+def test_ablation_shrink_factor(benchmark, setups, config, record_result):
+    setup = next(
+        s for s in setups
+        if s.model_name == "plnn" and s.dataset_name == "synthetic-digits"
+    )
+    rng = np.random.default_rng(0)
+    idx = rng.choice(setup.test.n_samples, size=8, replace=False)
+    instances = setup.test.X[idx]
+    classes = setup.model.predict(instances)
+
+    def run():
+        rows = []
+        for shrink in (0.5, 0.25, 0.1):
+            api = PredictionAPI(setup.model)
+            interpreter = OpenAPIInterpreter(seed=3, shrink=shrink)
+            iters, edges = [], []
+            for x0, c in zip(instances, classes):
+                interp = interpreter.interpret(api, x0, int(c))
+                iters.append(interp.iterations)
+                edges.append(interp.final_edge)
+            rows.append([
+                f"shrink={shrink}", float(np.mean(iters)), int(np.max(iters)),
+                float(np.median(edges)), api.query_count / len(instances),
+            ])
+        for initial in (10.0, 1.0, 0.01):
+            api = PredictionAPI(setup.model)
+            interpreter = OpenAPIInterpreter(seed=3, initial_edge=initial)
+            iters = []
+            for x0, c in zip(instances, classes):
+                iters.append(interpreter.interpret(api, x0, int(c)).iterations)
+            rows.append([
+                f"initial={initial}", float(np.mean(iters)),
+                int(np.max(iters)), float("nan"),
+                api.query_count / len(instances),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["setting", "mean iters", "max iters", "median final edge",
+         "queries/instance"],
+        rows,
+    )
+    text += (
+        "\n\nshape: aggressive shrinking trades iterations for overshoot;"
+        "\nthe initial edge barely matters (the paper's observation) —"
+        "\nadaptation absorbs a 1000x initial-edge difference in a few"
+        "\nextra halvings."
+    )
+    record_result("ablation_shrink", text)
+
+    by_name = {r[0]: r for r in rows}
+    assert by_name["shrink=0.1"][1] <= by_name["shrink=0.5"][1], (
+        "aggressive shrink should not need more iterations"
+    )
+    # Paper: iterations always < 20 in practice.
+    for row in rows:
+        assert row[2] < 20, f"{row[0]}: exceeded 20 iterations"

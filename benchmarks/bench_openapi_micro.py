@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the OpenAPI hot path.
+
+Times the closed-form machinery itself (not the experiment harness):
+
+* one full Algorithm 1 interpretation on each model family;
+* the shared-factorization multi-pair solve at growing dimensionality,
+  the O(C (d+2)^3) term of the paper's complexity claim.
+
+These use real repeated timing rounds (unlike the figure benches, which
+run once) since a single call is milliseconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import PredictionAPI
+from repro.core import OpenAPIInterpreter
+from repro.core.equations import solve_all_pairs
+from repro.models.activations import softmax
+
+
+def test_openapi_interpret_plnn(benchmark, setups):
+    setup = next(s for s in setups if s.model_name == "plnn")
+    x0 = setup.test.X[0]
+    interpreter = OpenAPIInterpreter(seed=0)
+
+    result = benchmark(lambda: interpreter.interpret(setup.api, x0))
+    assert result.all_certified
+
+
+def test_openapi_interpret_lmt(benchmark, setups):
+    setup = next(s for s in setups if s.model_name == "lmt")
+    x0 = setup.test.X[0]
+    interpreter = OpenAPIInterpreter(seed=0)
+
+    result = benchmark(lambda: interpreter.interpret(setup.api, x0))
+    assert result.all_certified
+
+
+@pytest.mark.parametrize("d", [16, 64, 256])
+def test_solve_all_pairs_scaling(benchmark, d):
+    """The closed-form solve at the paper's complexity-driving dimension."""
+    rng = np.random.default_rng(d)
+    C = 10
+    W = rng.normal(size=(d, C))
+    b = rng.normal(size=C)
+    pts = rng.uniform(-1, 1, size=(d + 2, d))
+    probs = softmax(pts @ W + b)
+
+    solutions = benchmark(lambda: solve_all_pairs(pts, probs, 0))
+    assert all(s.certified for s in solutions.values())

@@ -1,0 +1,77 @@
+"""Ablation: the region geometry behind the fixed-h critique.
+
+The paper's Figures 5-7 rest on geometric claims it never measures
+directly: LMT leaf cells are large, PLNN cells are small and highly
+variable, so no fixed perturbation distance is safe for every instance.
+This bench measures them:
+
+* per-instance **region radius** (largest safe perturbation) on the LMT
+  and the PLNN trained on the same data;
+* **regions crossed** along segments between test instances.
+
+Expected shape: LMT radii are orders of magnitude larger than PLNN radii;
+PLNN radii vary widely across instances (the min/median gap); segments
+through the PLNN cross many more regions.
+"""
+
+import numpy as np
+
+from repro.eval.reporting import render_table
+from repro.models.regions import count_regions_on_segment, region_statistics
+
+
+def test_region_geometry(benchmark, setups, config, record_result):
+    pairs = {}
+    for setup in setups:
+        if setup.dataset_name == "synthetic-digits":
+            pairs[setup.model_name] = setup
+
+    def run():
+        rows = []
+        crossings = []
+        for model_name, setup in pairs.items():
+            instances = setup.test.X[:10]
+            stats = region_statistics(
+                setup.model, instances, n_directions=6, seed=0
+            )
+            rows.append([
+                setup.label,
+                stats.min_radius,
+                stats.median_radius,
+                stats.max_radius,
+                stats.n_distinct_regions,
+            ])
+            rng = np.random.default_rng(0)
+            counts = []
+            for _ in range(5):
+                i, j = rng.choice(setup.test.n_samples, size=2, replace=False)
+                counts.append(count_regions_on_segment(
+                    setup.model, setup.test.X[i], setup.test.X[j], n_steps=128
+                ))
+            crossings.append([setup.label, float(np.mean(counts)), max(counts)])
+        return rows, crossings
+
+    rows, crossings = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["setup", "min radius", "median radius", "max radius",
+         "distinct regions (10 pts)"],
+        rows,
+    )
+    text += "\n\n" + render_table(
+        ["setup", "mean regions/segment", "max regions/segment"], crossings
+    )
+    text += (
+        "\n\nshape: LMT radii >> PLNN radii (large leaf cells vs dense"
+        "\nactivation cells); PLNN radii spread widely across instances —"
+        "\nthe reason no fixed h is safe and OpenAPI adapts per instance."
+    )
+    record_result("region_geometry", text)
+
+    by_model = {row[0].split("/")[-1]: row for row in rows}
+    assert by_model["LMT"][2] >= by_model["PLNN"][2], (
+        "expected LMT median radius >= PLNN median radius"
+    )
+    cross_by_model = {row[0].split("/")[-1]: row for row in crossings}
+    assert cross_by_model["PLNN"][1] >= cross_by_model["LMT"][1], (
+        "expected PLNN segments to cross at least as many regions"
+    )

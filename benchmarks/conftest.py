@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Training the (dataset x model) grid once per pytest session keeps the
+benchmarks focused on what each one regenerates.  Every bench writes its
+rendered output to ``benchmark_results/<name>.txt`` (git-friendly
+artifacts referenced by EXPERIMENTS.md) in addition to printing it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.eval import ExperimentConfig, build_setups
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """The default CPU-friendly scale (see ExperimentConfig.paper_scale()
+    for the faithful geometry; every bench accepts it unchanged)."""
+    return ExperimentConfig.bench_scale()
+
+
+@pytest.fixture(scope="session")
+def setups(config):
+    """The trained grid: {synthetic-fashion, synthetic-digits} x {LMT, PLNN}."""
+    return build_setups(config)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_result(results_dir):
+    """Write one bench's rendered report to disk and echo it."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+
+    return _record

@@ -1,0 +1,60 @@
+"""Figure 4 scenario: do similar inputs get similar explanations?
+
+Inconsistent explanations erode trust: two nearly identical loan
+applications explained by contradictory feature weights look like a broken
+(or unfair) system even when the model is fine.  The paper's consistency
+experiment quantifies this via the cosine similarity between each
+instance's interpretation and its nearest neighbour's.
+
+OpenAPI is consistent *by construction*: every instance in a locally
+linear region maps to the same decision features.  Gradient methods are
+consistent only when the neighbour lands in the same region; standard LIME
+re-fits a noisy local model every time.
+
+Run:  python examples/consistency_study.py
+"""
+
+import numpy as np
+
+from repro.eval import ExperimentConfig, build_setups, render_table
+from repro.eval.figures import build_fig4_consistency
+
+
+def main() -> None:
+    config = ExperimentConfig.bench_scale().scaled(
+        datasets=("synthetic-fashion",),
+        models=("plnn", "lmt"),
+        n_interpret=20,
+    )
+    print("training PLNN and LMT on synthetic-fashion...")
+    setups = build_setups(config)
+
+    for setup in setups:
+        result = build_fig4_consistency(setup, config, seed=0)
+        rows = []
+        for name, scores in result.scores.items():
+            rows.append([
+                name,
+                float(scores.mean()),
+                float(np.median(scores)),
+                float(scores.min()),
+                float((scores > 0.999).mean()),
+            ])
+        print(f"\n=== {setup.label} — nearest-neighbour cosine similarity ===")
+        print(render_table(
+            ["method", "mean CS", "median CS", "min CS", "frac CS≈1"],
+            rows,
+        ))
+
+    print(
+        "\nreading guide (paper's Figure 4): OpenAPI ('OA') dominates —\n"
+        "its CS is exactly 1 whenever instance and neighbour share a\n"
+        "locally linear region, and the fraction of such pairs is high.\n"
+        "Gradient methods ('S', 'G') give per-instance answers; standard\n"
+        "LIME ('L') is the least stable. Integrated Gradients ('I') is\n"
+        "smoother than the other gradient methods, as the paper observes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Finance scenario: auditing a loan-decision API, exactly.
+
+The paper's introduction motivates interpretation with high-stakes domains
+like financial business.  This example plays the full scenario:
+
+1. a "bank" trains a PLNN on credit applications and deploys it behind an
+   API (we only keep the API from here on);
+2. an auditor interprets individual deny/approve decisions with OpenAPI,
+   obtaining exact, named feature weights;
+3. the auditor *verifies* each interpretation against fresh API probes —
+   the falsifiable-claim property heuristic explainers lack;
+4. the regime structure is visible: secured (high-collateral) and
+   unsecured applications are scored by different locally linear rules,
+   and the interpretations reflect exactly that.
+
+Run:  python examples/credit_scoring.py
+"""
+
+import numpy as np
+
+from repro.api import PredictionAPI
+from repro.core import OpenAPIInterpreter, verify_interpretation
+from repro.data import CREDIT_FEATURE_NAMES, make_credit_scoring, train_test_split
+from repro.models import ReLUNetwork, TrainingConfig, train_network
+
+
+def describe(interpretation, feature_names, top_k=4) -> None:
+    values = interpretation.decision_features
+    order = np.argsort(-np.abs(values))[:top_k]
+    for i in order:
+        direction = "supports" if values[i] > 0 else "opposes"
+        print(f"    {feature_names[i]:<18} {values[i]:+7.3f}  ({direction})")
+
+
+def main() -> None:
+    data = make_credit_scoring(1500, seed=42)
+    train, test = train_test_split(data, test_fraction=0.25, seed=42)
+    model = ReLUNetwork([data.n_features, 32, 16, 3], seed=42)
+    train_network(
+        model, train.X, train.y,
+        TrainingConfig(epochs=150, learning_rate=3e-3, seed=42),
+    )
+    api = PredictionAPI(model)
+    print(f"loan model deployed (test accuracy "
+          f"{model.accuracy(test.X, test.y):.3f}); auditor sees only the API\n")
+
+    interpreter = OpenAPIInterpreter(seed=0)
+
+    # Pick one denied and one approved application from the test stream.
+    predictions = api.predict(test.X)
+    denied_idx = int(np.flatnonzero(predictions == 0)[0])
+    approved_idx = int(np.flatnonzero(predictions == 2)[0])
+
+    for label, idx in (("DENIED", denied_idx), ("APPROVED", approved_idx)):
+        x0 = test.X[idx]
+        c = int(predictions[idx])
+        interp = interpreter.interpret(api, x0, c=c)
+        probs = api.predict_proba(x0)
+        print(f"application #{idx}: {label} "
+              f"(p = {probs[c]:.3f}, certified in {interp.iterations} "
+              f"iteration(s), {interp.n_queries} queries)")
+        print("  exact decision features (why this class, vs the others):")
+        describe(interp, CREDIT_FEATURE_NAMES)
+
+        report = verify_interpretation(api, interp, n_probes=25, seed=1)
+        print(f"  independent verification: {report}\n")
+
+    # Regime structure: secured vs unsecured applications are governed by
+    # different locally linear rules, so 'collateral' carries real weight
+    # only in the secured regime.
+    collateral_col = CREDIT_FEATURE_NAMES.index("collateral")
+    secured = test.X[test.X[:, collateral_col] >= 0.6][:8]
+    unsecured = test.X[test.X[:, collateral_col] <= 0.3][:8]
+
+    def mean_abs_collateral_weight(instances) -> float:
+        weights = []
+        for x0 in instances:
+            interp = interpreter.interpret(api, x0, c=2)  # 'approve'
+            weights.append(abs(interp.decision_features[collateral_col]))
+        return float(np.mean(weights))
+
+    w_secured = mean_abs_collateral_weight(secured)
+    w_unsecured = mean_abs_collateral_weight(unsecured)
+    print("regime check — mean |weight of 'collateral'| toward approval:")
+    print(f"  secured applications   (collateral >= 0.6): {w_secured:.3f}")
+    print(f"  unsecured applications (collateral <= 0.3): {w_unsecured:.3f}")
+    print("\nthe model prices collateral differently across regimes — visible"
+          "\nonly because interpretations are exact and region-faithful;"
+          "\naveraged/heuristic explanations smear the two regimes together.")
+
+
+if __name__ == "__main__":
+    main()

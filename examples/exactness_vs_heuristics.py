@@ -1,0 +1,64 @@
+"""The paper's central comparison: exact OpenAPI vs heuristic baselines.
+
+Reproduces the Figures 5-7 story on one digit-classification PLNN:
+
+* heuristic methods (LIME linear/ridge, the naive determined system, ZOO)
+  each need a *perturbation distance* ``h`` chosen blind;
+* with ``h`` too large their samples cross locally linear regions
+  (Region Difference > 0) and the recovered weights are garbage;
+* with ``h`` too small they hit float64 saturation;
+* OpenAPI needs no ``h`` — it adapts until its consistency certificate
+  passes, and its answer matches the white-box ground truth to rounding
+  error.
+
+Run:  python examples/exactness_vs_heuristics.py
+"""
+
+from repro.eval import ExperimentConfig, build_setups, render_table
+from repro.eval.figures import build_fig567_quality
+
+
+def main() -> None:
+    config = ExperimentConfig.bench_scale().scaled(
+        datasets=("synthetic-digits",),
+        models=("plnn",),
+        n_interpret=10,
+        h_grid=(1e-8, 1e-4, 1e-2),
+    )
+    print("training a PLNN on synthetic-digits "
+          f"(d={config.n_features})...")
+    setup = build_setups(config)[0]
+    print(f"{setup.label}: train acc {setup.train_accuracy:.3f}, "
+          f"test acc {setup.test_accuracy:.3f}")
+    print(f"\ninterpreting {config.n_interpret} test instances with "
+          "OpenAPI and L/R/N/Z at h in {1e-8, 1e-4, 1e-2}...\n")
+
+    result = build_fig567_quality(setup, config, seed=0)
+
+    rows = []
+    for name, cell in result.cells.items():
+        rows.append([
+            name,
+            cell.avg_rd,
+            cell.wd_mean,
+            cell.l1_mean,
+            cell.l1_max,
+            cell.n_failures,
+        ])
+    print(render_table(
+        ["method", "avg RD", "WD mean", "L1Dist mean", "L1Dist max", "failures"],
+        rows,
+    ))
+    print(
+        "\nreading guide (the paper's Figures 5-7):\n"
+        "  - OpenAPI: RD = WD = 0 and L1Dist at rounding error — exact.\n"
+        "  - h = 1e-2: RD jumps (samples cross regions) and L1Dist explodes\n"
+        "    for the naive method especially (Theorem 1).\n"
+        "  - h = 1e-8: RD is 0 but L1Dist *worsens* again — float64\n"
+        "    saturation; precision, not geometry, is the binding constraint.\n"
+        "  - R(*): ridge LIME is biased at every h (shrinkage pathology)."
+    )
+
+
+if __name__ == "__main__":
+    main()

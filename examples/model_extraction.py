@@ -1,0 +1,79 @@
+"""Future-work demo: reverse-engineering a PLM hidden behind an API.
+
+The paper's conclusion promises "reverse engineer PLMs hidden behind APIs"
+as future work; :mod:`repro.extraction` delivers it.  One certified OpenAPI
+interpretation per probe recovers a region's *complete* relative softmax
+parameters, so harvesting probes and routing by nearest anchor rebuilds a
+functional clone of the hidden model.
+
+This script charts fidelity versus probe budget: label agreement with the
+hidden model rises toward 100% as more regions are harvested.
+
+Run:  python examples/model_extraction.py
+"""
+
+import numpy as np
+
+from repro.api import PredictionAPI
+from repro.data import make_blobs, train_test_split
+from repro.eval import render_table
+from repro.extraction import PiecewiseSurrogate, RegionExplorer, fidelity_report
+from repro.models import ReLUNetwork, TrainingConfig, train_network
+
+
+def main() -> None:
+    data = make_blobs(900, n_features=8, n_classes=4, separation=3.5, seed=21)
+    train, test = train_test_split(data, test_fraction=0.3, seed=21)
+    hidden = ReLUNetwork([8, 24, 12, 4], seed=21)
+    train_network(
+        hidden, train.X, train.y,
+        TrainingConfig(epochs=80, learning_rate=3e-3, seed=21),
+    )
+    api = PredictionAPI(hidden)
+    print(f"hidden PLNN trained (test acc "
+          f"{hidden.accuracy(test.X, test.y):.3f}); extraction begins — "
+          "from here on, only API queries.\n")
+
+    explorer = RegionExplorer(api, seed=0)
+    rows = []
+    budgets = [10, 30, 60, 120, 250]
+    probes = train.X  # the attacker's unlabeled probe pool
+    used = 0
+    for budget in budgets:
+        explorer.explore(probes[used:budget])
+        used = budget
+        surrogate = PiecewiseSurrogate(explorer.records)
+        report = fidelity_report(surrogate, api, test.X)
+        rows.append([
+            budget,
+            explorer.n_regions,
+            api.query_count,
+            report.label_agreement,
+            report.prob_mae,
+        ])
+
+    print(render_table(
+        ["probes", "regions found", "API queries", "label agreement", "prob MAE"],
+        rows,
+    ))
+    print(
+        "\nnotes:\n"
+        "  - inside a correctly-routed region the clone's probabilities are\n"
+        "    *exact* (softmax only sees logit differences, which OpenAPI\n"
+        "    recovers); residual error is purely nearest-anchor routing.\n"
+        "  - this is why probability-revealing APIs leak much more than\n"
+        "    label-only APIs for the PLM family."
+    )
+
+    # Bonus: the clone is itself a PLM — interpret it with OpenAPI.
+    from repro.core import OpenAPIInterpreter
+
+    surrogate = PiecewiseSurrogate(explorer.records)
+    clone_api = PredictionAPI(surrogate)
+    interp = OpenAPIInterpreter(seed=1).interpret(clone_api, test.X[0])
+    print(f"\nclone is itself interpretable: OpenAPI certified in "
+          f"{interp.iterations} iteration(s) on the clone's API.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""OpenAPI: exact and consistent interpretation of PLMs hidden behind APIs.
+
+Reproduction of Cong et al., ICDE 2020 (arXiv:1906.06857).  The package is
+organized as:
+
+* :mod:`repro.core` — the paper's contribution (OpenAPI, Algorithm 1);
+* :mod:`repro.models` — piecewise linear models built from scratch (PLNN,
+  LMT, MaxOut, softmax regression) plus OpenBox ground-truth extraction;
+* :mod:`repro.api` — the black-box prediction-API boundary;
+* :mod:`repro.baselines` — LIME variants, ZOO, gradient methods;
+* :mod:`repro.data` — procedural datasets (offline MNIST/FMNIST stand-ins);
+* :mod:`repro.metrics` — CPP, NLCI, cosine consistency, RD, WD, L1Dist;
+* :mod:`repro.eval` — the experiment harness regenerating every table and
+  figure of the paper's evaluation;
+* :mod:`repro.extraction` — future-work extension: reverse-engineering the
+  PLM behind the API.
+
+Quickstart
+----------
+>>> from repro.data import make_blobs
+>>> from repro.models import SoftmaxRegression
+>>> from repro.api import PredictionAPI
+>>> from repro.core import OpenAPIInterpreter
+>>> ds = make_blobs(300, n_features=6, n_classes=3, seed=0)
+>>> api = PredictionAPI(SoftmaxRegression(seed=0).fit(ds.X, ds.y))
+>>> interpretation = OpenAPIInterpreter(seed=0).interpret(api, ds.X[0])
+>>> interpretation.all_certified
+True
+"""
+
+from repro.api import PredictionAPI
+from repro.core import (
+    Attribution,
+    Interpretation,
+    NaiveInterpreter,
+    OpenAPIInterpreter,
+    VerificationReport,
+    verify_interpretation,
+)
+from repro.data import Dataset, load_dataset
+from repro.exceptions import (
+    APIBudgetExceededError,
+    CertificateError,
+    ConvergenceError,
+    InterpretationError,
+    NotFittedError,
+    ReproError,
+    ValidationError,
+)
+from repro.models import (
+    LogisticModelTree,
+    MaxOutNetwork,
+    PiecewiseLinearModel,
+    ReLUNetwork,
+    SoftmaxRegression,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PredictionAPI",
+    "Attribution",
+    "Interpretation",
+    "NaiveInterpreter",
+    "OpenAPIInterpreter",
+    "VerificationReport",
+    "verify_interpretation",
+    "Dataset",
+    "load_dataset",
+    "PiecewiseLinearModel",
+    "SoftmaxRegression",
+    "ReLUNetwork",
+    "MaxOutNetwork",
+    "LogisticModelTree",
+    "ReproError",
+    "ValidationError",
+    "NotFittedError",
+    "ConvergenceError",
+    "InterpretationError",
+    "CertificateError",
+    "APIBudgetExceededError",
+    "__version__",
+]

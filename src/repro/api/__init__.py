@@ -1,0 +1,24 @@
+"""The prediction-API layer: what interpretation methods are allowed to see.
+
+The paper's threat model gives interpreters *only* an API: submit instances,
+receive class-probability vectors.  :class:`PredictionAPI` enforces that
+boundary — it wraps a model but exposes no parameters — and additionally
+meters queries and supports response transforms (probability rounding,
+noise) for the robustness ablations.
+"""
+
+from repro.api.service import (
+    PredictionAPI,
+    ResponseTransform,
+    RoundedResponse,
+    NoisyResponse,
+    TruncatedResponse,
+)
+
+__all__ = [
+    "PredictionAPI",
+    "ResponseTransform",
+    "RoundedResponse",
+    "NoisyResponse",
+    "TruncatedResponse",
+]

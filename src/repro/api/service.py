@@ -1,0 +1,215 @@
+"""Black-box prediction API over a piecewise linear model.
+
+:class:`PredictionAPI` is the only object the interpretation methods under
+test may touch.  It deliberately exposes a minimal surface:
+
+* ``predict_proba(X)`` — probability vectors, one per row;
+* ``n_features`` / ``n_classes`` — interface metadata any real service
+  publishes;
+* query metering (``query_count``) and an optional hard budget.
+
+Response transforms simulate real-service imperfections for the ablation
+benchmarks: cloud APIs often round probabilities for display, truncate them
+to top-k, or add noise as a model-extraction defence.  The paper's theory
+assumes exact responses; the ablations quantify what each imperfection does
+to OpenAPI's certificate.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import APIBudgetExceededError, ValidationError
+from repro.models.base import PiecewiseLinearModel
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "ResponseTransform",
+    "RoundedResponse",
+    "NoisyResponse",
+    "TruncatedResponse",
+    "PredictionAPI",
+]
+
+
+@runtime_checkable
+class ResponseTransform(Protocol):
+    """Transforms a batch of probability vectors before they leave the API."""
+
+    def __call__(self, probs: np.ndarray) -> np.ndarray:  # pragma: no cover
+        ...
+
+
+class RoundedResponse:
+    """Round probabilities to ``decimals`` places and renormalize.
+
+    Models services that report e.g. ``0.9731`` instead of the full float.
+    """
+
+    def __init__(self, decimals: int):
+        if decimals < 1:
+            raise ValidationError(f"decimals must be >= 1, got {decimals}")
+        self.decimals = int(decimals)
+
+    def __call__(self, probs: np.ndarray) -> np.ndarray:
+        rounded = np.round(probs, self.decimals)
+        totals = rounded.sum(axis=1, keepdims=True)
+        # Guard rows rounded to all-zero (possible for decimals=1, C large).
+        safe = np.where(totals > 0, totals, 1.0)
+        return rounded / safe
+
+
+class NoisyResponse:
+    """Add zero-mean Gaussian noise to probabilities, clip and renormalize.
+
+    Models extraction defences that perturb reported confidences.
+    """
+
+    def __init__(self, scale: float, seed: SeedLike = None):
+        if scale < 0:
+            raise ValidationError(f"scale must be >= 0, got {scale}")
+        self.scale = float(scale)
+        self._rng = as_generator(seed)
+
+    def __call__(self, probs: np.ndarray) -> np.ndarray:
+        if self.scale == 0.0:
+            return probs
+        noisy = np.clip(probs + self._rng.normal(0.0, self.scale, probs.shape), 1e-12, None)
+        return noisy / noisy.sum(axis=1, keepdims=True)
+
+
+class TruncatedResponse:
+    """Zero out all but the top-``k`` probabilities and renormalize.
+
+    Models services that only report the best few classes.
+    """
+
+    def __init__(self, k: int):
+        if k < 2:
+            raise ValidationError(f"k must be >= 2, got {k}")
+        self.k = int(k)
+
+    def __call__(self, probs: np.ndarray) -> np.ndarray:
+        if probs.shape[1] <= self.k:
+            return probs
+        out = np.zeros_like(probs)
+        top = np.argpartition(probs, -self.k, axis=1)[:, -self.k:]
+        rows = np.arange(probs.shape[0])[:, None]
+        out[rows, top] = probs[rows, top]
+        totals = out.sum(axis=1, keepdims=True)
+        return out / np.where(totals > 0, totals, 1.0)
+
+
+class PredictionAPI:
+    """Query-metered black-box view of a piecewise linear model.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.models.base.PiecewiseLinearModel`.
+    budget:
+        Optional hard cap on the number of instance queries; exceeding it
+        raises :class:`~repro.exceptions.APIBudgetExceededError`.
+    transform:
+        Optional response transform (rounding/noise/truncation ablations).
+
+    Examples
+    --------
+    >>> from repro.data import make_blobs
+    >>> from repro.models import SoftmaxRegression
+    >>> ds = make_blobs(200, n_features=4, n_classes=3, seed=1)
+    >>> api = PredictionAPI(SoftmaxRegression(seed=1).fit(ds.X, ds.y))
+    >>> api.predict_proba(ds.X[:5]).shape
+    (5, 3)
+    >>> api.query_count
+    5
+    """
+
+    def __init__(
+        self,
+        model: PiecewiseLinearModel,
+        *,
+        budget: int | None = None,
+        transform: ResponseTransform | None = None,
+    ):
+        if not isinstance(model, PiecewiseLinearModel):
+            raise ValidationError(
+                f"model must be a PiecewiseLinearModel, got {type(model).__name__}"
+            )
+        if budget is not None and budget < 1:
+            raise ValidationError(f"budget must be >= 1 or None, got {budget}")
+        self._model = model
+        self._budget = budget
+        self._transform = transform
+        self._query_count = 0
+        self._request_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Public service surface
+    # ------------------------------------------------------------------ #
+    @property
+    def n_features(self) -> int:
+        """Input dimensionality the service accepts."""
+        return self._model.n_features
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes in the response vector."""
+        return self._model.n_classes
+
+    @property
+    def query_count(self) -> int:
+        """Total number of instances scored so far."""
+        return self._query_count
+
+    @property
+    def request_count(self) -> int:
+        """Number of :meth:`predict_proba` round trips (batches) so far.
+
+        Real services bill per instance but *latency* scales with round
+        trips; the batch interpreter optimizes this number.
+        """
+        return self._request_count
+
+    @property
+    def budget(self) -> int | None:
+        """Remaining-query cap, or ``None`` when unmetered."""
+        return self._budget
+
+    def reset_query_count(self) -> None:
+        """Zero the meters (budget is measured against the query meter)."""
+        self._query_count = 0
+        self._request_count = 0
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Score a batch (or a single instance) and return probabilities.
+
+        A 1-D input returns a 1-D probability vector; a 2-D input returns
+        one row per instance.  Every row counts against the budget.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        single = X.ndim == 1
+        if single:
+            X = X[None, :]
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise ValidationError(
+                f"expected instances with {self.n_features} features, got {X.shape}"
+            )
+        if self._budget is not None and self._query_count + X.shape[0] > self._budget:
+            raise APIBudgetExceededError(
+                f"query budget {self._budget} exhausted "
+                f"({self._query_count} used, {X.shape[0]} requested)"
+            )
+        self._query_count += X.shape[0]
+        self._request_count += 1
+        probs = np.atleast_2d(self._model.predict_proba(X))
+        if self._transform is not None:
+            probs = self._transform(probs)
+        return probs[0] if single else probs
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Hard labels, derived from :meth:`predict_proba` (also metered)."""
+        probs = self.predict_proba(X)
+        return np.argmax(np.atleast_2d(probs), axis=1)

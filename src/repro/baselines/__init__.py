@@ -1,0 +1,44 @@
+"""Baseline interpretation methods the paper compares against (Section V).
+
+White-box (granted model parameters, as in the paper's setup):
+
+* :class:`SaliencyMap` — absolute input gradient [39];
+* :class:`GradientTimesInput` — gradient ⊙ input [38];
+* :class:`IntegratedGradients` — path-integrated gradients [43].
+
+Black-box (API access only):
+
+* :class:`ZOOInterpreter` — symmetric-difference-quotient gradient
+  estimates [7], adapted to estimate ``D_{c,c'}`` as the paper describes;
+* :class:`LogOddsLIME` — the paper's extended LIME fitting
+  ``ln(y_c/y_c')`` with plain ("Linear Regression LIME") or ridge
+  ("Ridge Regression LIME") regression;
+* :class:`StandardLIME` — classic LIME [34] fitting the predicted
+  probability with a locally weighted ridge model.
+
+Plus adapters exposing the core methods through the same interface.
+"""
+
+from repro.baselines.base import BaseInterpreter
+from repro.baselines.gradients import (
+    SaliencyMap,
+    GradientTimesInput,
+    IntegratedGradients,
+)
+from repro.baselines.smoothgrad import SmoothGrad
+from repro.baselines.zoo import ZOOInterpreter
+from repro.baselines.lime import LogOddsLIME, StandardLIME
+from repro.baselines.adapters import OpenAPIExplainer, NaiveExplainer
+
+__all__ = [
+    "BaseInterpreter",
+    "SaliencyMap",
+    "GradientTimesInput",
+    "IntegratedGradients",
+    "SmoothGrad",
+    "ZOOInterpreter",
+    "LogOddsLIME",
+    "StandardLIME",
+    "OpenAPIExplainer",
+    "NaiveExplainer",
+]

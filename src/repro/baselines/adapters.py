@@ -1,0 +1,58 @@
+"""Adapters exposing the core methods through the interpreter interface.
+
+The harness iterates over a uniform list of :class:`BaseInterpreter`
+objects; these adapters wrap :class:`~repro.core.OpenAPIInterpreter` and
+:class:`~repro.core.NaiveInterpreter` (whose native result type is the
+richer :class:`~repro.core.types.Interpretation`) so OpenAPI and the naive
+method slot into the same pipelines as every baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.service import PredictionAPI
+from repro.baselines.base import BaseInterpreter
+from repro.core.naive import NaiveInterpreter
+from repro.core.openapi import OpenAPIInterpreter
+from repro.core.types import Attribution
+
+__all__ = ["OpenAPIExplainer", "NaiveExplainer"]
+
+
+class OpenAPIExplainer(BaseInterpreter):
+    """OpenAPI (Algorithm 1) behind the uniform interpreter interface.
+
+    Keyword arguments are forwarded to
+    :class:`~repro.core.OpenAPIInterpreter`.
+    """
+
+    method_name = "openapi"
+    requires_white_box = False
+
+    def __init__(self, api: PredictionAPI, **kwargs):
+        self.api = api
+        self.interpreter = OpenAPIInterpreter(**kwargs)
+
+    def explain(self, x0: np.ndarray, c: int | None = None) -> Attribution:
+        interpretation = self.interpreter.interpret(self.api, np.asarray(x0), c)
+        return interpretation.to_attribution()
+
+
+class NaiveExplainer(BaseInterpreter):
+    """The determined-system method behind the uniform interface.
+
+    Keyword arguments are forwarded to
+    :class:`~repro.core.NaiveInterpreter` (notably ``perturbation=h``).
+    """
+
+    method_name = "naive"
+    requires_white_box = False
+
+    def __init__(self, api: PredictionAPI, **kwargs):
+        self.api = api
+        self.interpreter = NaiveInterpreter(**kwargs)
+
+    def explain(self, x0: np.ndarray, c: int | None = None) -> Attribution:
+        interpretation = self.interpreter.interpret(self.api, np.asarray(x0), c)
+        return interpretation.to_attribution()

@@ -1,0 +1,61 @@
+"""Common interface for every interpretation method.
+
+An interpreter is constructed around its access object — a white-box
+:class:`~repro.models.base.PiecewiseLinearModel` for gradient methods, a
+black-box :class:`~repro.api.PredictionAPI` for perturbation methods — and
+produces :class:`~repro.core.types.Attribution` vectors via :meth:`explain`.
+The experiment harness treats all methods uniformly through this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.types import Attribution
+from repro.exceptions import ValidationError
+
+__all__ = ["BaseInterpreter"]
+
+
+class BaseInterpreter(abc.ABC):
+    """Abstract interpreter producing per-class feature attributions.
+
+    Class attributes
+    ----------------
+    method_name:
+        Stable identifier used in reports and figures.
+    requires_white_box:
+        True for gradient methods that read model parameters; false for
+        methods restricted to the prediction API.
+    """
+
+    method_name: str = "base"
+    requires_white_box: bool = False
+
+    @abc.abstractmethod
+    def explain(self, x0: np.ndarray, c: int | None = None) -> Attribution:
+        """Attribution of the prediction on ``x0`` toward class ``c``.
+
+        ``c`` defaults to the predicted class of ``x0``.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers for subclasses
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_x0(x0: np.ndarray, n_features: int) -> np.ndarray:
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.ndim != 1 or x0.shape[0] != n_features:
+            raise ValidationError(
+                f"x0 must have shape ({n_features},), got {x0.shape}"
+            )
+        return x0
+
+    @staticmethod
+    def _check_class(c: int, n_classes: int) -> int:
+        c = int(c)
+        if not 0 <= c < n_classes:
+            raise ValidationError(f"class index {c} out of range [0, {n_classes})")
+        return c

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run [ids...]``
+    Regenerate paper artifacts (``table1 fig2 ... fig7`` or ``all``) at a
+    chosen scale and print the rendered report.
+``interpret``
+    Train a demo model, hide it behind an API, interpret one instance and
+    verify the interpretation — the quickstart as a one-liner.
+``list``
+    Show available experiment ids, dataset names and scale presets.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro run table1 fig7 --scale test
+    python -m repro run all --scale bench --output report.txt
+    python -m repro interpret --dataset credit-scoring --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.api import PredictionAPI
+from repro.core import OpenAPIInterpreter, verify_interpretation
+from repro.data import available_datasets, load_dataset, train_test_split
+from repro.eval.runner import EXPERIMENT_IDS, resolve_config, run_experiments
+from repro.models import ReLUNetwork, TrainingConfig, train_network
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OpenAPI reproduction: exact interpretation of PLMs "
+        "hidden behind APIs (ICDE 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="regenerate paper tables/figures")
+    run.add_argument(
+        "ids", nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENT_IDS)}) or 'all'",
+    )
+    run.add_argument(
+        "--scale", default="bench", choices=("test", "bench", "paper"),
+        help="experiment scale preset (default: bench)",
+    )
+    run.add_argument(
+        "--output", default=None,
+        help="also write the report to this file",
+    )
+
+    interpret = sub.add_parser(
+        "interpret", help="train a demo model and interpret one prediction"
+    )
+    interpret.add_argument(
+        "--dataset", default="credit-scoring",
+        help=f"dataset name (one of: {', '.join(available_datasets())})",
+    )
+    interpret.add_argument("--seed", type=int, default=0)
+    interpret.add_argument(
+        "--instance", type=int, default=0,
+        help="index of the test instance to interpret",
+    )
+
+    sub.add_parser("list", help="show experiment ids, datasets and scales")
+
+    check = sub.add_parser(
+        "check", help="run the fast reproduction self-check scorecard"
+    )
+    check.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.exceptions import ValidationError
+
+    try:
+        report = run_experiments(args.ids, scale=args.scale)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    text = report.as_text()
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\nreport written to {args.output}")
+    return 0
+
+
+def _cmd_interpret(args: argparse.Namespace) -> int:
+    data = load_dataset(args.dataset, 800, seed=args.seed)
+    train, test = train_test_split(data, test_fraction=0.25, seed=args.seed)
+    model = ReLUNetwork([data.n_features, 32, 16, data.n_classes], seed=args.seed)
+    training = train_network(
+        model, train.X, train.y,
+        TrainingConfig(epochs=120, learning_rate=3e-3, seed=args.seed),
+    )
+    api = PredictionAPI(model)
+    print(f"dataset: {data.name} (d={data.n_features}, C={data.n_classes})")
+    print(f"demo PLNN trained: accuracy {training.final_train_accuracy:.3f} "
+          f"(train) / {model.accuracy(test.X, test.y):.3f} (test)")
+
+    if not 0 <= args.instance < test.n_samples:
+        print(f"error: --instance must be in [0, {test.n_samples})",
+              file=sys.stderr)
+        return 2
+    x0 = test.X[args.instance]
+    interpretation = OpenAPIInterpreter(seed=args.seed).interpret(api, x0)
+    c = interpretation.target_class
+    print(f"\ninstance #{args.instance}: predicted "
+          f"'{data.class_name(c)}' "
+          f"(p = {api.predict_proba(x0)[c]:.4f})")
+    print(f"OpenAPI: certified={interpretation.all_certified}, "
+          f"{interpretation.iterations} iteration(s), "
+          f"{interpretation.n_queries} queries")
+
+    values = interpretation.decision_features
+    order = np.argsort(-np.abs(values))[:5]
+    print("top decision features:")
+    for i in order:
+        print(f"  feature[{i}]  {values[i]:+.4f}")
+
+    verification = verify_interpretation(api, interpretation, seed=args.seed)
+    print(f"\n{verification}")
+    return 0 if verification.passed else 1
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiment ids:", ", ".join(EXPERIMENT_IDS), "(or 'all')")
+    print("datasets:      ", ", ".join(available_datasets()))
+    for scale in ("test", "bench", "paper"):
+        cfg = resolve_config(scale)
+        print(f"scale {scale:<6}: d={cfg.n_features}, "
+              f"{cfg.n_train} train / {cfg.n_test} test, "
+              f"{cfg.n_interpret} interpreted instances")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.eval.check import run_reproduction_check
+
+    items = run_reproduction_check(seed=args.seed)
+    for item in items:
+        print(item)
+    failed = [item for item in items if not item.passed]
+    print(f"\n{len(items) - len(failed)}/{len(items)} checks passed")
+    return 0 if not failed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "interpret": _cmd_interpret,
+        "list": _cmd_list,
+        "check": _cmd_check,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

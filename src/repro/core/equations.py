@@ -1,0 +1,232 @@
+"""Linear equation systems over API responses (Equations 2-3).
+
+Inside one locally linear region the softmax log-odds are affine:
+
+.. math::
+
+    \\ln(y_c / y_{c'}) = D_{c,c'}^\\top x + B_{c,c'}.
+
+Each queried instance therefore contributes one linear equation per class
+pair.  This module turns ``(points, probabilities)`` into those systems and
+solves all ``C-1`` pairs sharing one sample set in a single factorization:
+the design matrix ``[1 | X]`` is identical across pairs, only the
+right-hand sides differ, so a multi-RHS least-squares solve does the work
+of ``C-1`` solves for the price of one — the reason OpenAPI's complexity is
+:math:`O(T \\cdot C (d+2)^3)` with a tiny constant.
+
+Softmax saturation
+------------------
+When a probability underflows to exactly 0.0 the log-odds are infinite and
+no finite linear system exists.  ``prob_floor`` clamps probabilities away
+from zero before taking logs; the clamped equations are then *wrong* (the
+true log-odds are larger), which surfaces as a large residual and a failed
+certificate rather than a silently wrong interpretation — the honest
+realization of the saturation issue the paper discusses in Section V-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.linalg import (
+    DEFAULT_CERTIFICATE_ATOL,
+    DEFAULT_CERTIFICATE_RTOL,
+    AffineLeastSquaresResult,
+    consistency_certificate,
+)
+
+__all__ = [
+    "DEFAULT_PROB_FLOOR",
+    "log_odds",
+    "pairwise_log_odds_targets",
+    "build_pair_system",
+    "solve_all_pairs",
+    "PairSystemSolution",
+]
+
+#: Probabilities are clamped to at least this before taking logarithms.
+#: float64 softmax underflows around exp(-745); the floor keeps equations
+#: finite while leaving genuine saturation detectable via the certificate.
+DEFAULT_PROB_FLOOR: float = 1e-300
+
+
+def log_odds(
+    probs: np.ndarray, c: int, c_prime: int, *, floor: float = DEFAULT_PROB_FLOOR
+) -> np.ndarray:
+    """``ln(y_c / y_c')`` for a batch of probability vectors.
+
+    Parameters
+    ----------
+    probs:
+        ``(n, C)`` probability rows (or a single length-``C`` vector).
+    floor:
+        Clamp for zero/underflowed probabilities; see module docstring.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    single = probs.ndim == 1
+    if single:
+        probs = probs[None, :]
+    if probs.ndim != 2:
+        raise ValidationError(f"probs must be 1-D or 2-D, got shape {probs.shape}")
+    C = probs.shape[1]
+    for idx in (c, c_prime):
+        if not 0 <= idx < C:
+            raise ValidationError(f"class index {idx} out of range [0, {C})")
+    if c == c_prime:
+        raise ValidationError("c and c_prime must differ")
+    if floor <= 0:
+        raise ValidationError(f"floor must be > 0, got {floor}")
+    clipped = np.clip(probs, floor, None)
+    out = np.log(clipped[:, c]) - np.log(clipped[:, c_prime])
+    return out[0] if single else out
+
+
+def pairwise_log_odds_targets(
+    probs: np.ndarray, c: int, *, floor: float = DEFAULT_PROB_FLOOR
+) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Log-odds targets of class ``c`` against every other class.
+
+    Returns
+    -------
+    (targets, pairs):
+        ``targets`` is ``(n, C-1)`` with one column per pair; ``pairs`` is
+        the matching list of ``(c, c')`` tuples in ascending ``c'`` order.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2:
+        raise ValidationError(f"probs must be 2-D, got shape {probs.shape}")
+    C = probs.shape[1]
+    if not 0 <= c < C:
+        raise ValidationError(f"class index {c} out of range [0, {C})")
+    if floor <= 0:
+        raise ValidationError(f"floor must be > 0, got {floor}")
+    log_p = np.log(np.clip(probs, floor, None))
+    others = [c_prime for c_prime in range(C) if c_prime != c]
+    targets = log_p[:, [c]] - log_p[:, others]
+    pairs = [(c, c_prime) for c_prime in others]
+    return targets, pairs
+
+
+def build_pair_system(
+    points: np.ndarray,
+    probs: np.ndarray,
+    c: int,
+    c_prime: int,
+    *,
+    floor: float = DEFAULT_PROB_FLOOR,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize one pair's system ``(points, targets)`` (Equation 3).
+
+    Mostly useful for tests and didactic code; :func:`solve_all_pairs` is
+    the efficient production path.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    probs = np.asarray(probs, dtype=np.float64)
+    if points.ndim != 2 or probs.ndim != 2:
+        raise ValidationError("points and probs must be 2-D")
+    if points.shape[0] != probs.shape[0]:
+        raise ValidationError(
+            f"points has {points.shape[0]} rows, probs has {probs.shape[0]}"
+        )
+    targets = log_odds(probs, c, c_prime, floor=floor)
+    return points, targets
+
+
+@dataclass(frozen=True)
+class PairSystemSolution:
+    """Solution of one pair's system plus its certificate verdict."""
+
+    c: int
+    c_prime: int
+    result: AffineLeastSquaresResult
+    certified: bool
+
+
+def solve_all_pairs(
+    points: np.ndarray,
+    probs: np.ndarray,
+    c: int,
+    *,
+    center: np.ndarray | None = None,
+    rtol: float = DEFAULT_CERTIFICATE_RTOL,
+    atol: float = DEFAULT_CERTIFICATE_ATOL,
+    floor: float = DEFAULT_PROB_FLOOR,
+    check_certificate: bool = True,
+) -> dict[tuple[int, int], PairSystemSolution]:
+    """Solve every pair ``(c, c')`` over one shared sample set.
+
+    Builds the design matrix once (centered on ``center``, scaled — see
+    :mod:`repro.utils.linalg`) and solves all ``C-1`` right-hand sides with
+    one LAPACK call.  When ``check_certificate`` is true and the system is
+    overdetermined, each pair's residual is tested against the consistency
+    certificate; determined systems (the naive method) skip the test and
+    report ``certified=False``.
+
+    Returns
+    -------
+    dict mapping ``(c, c')`` to :class:`PairSystemSolution`.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    probs = np.asarray(probs, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValidationError(f"points must be 2-D, got shape {points.shape}")
+    n, d = points.shape
+    if probs.shape[0] != n:
+        raise ValidationError(f"probs must have {n} rows, got {probs.shape[0]}")
+    if n < d + 1:
+        raise ValidationError(f"need at least d+1={d + 1} equations, got {n}")
+
+    targets, pairs = pairwise_log_odds_targets(probs, c, floor=floor)
+
+    # Shared centered/scaled design (same math as solve_affine_least_squares,
+    # vectorized over right-hand sides).
+    if center is None:
+        center_vec = points.mean(axis=0)
+    else:
+        center_vec = np.asarray(center, dtype=np.float64)
+        if center_vec.shape != (d,):
+            raise ValidationError(
+                f"center must have shape ({d},), got {center_vec.shape}"
+            )
+    offsets = points - center_vec
+    scale = float(np.max(np.abs(offsets)))
+    if scale == 0.0 or not np.isfinite(scale):
+        scale = 1.0
+    design = np.hstack([np.ones((n, 1)), offsets / scale])
+
+    betas, _, rank, sv = np.linalg.lstsq(design, targets, rcond=None)
+    residuals = design @ betas - targets
+    overdetermined = n > d + 1
+
+    solutions: dict[tuple[int, int], PairSystemSolution] = {}
+    for col, pair in enumerate(pairs):
+        beta = betas[:, col]
+        res_norm = float(np.linalg.norm(residuals[:, col]))
+        # Centered target norm — see repro.utils.linalg module docs for why
+        # the certificate must scale with the weight-determining signal.
+        denom = float(np.linalg.norm(targets[:, col] - targets[:, col].mean()))
+        relative = res_norm / denom if denom > 0 else res_norm
+        weights = beta[1:] / scale
+        intercept = float(beta[0] - weights @ center_vec)
+        result = AffineLeastSquaresResult(
+            weights=weights,
+            intercept=intercept,
+            residual_norm=res_norm,
+            relative_residual=float(relative),
+            rank=int(rank),
+            n_equations=n,
+            n_unknowns=d + 1,
+            singular_values=np.asarray(sv, dtype=np.float64),
+        )
+        certified = bool(
+            overdetermined
+            and check_certificate
+            and consistency_certificate(result, rtol=rtol, atol=atol)
+        )
+        solutions[pair] = PairSystemSolution(
+            c=pair[0], c_prime=pair[1], result=result, certified=certified
+        )
+    return solutions

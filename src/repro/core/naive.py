@@ -1,0 +1,119 @@
+"""The naive determined-system method (Section IV-B).
+
+Samples ``d`` perturbed instances around ``x0``, forms the determined
+``(d+1) x (d+1)`` system per class pair and solves it.  By Lemma 1 the
+system is full-rank with probability 1, so it *always* produces an answer —
+and by Theorem 1 that answer is wrong with probability 1 whenever any
+sample crossed into a different locally linear region.  The method has no
+way to tell which case occurred; that blindness is exactly what OpenAPI's
+overdetermined certificate fixes.
+
+Kept faithful to the paper as the primary ablation baseline: same sampling,
+same equations, one fewer sample, no certificate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.service import PredictionAPI
+from repro.core.equations import DEFAULT_PROB_FLOOR, solve_all_pairs
+from repro.core.sampling import HypercubeSampler
+from repro.core.types import CoreParameterEstimate, Interpretation
+from repro.exceptions import ValidationError
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive
+
+__all__ = ["NaiveInterpreter"]
+
+
+class NaiveInterpreter:
+    """Determined-system interpreter with a fixed perturbation distance.
+
+    Parameters
+    ----------
+    perturbation:
+        Hypercube edge ``h`` used for sampling (the paper sweeps
+        ``h ∈ {1e-2, 1e-4, 1e-8}`` in Figures 5-7).  Unlike OpenAPI there
+        is no adaptation: this is the user-guessed distance the paper
+        argues cannot be chosen correctly without model internals.
+    prob_floor:
+        Clamp for log-odds computation (see :mod:`repro.core.equations`).
+    seed:
+        Sampling seed.
+    """
+
+    method_name = "naive"
+
+    def __init__(
+        self,
+        perturbation: float = 1e-4,
+        *,
+        prob_floor: float = DEFAULT_PROB_FLOOR,
+        clip_box: tuple[float, float] | None = None,
+        seed: SeedLike = None,
+    ):
+        self.perturbation = check_positive(perturbation, name="perturbation")
+        self.prob_floor = check_positive(prob_floor, name="prob_floor")
+        self._sampler = HypercubeSampler(seed, clip_box=clip_box)
+
+    def interpret(
+        self, api: PredictionAPI, x0: np.ndarray, c: int | None = None
+    ) -> Interpretation:
+        """Interpret the prediction on ``x0`` for class ``c``.
+
+        ``c`` defaults to the API's predicted class for ``x0`` (one extra
+        query).  Returns an :class:`Interpretation` whose pair estimates
+        are *uncertified* — the determined system cannot be validated.
+        """
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.ndim != 1 or x0.shape[0] != api.n_features:
+            raise ValidationError(
+                f"x0 must have shape ({api.n_features},), got {x0.shape}"
+            )
+        d = api.n_features
+        queries_before = api.query_count
+
+        y0 = api.predict_proba(x0)
+        if c is None:
+            c = int(np.argmax(y0))
+        if not 0 <= c < api.n_classes:
+            raise ValidationError(
+                f"class index {c} out of range [0, {api.n_classes})"
+            )
+
+        samples = self._sampler.draw(x0, self.perturbation, d)
+        points = np.vstack([x0[None, :], samples])
+        probs = np.vstack([y0[None, :], api.predict_proba(samples)])
+
+        solutions = solve_all_pairs(
+            points, probs, c,
+            center=x0,
+            floor=self.prob_floor,
+            check_certificate=False,
+        )
+        pair_estimates = {
+            pair: CoreParameterEstimate(
+                c=sol.c,
+                c_prime=sol.c_prime,
+                weights=sol.result.weights,
+                intercept=sol.result.intercept,
+                residual=sol.result.relative_residual,
+                certified=False,
+            )
+            for pair, sol in solutions.items()
+        }
+        decision_features = np.mean(
+            [est.weights for est in pair_estimates.values()], axis=0
+        )
+        return Interpretation(
+            x0=x0,
+            target_class=c,
+            decision_features=decision_features,
+            pair_estimates=pair_estimates,
+            method=self.method_name,
+            iterations=1,
+            final_edge=self.perturbation,
+            n_queries=api.query_count - queries_before,
+            samples=samples,
+        )

@@ -1,0 +1,35 @@
+"""Datasets: container, splits, and procedural image generators.
+
+MNIST and FMNIST (used by the paper) require downloads that are unavailable
+offline, so this package provides procedural substitutes with the same
+interface contract the experiments need: 10 classes of ``[0, 1]``-valued
+grayscale images flattened to ``d``-dimensional vectors, with enough
+class structure for a PLNN and an LMT to reach high accuracy.  See
+DESIGN.md §4 for the substitution rationale.
+"""
+
+from repro.data.dataset import Dataset, train_test_split
+from repro.data.blobs import make_blobs
+from repro.data.digits import make_synthetic_digits, DIGIT_CLASS_NAMES
+from repro.data.fashion import make_synthetic_fashion, FASHION_CLASS_NAMES
+from repro.data.tabular import (
+    make_credit_scoring,
+    CREDIT_FEATURE_NAMES,
+    CREDIT_CLASS_NAMES,
+)
+from repro.data.registry import load_dataset, available_datasets
+
+__all__ = [
+    "Dataset",
+    "train_test_split",
+    "make_blobs",
+    "make_synthetic_digits",
+    "make_synthetic_fashion",
+    "make_credit_scoring",
+    "DIGIT_CLASS_NAMES",
+    "FASHION_CLASS_NAMES",
+    "CREDIT_FEATURE_NAMES",
+    "CREDIT_CLASS_NAMES",
+    "load_dataset",
+    "available_datasets",
+]

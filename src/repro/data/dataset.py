@@ -1,0 +1,203 @@
+"""Dataset container and split utilities.
+
+A :class:`Dataset` bundles a design matrix, integer labels, class names and
+(optionally) the image shape the rows were flattened from.  It is immutable
+by convention: every transformation returns a new view-or-copy ``Dataset``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_labels, check_matrix
+
+__all__ = ["Dataset", "train_test_split"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An in-memory classification dataset.
+
+    Attributes
+    ----------
+    X:
+        ``(n_samples, n_features)`` float64 design matrix.
+    y:
+        ``(n_samples,)`` int64 labels in ``{0, ..., n_classes-1}``.
+    class_names:
+        Human-readable name per class (length ``n_classes``).
+    image_shape:
+        ``(height, width)`` if rows are flattened images, else ``None``.
+    name:
+        Identifier used in reports ("synthetic-digits", ...).
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    class_names: tuple[str, ...] = field(default=())
+    image_shape: tuple[int, int] | None = None
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        X = check_matrix(self.X, name="X")
+        y = check_labels(self.y, name="y")
+        if X.shape[0] != y.shape[0]:
+            raise ValidationError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} labels"
+            )
+        object.__setattr__(self, "X", X)
+        object.__setattr__(self, "y", y)
+        if self.class_names:
+            n_classes = int(y.max()) + 1 if y.size else 0
+            if len(self.class_names) < n_classes:
+                raise ValidationError(
+                    f"{len(self.class_names)} class names for {n_classes} classes"
+                )
+            object.__setattr__(self, "class_names", tuple(self.class_names))
+        if self.image_shape is not None:
+            h, w = self.image_shape
+            if h * w != X.shape[1]:
+                raise ValidationError(
+                    f"image_shape {self.image_shape} does not match "
+                    f"n_features={X.shape[1]}"
+                )
+            object.__setattr__(self, "image_shape", (int(h), int(w)))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_samples(self) -> int:
+        """Number of rows."""
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Number of columns (``d`` in the paper)."""
+        return int(self.X.shape[1])
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes (``C`` in the paper)."""
+        if self.class_names:
+            return len(self.class_names)
+        return int(self.y.max()) + 1 if self.y.size else 0
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def class_name(self, c: int) -> str:
+        """Name of class ``c`` (falls back to ``"class-c"``)."""
+        if self.class_names and 0 <= c < len(self.class_names):
+            return self.class_names[c]
+        return f"class-{c}"
+
+    # ------------------------------------------------------------------ #
+    # Transformations (each returns a new Dataset)
+    # ------------------------------------------------------------------ #
+    def subset(self, indices: np.ndarray | list[int]) -> "Dataset":
+        """Select rows by index."""
+        idx = np.asarray(indices)
+        return replace(self, X=self.X[idx], y=self.y[idx])
+
+    def sample(self, n: int, seed: SeedLike = None) -> "Dataset":
+        """Uniformly sample ``n`` rows without replacement."""
+        if n > self.n_samples:
+            raise ValidationError(
+                f"cannot sample {n} rows from {self.n_samples} available"
+            )
+        rng = as_generator(seed)
+        idx = rng.choice(self.n_samples, size=n, replace=False)
+        return self.subset(idx)
+
+    def of_class(self, c: int) -> "Dataset":
+        """Rows whose label is ``c``."""
+        return self.subset(np.flatnonzero(self.y == c))
+
+    def shuffled(self, seed: SeedLike = None) -> "Dataset":
+        """Rows in a random order."""
+        rng = as_generator(seed)
+        return self.subset(rng.permutation(self.n_samples))
+
+    def normalized(self) -> "Dataset":
+        """Min-max scale every feature into ``[0, 1]`` (paper's pixel range)."""
+        lo = self.X.min(axis=0)
+        hi = self.X.max(axis=0)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        return replace(self, X=(self.X - lo) / span)
+
+    def image(self, i: int) -> np.ndarray:
+        """Row ``i`` reshaped back to its 2-D image."""
+        if self.image_shape is None:
+            raise ValidationError("dataset rows are not images")
+        return self.X[i].reshape(self.image_shape)
+
+    def class_average_image(self, c: int) -> np.ndarray:
+        """Mean image of class ``c`` (Figure 2's first row)."""
+        if self.image_shape is None:
+            raise ValidationError("dataset rows are not images")
+        rows = self.X[self.y == c]
+        if rows.shape[0] == 0:
+            raise ValidationError(f"no samples of class {c}")
+        return rows.mean(axis=0).reshape(self.image_shape)
+
+    def nearest_neighbor(self, i: int) -> int:
+        """Index of the Euclidean nearest neighbour of row ``i`` (excluding i).
+
+        Used by the Figure 4 consistency experiment, which compares the
+        interpretation of each instance with that of its nearest test-set
+        neighbour.
+        """
+        if self.n_samples < 2:
+            raise ValidationError("need at least two samples")
+        diffs = self.X - self.X[i]
+        dists = np.einsum("ij,ij->i", diffs, diffs)
+        dists[i] = np.inf
+        return int(np.argmin(dists))
+
+
+def train_test_split(
+    dataset: Dataset,
+    *,
+    test_fraction: float = 0.2,
+    seed: SeedLike = None,
+    stratify: bool = True,
+) -> tuple[Dataset, Dataset]:
+    """Split a dataset into train and test portions.
+
+    Parameters
+    ----------
+    test_fraction:
+        Fraction of rows assigned to the test set, in ``(0, 1)``.
+    stratify:
+        When true (default) the split preserves per-class proportions, which
+        keeps small synthetic datasets balanced.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValidationError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_generator(seed)
+    n = dataset.n_samples
+    if stratify:
+        test_idx: list[int] = []
+        for c in range(dataset.n_classes):
+            members = np.flatnonzero(dataset.y == c)
+            if members.size == 0:
+                continue
+            rng.shuffle(members)
+            k = max(1, int(round(test_fraction * members.size)))
+            k = min(k, members.size - 1) if members.size > 1 else members.size
+            test_idx.extend(members[:k].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[np.asarray(test_idx, dtype=np.int64)] = True
+    else:
+        perm = rng.permutation(n)
+        k = max(1, int(round(test_fraction * n)))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[perm[:k]] = True
+    train = dataset.subset(np.flatnonzero(~test_mask))
+    test = dataset.subset(np.flatnonzero(test_mask))
+    return train, test

@@ -1,0 +1,56 @@
+"""Named dataset registry used by the experiment harness.
+
+Experiments reference datasets by name ("synthetic-digits",
+"synthetic-fashion", "blobs") so configurations stay serializable; this
+module maps those names to generator calls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.blobs import make_blobs
+from repro.data.dataset import Dataset
+from repro.data.digits import make_synthetic_digits
+from repro.data.fashion import make_synthetic_fashion
+from repro.data.tabular import make_credit_scoring
+from repro.exceptions import ValidationError
+from repro.utils.rng import SeedLike
+
+__all__ = ["available_datasets", "load_dataset"]
+
+_GENERATORS: dict[str, Callable[..., Dataset]] = {
+    "synthetic-digits": make_synthetic_digits,
+    "synthetic-fashion": make_synthetic_fashion,
+    "credit-scoring": make_credit_scoring,
+    "blobs": make_blobs,
+}
+
+#: Aliases mapping the paper's dataset names onto our substitutions.
+_ALIASES: dict[str, str] = {
+    "mnist": "synthetic-digits",
+    "fmnist": "synthetic-fashion",
+    "fashion-mnist": "synthetic-fashion",
+}
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Names accepted by :func:`load_dataset` (aliases included)."""
+    return tuple(sorted(set(_GENERATORS) | set(_ALIASES)))
+
+
+def load_dataset(name: str, n_samples: int = 1000, *, seed: SeedLike = None, **kwargs) -> Dataset:
+    """Instantiate a dataset by name.
+
+    ``mnist`` and ``fmnist`` resolve to the procedural substitutions (see
+    DESIGN.md §4).  Extra keyword arguments are forwarded to the generator
+    (``size=``, ``noise=``, ``n_features=``, ...).
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    generator = _GENERATORS.get(key)
+    if generator is None:
+        raise ValidationError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    return generator(n_samples, seed=seed, **kwargs)

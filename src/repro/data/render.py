@@ -1,0 +1,188 @@
+"""Tiny software rasterizer for the procedural image datasets.
+
+Renders anti-aliased strokes (polylines) and filled polygons onto square
+grayscale canvases.  All geometry lives in the unit square ``[0, 1]^2`` with
+``x`` growing rightwards and ``y`` growing *downwards* (image convention);
+the rasterizer maps it onto an ``size x size`` pixel grid.
+
+This is intentionally dependency-free (no PIL/matplotlib are available
+offline) and fully vectorized: a 28x28 canvas with a dozen strokes renders
+in well under a millisecond, so generating tens of thousands of images for
+training stays cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "Canvas",
+    "affine_jitter",
+    "circle_polyline",
+    "arc_polyline",
+]
+
+
+def _pixel_centers(size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Unit-square coordinates of all pixel centers, as (px, py) grids."""
+    coords = (np.arange(size) + 0.5) / size
+    px, py = np.meshgrid(coords, coords)  # py varies along rows (y-down)
+    return px, py
+
+
+class Canvas:
+    """A square grayscale canvas supporting strokes and filled polygons.
+
+    Intensities accumulate with ``max`` composition (painting white ink on a
+    black background) and are clipped to ``[0, 1]``.
+    """
+
+    def __init__(self, size: int):
+        if size < 2:
+            raise ValidationError(f"canvas size must be >= 2, got {size}")
+        self.size = int(size)
+        self._px, self._py = _pixel_centers(self.size)
+        self.pixels = np.zeros((self.size, self.size), dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    def stroke(self, points: np.ndarray, thickness: float = 0.08) -> "Canvas":
+        """Draw an anti-aliased polyline through ``points``.
+
+        Parameters
+        ----------
+        points:
+            ``(k, 2)`` array of (x, y) vertices in unit coordinates.
+        thickness:
+            Stroke diameter in unit coordinates.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] < 2:
+            raise ValidationError(
+                f"stroke needs a (k>=2, 2) point array, got shape {pts.shape}"
+            )
+        if thickness <= 0:
+            raise ValidationError(f"thickness must be > 0, got {thickness}")
+
+        half = thickness / 2.0
+        # Anti-alias over roughly one pixel.
+        feather = 1.0 / self.size
+        dist = np.full((self.size, self.size), np.inf)
+        for a, b in zip(pts[:-1], pts[1:]):
+            dist = np.minimum(dist, self._segment_distance(a, b))
+        intensity = np.clip((half + feather - dist) / feather, 0.0, 1.0)
+        self.pixels = np.maximum(self.pixels, intensity)
+        return self
+
+    def fill_polygon(self, vertices: np.ndarray, intensity: float = 1.0) -> "Canvas":
+        """Fill a simple polygon given by ``(k, 2)`` unit-square vertices.
+
+        Uses the even-odd rule with a vectorized ray cast, plus a feathered
+        edge from the boundary distance so silhouettes are anti-aliased.
+        """
+        verts = np.asarray(vertices, dtype=np.float64)
+        if verts.ndim != 2 or verts.shape[1] != 2 or verts.shape[0] < 3:
+            raise ValidationError(
+                f"polygon needs a (k>=3, 2) vertex array, got shape {verts.shape}"
+            )
+        inside = self._point_in_polygon(verts)
+        # Feather the boundary: fade within ~1 pixel of an edge.
+        feather = 1.0 / self.size
+        dist = np.full((self.size, self.size), np.inf)
+        closed = np.vstack([verts, verts[:1]])
+        for a, b in zip(closed[:-1], closed[1:]):
+            dist = np.minimum(dist, self._segment_distance(a, b))
+        edge_fade = np.clip(dist / feather, 0.0, 1.0)
+        value = intensity * np.where(inside, 1.0, np.clip(1.0 - edge_fade, 0.0, 1.0))
+        self.pixels = np.maximum(self.pixels, value)
+        return self
+
+    def add_noise(self, rng: np.random.Generator, scale: float = 0.05) -> "Canvas":
+        """Add clipped Gaussian pixel noise (keeps values in [0, 1])."""
+        if scale < 0:
+            raise ValidationError(f"noise scale must be >= 0, got {scale}")
+        if scale > 0:
+            self.pixels = np.clip(
+                self.pixels + rng.normal(0.0, scale, self.pixels.shape), 0.0, 1.0
+            )
+        return self
+
+    def as_vector(self) -> np.ndarray:
+        """Flatten to a length ``size*size`` feature vector in [0, 1]."""
+        return np.clip(self.pixels, 0.0, 1.0).ravel().copy()
+
+    # ------------------------------------------------------------------ #
+    def _segment_distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Distance from every pixel center to segment ``ab``."""
+        ab = b - a
+        denom = float(ab @ ab)
+        apx = self._px - a[0]
+        apy = self._py - a[1]
+        if denom == 0.0:
+            return np.hypot(apx, apy)
+        t = np.clip((apx * ab[0] + apy * ab[1]) / denom, 0.0, 1.0)
+        return np.hypot(apx - t * ab[0], apy - t * ab[1])
+
+    def _point_in_polygon(self, verts: np.ndarray) -> np.ndarray:
+        """Even-odd rule point-in-polygon test for every pixel center."""
+        inside = np.zeros((self.size, self.size), dtype=bool)
+        k = verts.shape[0]
+        j = k - 1
+        for i in range(k):
+            xi, yi = verts[i]
+            xj, yj = verts[j]
+            crosses = (yi > self._py) != (yj > self._py)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                x_at_y = xi + (self._py - yi) * (xj - xi) / (yj - yi)
+            inside ^= crosses & (self._px < x_at_y)
+            j = i
+        return inside
+
+
+def affine_jitter(
+    points: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    max_rotation: float = 0.15,
+    max_shift: float = 0.06,
+    max_scale: float = 0.12,
+) -> np.ndarray:
+    """Apply a random small rotation/scale/shift around the shape centroid.
+
+    This is the per-sample geometric variability that stands in for
+    handwriting / garment-cut variation in the procedural datasets.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    angle = rng.uniform(-max_rotation, max_rotation)
+    scale = 1.0 + rng.uniform(-max_scale, max_scale)
+    shift = rng.uniform(-max_shift, max_shift, size=2)
+    center = pts.mean(axis=0)
+    cos_a, sin_a = np.cos(angle), np.sin(angle)
+    rot = np.array([[cos_a, -sin_a], [sin_a, cos_a]])
+    return (pts - center) @ rot.T * scale + center + shift
+
+
+def circle_polyline(
+    center: tuple[float, float], radius: float, *, n_points: int = 24
+) -> np.ndarray:
+    """Closed circle approximated by a polyline (for '0', '8' bowls, soles)."""
+    theta = np.linspace(0.0, 2.0 * np.pi, n_points + 1)
+    return np.column_stack(
+        [center[0] + radius * np.cos(theta), center[1] + radius * np.sin(theta)]
+    )
+
+
+def arc_polyline(
+    center: tuple[float, float],
+    radius: float,
+    start_angle: float,
+    end_angle: float,
+    *,
+    n_points: int = 16,
+) -> np.ndarray:
+    """Open circular arc from ``start_angle`` to ``end_angle`` (radians)."""
+    theta = np.linspace(start_angle, end_angle, n_points)
+    return np.column_stack(
+        [center[0] + radius * np.cos(theta), center[1] + radius * np.sin(theta)]
+    )

@@ -1,0 +1,43 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* :mod:`config` — experiment scales (paper-faithful and bench-sized);
+* :mod:`harness` — dataset generation, model training, method registry;
+* :mod:`tables` — Table I (model accuracies);
+* :mod:`figures` — Figures 2-7 series builders;
+* :mod:`reporting` — ASCII rendering of the results.
+"""
+
+from repro.eval.config import ExperimentConfig
+from repro.eval.harness import ExperimentSetup, build_setups, interpret_instances
+from repro.eval.tables import build_table1, Table1Row
+from repro.eval.figures import (
+    build_fig2_heatmaps,
+    build_fig3_effectiveness,
+    build_fig4_consistency,
+    build_fig567_quality,
+)
+from repro.eval.reporting import (
+    render_table,
+    render_series,
+    render_heatmap,
+)
+from repro.eval.runner import run_experiments, ExperimentReport, EXPERIMENT_IDS
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentSetup",
+    "build_setups",
+    "interpret_instances",
+    "build_table1",
+    "Table1Row",
+    "build_fig2_heatmaps",
+    "build_fig3_effectiveness",
+    "build_fig4_consistency",
+    "build_fig567_quality",
+    "render_table",
+    "render_series",
+    "render_heatmap",
+    "run_experiments",
+    "ExperimentReport",
+    "EXPERIMENT_IDS",
+]

@@ -1,0 +1,139 @@
+"""Experiment configuration and scale presets.
+
+The paper runs on 28x28 images (d = 784), 60k training instances and 1000
+interpreted test instances, on a GPU server.  The experiments' *shapes* are
+dimension-independent, so the default preset shrinks the geometry to run on
+a laptop CPU in seconds while :meth:`ExperimentConfig.paper_scale` restores
+the faithful sizes for anyone willing to wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import ValidationError
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs of the reproduction experiments.
+
+    Attributes
+    ----------
+    datasets:
+        Dataset registry names; the paper's FMNIST/MNIST map to the
+        procedural substitutions.
+    models:
+        Which target models to train per dataset ("lmt", "plnn",
+        "maxout").
+    image_size:
+        Side length of the generated images (paper: 28).
+    n_train, n_test:
+        Dataset split sizes (paper: 60000 / 10000).
+    n_interpret:
+        Instances sampled from the test set for the interpretation
+        experiments (paper: 1000).
+    max_flip_features:
+        Flip budget of the effectiveness protocol (paper: 200).
+    h_grid:
+        Heuristic perturbation distances swept for the baselines
+        (paper: 1e-8, 1e-4, 1e-2).
+    plnn_hidden:
+        Hidden layer widths (paper: 256, 128, 100).
+    plnn_epochs:
+        Training epochs for the PLNN.
+    lmt_min_samples_split, lmt_leaf_accuracy_stop, lmt_max_depth:
+        LMT growth controls (paper: 100 instances / 99% accuracy).
+    seed:
+        Root seed; every component derives children from it.
+    """
+
+    datasets: tuple[str, ...] = ("synthetic-fashion", "synthetic-digits")
+    models: tuple[str, ...] = ("lmt", "plnn")
+    image_size: int = 8
+    n_train: int = 480
+    n_test: int = 160
+    n_interpret: int = 12
+    max_flip_features: int = 200
+    h_grid: tuple[float, ...] = (1e-8, 1e-4, 1e-2)
+    noise: float = 0.05
+    plnn_hidden: tuple[int, ...] = (32, 16)
+    plnn_epochs: int = 120
+    plnn_batch_size: int = 32
+    plnn_learning_rate: float = 3e-3
+    maxout_pieces: int = 2
+    lmt_min_samples_split: int = 60
+    lmt_leaf_accuracy_stop: float = 0.99
+    lmt_max_depth: int = 4
+    lmt_l1: float = 1e-4
+    seed: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.datasets:
+            raise ValidationError("datasets must be non-empty")
+        if not self.models:
+            raise ValidationError("models must be non-empty")
+        for m in self.models:
+            if m not in ("lmt", "plnn", "maxout"):
+                raise ValidationError(f"unknown model kind {m!r}")
+        if self.image_size < 4:
+            raise ValidationError(f"image_size must be >= 4, got {self.image_size}")
+        if self.n_train < 10 or self.n_test < 2:
+            raise ValidationError("n_train must be >= 10 and n_test >= 2")
+        if self.n_interpret < 1:
+            raise ValidationError("n_interpret must be >= 1")
+        if not self.h_grid:
+            raise ValidationError("h_grid must be non-empty")
+
+    @property
+    def n_features(self) -> int:
+        """Flattened image dimensionality ``d``."""
+        return self.image_size * self.image_size
+
+    # ------------------------------------------------------------------ #
+    # Presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def bench_scale(cls) -> "ExperimentConfig":
+        """Default CPU-friendly scale (seconds per figure)."""
+        return cls()
+
+    @classmethod
+    def test_scale(cls) -> "ExperimentConfig":
+        """Tiny scale for the integration test suite (sub-second)."""
+        return cls(
+            image_size=6,
+            n_train=240,
+            n_test=80,
+            n_interpret=4,
+            plnn_hidden=(16,),
+            plnn_epochs=80,
+            lmt_min_samples_split=60,
+            lmt_max_depth=3,
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentConfig":
+        """The paper's faithful geometry (slow on CPU; hours not seconds).
+
+        28x28 images, the 784-256-128-100-10 PLNN, 1000 interpreted
+        instances.  Provided for completeness; every benchmark accepts
+        this config unchanged.
+        """
+        return cls(
+            image_size=28,
+            n_train=60_000,
+            n_test=10_000,
+            n_interpret=1000,
+            plnn_hidden=(256, 128, 100),
+            plnn_epochs=30,
+            lmt_min_samples_split=100,
+            lmt_max_depth=10,
+        )
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        """A copy with selected fields overridden."""
+        return replace(self, **overrides)

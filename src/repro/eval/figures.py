@@ -1,0 +1,305 @@
+"""Builders for Figures 2-7 of the paper.
+
+Each builder consumes a trained :class:`ExperimentSetup` (one dataset x
+model cell) and returns plain dataclasses of numpy series — no plotting
+dependencies; :mod:`repro.eval.reporting` renders them as text and the
+benchmark harness prints them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import OpenAPIExplainer
+from repro.core.types import Attribution
+from repro.eval.config import ExperimentConfig
+from repro.eval.harness import (
+    ExperimentSetup,
+    black_box_method_grid,
+    effectiveness_method_grid,
+    interpret_instances,
+)
+from repro.exceptions import ValidationError
+from repro.metrics import (
+    EffectivenessCurves,
+    consistency_scores,
+    effectiveness_curves,
+    l1_distance,
+    region_difference,
+    weight_difference,
+)
+from repro.models.openbox import ground_truth_decision_features
+from repro.utils.rng import as_generator, spawn_generators
+
+__all__ = [
+    "Fig2Entry",
+    "build_fig2_heatmaps",
+    "Fig3Result",
+    "build_fig3_effectiveness",
+    "Fig4Result",
+    "build_fig4_consistency",
+    "QualityCell",
+    "Fig567Result",
+    "build_fig567_quality",
+]
+
+
+# --------------------------------------------------------------------- #
+# Figure 2 — averaged images and averaged decision-feature heatmaps
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Fig2Entry:
+    """One (class, model) panel of Figure 2."""
+
+    setup_label: str
+    class_index: int
+    class_name: str
+    average_image: np.ndarray
+    average_heatmap: np.ndarray
+    n_instances: int
+
+
+def build_fig2_heatmaps(
+    setup: ExperimentSetup,
+    *,
+    classes: tuple[int, ...] | None = None,
+    n_per_class: int = 5,
+    seed: int = 0,
+) -> list[Fig2Entry]:
+    """Average OpenAPI decision features per class, as image heatmaps.
+
+    For each selected class: take up to ``n_per_class`` test instances of
+    the class, interpret each toward that class with OpenAPI, average the
+    decision-feature vectors, reshape to the image grid.
+    """
+    test = setup.test
+    if test.image_shape is None:
+        raise ValidationError("Figure 2 requires an image dataset")
+    class_list = classes if classes is not None else tuple(range(test.n_classes))
+    rng = as_generator(seed)
+    explainer = OpenAPIExplainer(setup.api, seed=rng)
+
+    entries: list[Fig2Entry] = []
+    for c in class_list:
+        members = np.flatnonzero(test.y == c)
+        if members.size == 0:
+            continue
+        chosen = members[: min(n_per_class, members.size)]
+        attributions, kept = interpret_instances(
+            explainer, test.X[chosen], np.full(chosen.size, c)
+        )
+        if not attributions:
+            continue
+        heat = np.mean([a.values for a in attributions], axis=0)
+        entries.append(
+            Fig2Entry(
+                setup_label=setup.label,
+                class_index=int(c),
+                class_name=test.class_name(int(c)),
+                average_image=test.class_average_image(int(c)),
+                average_heatmap=heat.reshape(test.image_shape),
+                n_instances=len(attributions),
+            )
+        )
+    return entries
+
+
+# --------------------------------------------------------------------- #
+# Figure 3 — effectiveness (CPP / NLCI vs number of flipped features)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Fig3Result:
+    """One panel of Figure 3: every method's CPP/NLCI curves."""
+
+    setup_label: str
+    curves: dict[str, EffectivenessCurves] = field(default_factory=dict)
+
+
+def build_fig3_effectiveness(
+    setup: ExperimentSetup,
+    config: ExperimentConfig,
+    *,
+    seed: int = 0,
+) -> Fig3Result:
+    """Effectiveness curves for S, OA, I, G, L on one setup."""
+    rng = as_generator(seed)
+    idx = rng.choice(
+        setup.test.n_samples,
+        size=min(config.n_interpret, setup.test.n_samples),
+        replace=False,
+    )
+    instances = setup.test.X[idx]
+    methods = effectiveness_method_grid(setup, seed=rng)
+
+    curves: dict[str, EffectivenessCurves] = {}
+    for name, method in methods.items():
+        attributions, kept = interpret_instances(method, instances)
+        if not attributions:
+            continue
+        curves[name] = effectiveness_curves(
+            setup.model.predict_proba,
+            instances[kept],
+            attributions,
+            max_features=config.max_flip_features,
+        )
+    return Fig3Result(setup_label=setup.label, curves=curves)
+
+
+# --------------------------------------------------------------------- #
+# Figure 4 — consistency (nearest-neighbour cosine similarity)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Fig4Result:
+    """One panel of Figure 4: per-method sorted cosine similarities."""
+
+    setup_label: str
+    scores: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def build_fig4_consistency(
+    setup: ExperimentSetup,
+    config: ExperimentConfig,
+    *,
+    seed: int = 0,
+) -> Fig4Result:
+    """Consistency scores for S, OA, I, G, L on one setup.
+
+    Each sampled instance is paired with its Euclidean nearest neighbour
+    in the test set; both are interpreted toward the *sampled* instance's
+    predicted class (so the comparison measures explanation stability, not
+    class disagreement).
+    """
+    rng = as_generator(seed)
+    test = setup.test
+    idx = rng.choice(
+        test.n_samples, size=min(config.n_interpret, test.n_samples), replace=False
+    )
+    neighbors = np.array([test.nearest_neighbor(int(i)) for i in idx])
+    # Interpret the union of instances and their neighbours once each.
+    all_idx = np.unique(np.concatenate([idx, neighbors]))
+    position = {int(j): p for p, j in enumerate(all_idx)}
+    instances = test.X[all_idx]
+    target_classes = setup.model.predict(instances)
+
+    methods = effectiveness_method_grid(setup, seed=rng)
+    scores: dict[str, np.ndarray] = {}
+    for name, method in methods.items():
+        attributions, kept = interpret_instances(
+            method, instances, target_classes
+        )
+        if len(kept) != len(all_idx):
+            # Keep panels comparable: only pairs whose both ends succeeded.
+            kept_set = set(kept)
+            pair_ok = [
+                (position[int(i)] in kept_set and position[int(n)] in kept_set)
+                for i, n in zip(idx, neighbors)
+            ]
+        else:
+            pair_ok = [True] * len(idx)
+        vec_by_pos = {p: a.values for p, a in zip(kept, attributions)}
+        pair_scores = []
+        for ok, i, n in zip(pair_ok, idx, neighbors):
+            if not ok:
+                continue
+            vectors = np.vstack(
+                [vec_by_pos[position[int(i)]], vec_by_pos[position[int(n)]]]
+            )
+            pair_scores.append(
+                consistency_scores(vectors, np.array([1, 0]), sort_descending=False)[0]
+            )
+        if pair_scores:
+            scores[name] = np.sort(np.asarray(pair_scores))[::-1]
+    return Fig4Result(setup_label=setup.label, scores=scores)
+
+
+# --------------------------------------------------------------------- #
+# Figures 5-7 — sample quality (RD, WD) and exactness (L1Dist)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class QualityCell:
+    """One method's aggregated RD / WD / L1Dist statistics."""
+
+    method: str
+    avg_rd: float
+    wd_mean: float
+    wd_min: float
+    wd_max: float
+    l1_mean: float
+    l1_min: float
+    l1_max: float
+    n_instances: int
+    n_failures: int = 0
+
+
+@dataclass(frozen=True)
+class Fig567Result:
+    """One setup's column of Figures 5, 6 and 7 (shared computation)."""
+
+    setup_label: str
+    cells: dict[str, QualityCell] = field(default_factory=dict)
+
+
+def build_fig567_quality(
+    setup: ExperimentSetup,
+    config: ExperimentConfig,
+    *,
+    seed: int = 0,
+) -> Fig567Result:
+    """RD, WD and L1Dist for OpenAPI and {L, R, N, Z} x h grid.
+
+    The three figures share per-method sample sets and ground truth, so
+    one pass computes all of them: for each interpreted instance we
+    collect the method's perturbation samples (RD, WD) and its decision
+    features (L1Dist against the OpenBox ground truth).
+    """
+    rngs = iter(spawn_generators(seed, 2))
+    rng = next(rngs)
+    test = setup.test
+    idx = rng.choice(
+        test.n_samples, size=min(config.n_interpret, test.n_samples), replace=False
+    )
+    instances = test.X[idx]
+    target_classes = setup.model.predict(instances)
+    methods = black_box_method_grid(setup.api, config.h_grid, seed=next(rngs))
+
+    cells: dict[str, QualityCell] = {}
+    for name, method in methods.items():
+        rd_values: list[float] = []
+        wd_values: list[float] = []
+        l1_values: list[float] = []
+        failures = 0
+        for x0, c in zip(instances, target_classes):
+            c = int(c)
+            try:
+                attribution = method.explain(x0, c)
+            except Exception:
+                failures += 1
+                continue
+            ground_truth = ground_truth_decision_features(setup.model, x0, c)
+            l1_values.append(l1_distance(ground_truth, attribution.values))
+            if attribution.samples is not None:
+                rd_values.append(
+                    region_difference(setup.model, x0, attribution.samples)
+                )
+                wd_values.append(
+                    weight_difference(setup.model, x0, attribution.samples, c)
+                )
+        if not l1_values:
+            continue
+        l1_arr = np.asarray(l1_values)
+        wd_arr = np.asarray(wd_values) if wd_values else np.array([np.nan])
+        cells[name] = QualityCell(
+            method=name,
+            avg_rd=float(np.mean(rd_values)) if rd_values else float("nan"),
+            wd_mean=float(np.nanmean(wd_arr)),
+            wd_min=float(np.nanmin(wd_arr)),
+            wd_max=float(np.nanmax(wd_arr)),
+            l1_mean=float(l1_arr.mean()),
+            l1_min=float(l1_arr.min()),
+            l1_max=float(l1_arr.max()),
+            n_instances=len(l1_values),
+            n_failures=failures,
+        )
+    return Fig567Result(setup_label=setup.label, cells=cells)

@@ -1,0 +1,251 @@
+"""Experiment harness: data generation, model training, method registry.
+
+Builds the (dataset x model) grid of the paper's Section V — FMNIST/MNIST
+by LMT/PLNN — and provides the per-instance interpretation loop shared by
+the figure builders.  All randomness descends from the config's root seed
+through :func:`repro.utils.rng.spawn_generators`, so every figure is
+reproducible in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.api.service import PredictionAPI
+from repro.baselines import (
+    BaseInterpreter,
+    GradientTimesInput,
+    IntegratedGradients,
+    LogOddsLIME,
+    NaiveExplainer,
+    OpenAPIExplainer,
+    SaliencyMap,
+    StandardLIME,
+    ZOOInterpreter,
+)
+from repro.core.types import Attribution
+from repro.data import load_dataset, train_test_split
+from repro.data.dataset import Dataset
+from repro.eval.config import ExperimentConfig
+from repro.exceptions import CertificateError, ValidationError
+from repro.models import (
+    LogisticModelTree,
+    MaxOutNetwork,
+    PiecewiseLinearModel,
+    ReLUNetwork,
+    TrainingConfig,
+    train_network,
+)
+from repro.utils.rng import spawn_generators
+
+__all__ = [
+    "ExperimentSetup",
+    "build_setups",
+    "train_model",
+    "black_box_method_grid",
+    "interpret_instances",
+]
+
+
+@dataclass
+class ExperimentSetup:
+    """One trained (dataset, model) cell of the experiment grid."""
+
+    dataset_name: str
+    model_name: str
+    train: Dataset
+    test: Dataset
+    model: PiecewiseLinearModel
+    api: PredictionAPI
+    train_accuracy: float
+    test_accuracy: float
+
+    @property
+    def label(self) -> str:
+        """Report label, e.g. ``synthetic-fashion/PLNN``."""
+        return f"{self.dataset_name}/{self.model_name.upper()}"
+
+
+def train_model(
+    kind: str,
+    train: Dataset,
+    config: ExperimentConfig,
+    seed: np.random.Generator,
+) -> PiecewiseLinearModel:
+    """Train one target model of the requested kind on ``train``."""
+    d = train.n_features
+    C = train.n_classes
+    if kind == "plnn":
+        net = ReLUNetwork([d, *config.plnn_hidden, C], seed=seed)
+        train_network(
+            net,
+            train.X,
+            train.y,
+            TrainingConfig(
+                epochs=config.plnn_epochs,
+                batch_size=config.plnn_batch_size,
+                learning_rate=config.plnn_learning_rate,
+                seed=seed,
+            ),
+        )
+        return net
+    if kind == "maxout":
+        net = MaxOutNetwork(
+            [d, *config.plnn_hidden, C], pieces=config.maxout_pieces, seed=seed
+        )
+        train_network(
+            net,
+            train.X,
+            train.y,
+            TrainingConfig(
+                epochs=config.plnn_epochs,
+                batch_size=config.plnn_batch_size,
+                learning_rate=config.plnn_learning_rate,
+                seed=seed,
+            ),
+        )
+        return net
+    if kind == "lmt":
+        lmt = LogisticModelTree(
+            min_samples_split=config.lmt_min_samples_split,
+            leaf_accuracy_stop=config.lmt_leaf_accuracy_stop,
+            max_depth=config.lmt_max_depth,
+            l1=config.lmt_l1,
+            seed=seed,
+        )
+        return lmt.fit(train.X, train.y, n_classes=C)
+    raise ValidationError(f"unknown model kind {kind!r}")
+
+
+def build_setups(config: ExperimentConfig) -> list[ExperimentSetup]:
+    """Generate datasets, train every configured model, wrap APIs.
+
+    One child RNG per (dataset, model) leg keeps legs independent: adding
+    a model to the grid does not change any other leg's randomness.
+    """
+    setups: list[ExperimentSetup] = []
+    rngs = spawn_generators(config.seed, len(config.datasets) * (1 + len(config.models)))
+    rng_iter = iter(rngs)
+    for dataset_name in config.datasets:
+        data_rng = next(rng_iter)
+        full = load_dataset(
+            dataset_name,
+            config.n_train + config.n_test,
+            size=config.image_size,
+            noise=config.noise,
+            seed=data_rng,
+        )
+        train, test = train_test_split(
+            full,
+            test_fraction=config.n_test / (config.n_train + config.n_test),
+            seed=data_rng,
+        )
+        for model_name in config.models:
+            model_rng = next(rng_iter)
+            model = train_model(model_name, train, config, model_rng)
+            setups.append(
+                ExperimentSetup(
+                    dataset_name=dataset_name,
+                    model_name=model_name,
+                    train=train,
+                    test=test,
+                    model=model,
+                    api=PredictionAPI(model),
+                    train_accuracy=model.accuracy(train.X, train.y),
+                    test_accuracy=model.accuracy(test.X, test.y),
+                )
+            )
+    return setups
+
+
+def black_box_method_grid(
+    api: PredictionAPI,
+    h_grid: tuple[float, ...],
+    seed: int | np.random.Generator = 0,
+) -> dict[str, BaseInterpreter]:
+    """The Figure 5-7 method grid: OpenAPI plus {L, R, N, Z} x h values.
+
+    Keys follow the paper's tick labels: ``OpenAPI``, ``L(1e-08)``,
+    ``R(1e-04)``, ``N(1e-02)``, ``Z(...)`` — Linear-LIME, Ridge-LIME,
+    naive, ZOO at perturbation distance ``h``.
+    """
+    rngs = iter(spawn_generators(seed, 1 + 4 * len(h_grid)))
+    methods: dict[str, BaseInterpreter] = {
+        "OpenAPI": OpenAPIExplainer(api, seed=next(rngs)),
+    }
+    for h in h_grid:
+        methods[f"L({h:.0e})"] = LogOddsLIME(
+            api, h=h, regression="linear", seed=next(rngs)
+        )
+    for h in h_grid:
+        methods[f"R({h:.0e})"] = LogOddsLIME(
+            api, h=h, regression="ridge", seed=next(rngs)
+        )
+    for h in h_grid:
+        methods[f"N({h:.0e})"] = NaiveExplainer(
+            api, perturbation=h, seed=next(rngs)
+        )
+    for h in h_grid:
+        methods[f"Z({h:.0e})"] = ZOOInterpreter(api, h=h, seed=next(rngs))
+    return methods
+
+
+def effectiveness_method_grid(
+    setup: ExperimentSetup, seed: int | np.random.Generator = 0
+) -> dict[str, BaseInterpreter]:
+    """The Figure 3/4 method set: S, OA, I, G, L (paper's legend).
+
+    Gradient methods receive the model (white-box, as the paper allows);
+    OpenAPI and LIME receive only the API.
+    """
+    rngs = iter(spawn_generators(seed, 2))
+    return {
+        "S": SaliencyMap(setup.model),
+        "OA": OpenAPIExplainer(setup.api, seed=next(rngs)),
+        "I": IntegratedGradients(setup.model),
+        "G": GradientTimesInput(setup.model),
+        "L": StandardLIME(setup.api, seed=next(rngs)),
+    }
+
+
+def interpret_instances(
+    method: BaseInterpreter,
+    instances: np.ndarray,
+    classes: np.ndarray | None = None,
+    *,
+    on_failure: str = "skip",
+) -> tuple[list[Attribution], list[int]]:
+    """Explain a batch of instances, tolerating per-instance failures.
+
+    Parameters
+    ----------
+    classes:
+        Optional per-instance target classes; ``None`` lets each method
+        use the predicted class.
+    on_failure:
+        ``"skip"`` drops instances whose interpretation raises
+        :class:`CertificateError` (boundary instances — probability-0
+        events that finite iteration budgets can still surface);
+        ``"raise"`` propagates.
+
+    Returns
+    -------
+    (attributions, kept_indices)
+    """
+    if on_failure not in ("skip", "raise"):
+        raise ValidationError(f"on_failure must be 'skip' or 'raise', got {on_failure!r}")
+    instances = np.asarray(instances, dtype=np.float64)
+    attributions: list[Attribution] = []
+    kept: list[int] = []
+    for i, x0 in enumerate(instances):
+        c = None if classes is None else int(classes[i])
+        try:
+            attributions.append(method.explain(x0, c))
+            kept.append(i)
+        except CertificateError:
+            if on_failure == "raise":
+                raise
+    return attributions, kept

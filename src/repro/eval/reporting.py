@@ -1,0 +1,127 @@
+"""Plain-text rendering of tables, series and heatmaps.
+
+No plotting libraries are available offline, so the benchmark harness
+reports results the way the paper's tables do — aligned text — plus a
+compact ASCII shading for the Figure 2 heatmaps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["render_table", "render_series", "render_heatmap"]
+
+#: Characters from "empty" to "full" used by the ASCII heatmap.
+_SHADES = " .:-=+*#%@"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table.
+
+    Floats are shown with 4 significant digits; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+    if not headers:
+        raise ValidationError("headers must be non-empty")
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "nan"
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e4 or abs(value) < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = [line(list(headers)), sep]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    series: dict[str, np.ndarray],
+    *,
+    max_points: int = 8,
+    x_label: str = "k",
+) -> str:
+    """Render named series by sampling a few representative points.
+
+    Long curves (200 points in Figure 3) are downsampled evenly so the
+    text stays readable while still showing the curve shape.
+    """
+    if not series:
+        return "(no series)"
+    lengths = {len(np.asarray(v)) for v in series.values()}
+    n = max(lengths)
+    k = min(max_points, n)
+    positions = np.unique(np.linspace(0, n - 1, k).astype(int))
+
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for pos in positions:
+        row: list[object] = [int(pos + 1)]
+        for values in series.values():
+            arr = np.asarray(values, dtype=np.float64)
+            row.append(float(arr[pos]) if pos < arr.size else float("nan"))
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+def render_heatmap(matrix: np.ndarray, *, signed: bool | None = None) -> str:
+    """ASCII shading of a 2-D array.
+
+    Unsigned data maps min..max onto the shade ramp.  Signed data (any
+    negative entries, or ``signed=True``) maps magnitude onto the ramp and
+    marks negative cells with ``-`` when they are strong, mirroring the
+    red/blue convention of the paper's heatmaps.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValidationError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if signed is None:
+        signed = bool((matrix < 0).any())
+
+    lines = []
+    if signed:
+        peak = float(np.abs(matrix).max()) or 1.0
+        for row in matrix:
+            chars = []
+            for v in row:
+                level = int(round(abs(v) / peak * (len(_SHADES) - 1)))
+                ch = _SHADES[level]
+                if v < 0 and level >= 2:
+                    ch = "-"
+                chars.append(ch)
+            lines.append("".join(chars))
+    else:
+        lo = float(matrix.min())
+        hi = float(matrix.max())
+        span = (hi - lo) or 1.0
+        for row in matrix:
+            lines.append(
+                "".join(
+                    _SHADES[int(round((v - lo) / span * (len(_SHADES) - 1)))]
+                    for v in row
+                )
+            )
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""One-call experiment runner: regenerate any or all paper artifacts.
+
+Used by the command-line interface (``python -m repro``) and usable
+directly:
+
+>>> from repro.eval.runner import run_experiments
+>>> report = run_experiments(["table1"], scale="test")   # doctest: +SKIP
+
+Each experiment id maps to the figure/table builders of
+:mod:`repro.eval.figures` / :mod:`repro.eval.tables`; results are rendered
+to text with :mod:`repro.eval.reporting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eval.config import ExperimentConfig
+from repro.eval.figures import (
+    build_fig2_heatmaps,
+    build_fig3_effectiveness,
+    build_fig4_consistency,
+    build_fig567_quality,
+)
+from repro.eval.harness import ExperimentSetup, build_setups
+from repro.eval.reporting import render_heatmap, render_series, render_table
+from repro.eval.tables import build_table1
+from repro.exceptions import ValidationError
+
+__all__ = ["EXPERIMENT_IDS", "ExperimentReport", "run_experiments", "resolve_config"]
+
+#: Recognized experiment identifiers (paper artifact ids).
+EXPERIMENT_IDS: tuple[str, ...] = (
+    "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+)
+
+_SCALES = {
+    "test": ExperimentConfig.test_scale,
+    "bench": ExperimentConfig.bench_scale,
+    "paper": ExperimentConfig.paper_scale,
+}
+
+
+def resolve_config(scale: str) -> ExperimentConfig:
+    """Map a scale name (test/bench/paper) to a config preset."""
+    factory = _SCALES.get(scale)
+    if factory is None:
+        raise ValidationError(
+            f"unknown scale {scale!r}; choose from {', '.join(_SCALES)}"
+        )
+    return factory()
+
+
+@dataclass
+class ExperimentReport:
+    """Rendered text per executed experiment id, in execution order."""
+
+    scale: str
+    sections: dict[str, str] = field(default_factory=dict)
+
+    def as_text(self) -> str:
+        parts = [f"# OpenAPI reproduction report (scale: {self.scale})"]
+        for name, body in self.sections.items():
+            parts.append(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{body}")
+        return "\n".join(parts)
+
+
+def _render_table1(setups: list[ExperimentSetup], config: ExperimentConfig) -> str:
+    rows = build_table1(setups=setups)
+    return render_table(
+        ["dataset", "model", "train acc", "test acc"],
+        [[r.dataset, r.model, r.train_accuracy, r.test_accuracy] for r in rows],
+    )
+
+
+def _render_fig2(setups: list[ExperimentSetup], config: ExperimentConfig) -> str:
+    blocks = []
+    for setup in setups:
+        if setup.test.image_shape is None:
+            continue
+        entries = build_fig2_heatmaps(setup, n_per_class=3, seed=0)
+        blocks.append(f"### {setup.label}")
+        for entry in entries[:5]:
+            blocks.append(f"class '{entry.class_name}':")
+            blocks.append(render_heatmap(entry.average_heatmap))
+    return "\n".join(blocks) if blocks else "(no image datasets configured)"
+
+
+def _render_fig3(setups: list[ExperimentSetup], config: ExperimentConfig) -> str:
+    blocks = []
+    for setup in setups:
+        result = build_fig3_effectiveness(setup, config, seed=3)
+        blocks.append(f"### {result.setup_label} — Avg CPP")
+        blocks.append(render_series(
+            {k: v.avg_cpp for k, v in result.curves.items()}, max_points=6
+        ))
+        blocks.append(f"### {result.setup_label} — NLCI")
+        blocks.append(render_series(
+            {k: v.nlci.astype(float) for k, v in result.curves.items()},
+            max_points=6,
+        ))
+    return "\n".join(blocks)
+
+
+def _render_fig4(setups: list[ExperimentSetup], config: ExperimentConfig) -> str:
+    blocks = []
+    for setup in setups:
+        result = build_fig4_consistency(setup, config, seed=4)
+        rows = [
+            [name, float(s.mean()), float(s.min())]
+            for name, s in result.scores.items()
+        ]
+        blocks.append(f"### {result.setup_label}")
+        blocks.append(render_table(["method", "mean CS", "min CS"], rows))
+    return "\n".join(blocks)
+
+
+def _render_quality(setups, config, field_names, header) -> str:
+    blocks = []
+    for setup in setups:
+        result = build_fig567_quality(setup, config, seed=5)
+        rows = [
+            [name] + [getattr(cell, f) for f in field_names]
+            for name, cell in result.cells.items()
+        ]
+        blocks.append(f"### {result.setup_label}")
+        blocks.append(render_table(["method"] + header, rows))
+    return "\n".join(blocks)
+
+
+def _render_fig5(setups, config) -> str:
+    return _render_quality(setups, config, ["avg_rd"], ["avg RD"])
+
+
+def _render_fig6(setups, config) -> str:
+    return _render_quality(
+        setups, config, ["wd_mean", "wd_min", "wd_max"],
+        ["WD mean", "WD min", "WD max"],
+    )
+
+
+def _render_fig7(setups, config) -> str:
+    return _render_quality(
+        setups, config, ["l1_mean", "l1_min", "l1_max"],
+        ["L1 mean", "L1 min", "L1 max"],
+    )
+
+
+_RUNNERS = {
+    "table1": _render_table1,
+    "fig2": _render_fig2,
+    "fig3": _render_fig3,
+    "fig4": _render_fig4,
+    "fig5": lambda s, c: _render_fig5(s, c),
+    "fig6": lambda s, c: _render_fig6(s, c),
+    "fig7": lambda s, c: _render_fig7(s, c),
+}
+
+
+def run_experiments(
+    experiment_ids: list[str] | tuple[str, ...],
+    *,
+    scale: str = "bench",
+    config: ExperimentConfig | None = None,
+) -> ExperimentReport:
+    """Train the model grid once and regenerate the requested artifacts.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Subset of :data:`EXPERIMENT_IDS`, or ``["all"]``.
+    scale:
+        Config preset name; ignored when an explicit ``config`` is given.
+    """
+    ids = list(experiment_ids)
+    if ids == ["all"]:
+        ids = list(EXPERIMENT_IDS)
+    unknown = [i for i in ids if i not in EXPERIMENT_IDS]
+    if unknown:
+        raise ValidationError(
+            f"unknown experiment id(s) {unknown}; choose from "
+            f"{', '.join(EXPERIMENT_IDS)} or 'all'"
+        )
+    cfg = config or resolve_config(scale)
+    setups = build_setups(cfg)
+    report = ExperimentReport(scale=scale if config is None else "custom")
+    for experiment_id in ids:
+        report.sections[experiment_id] = _RUNNERS[experiment_id](setups, cfg)
+    return report

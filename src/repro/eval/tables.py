@@ -1,0 +1,42 @@
+"""Table I: training and testing accuracies of all target models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.config import ExperimentConfig
+from repro.eval.harness import ExperimentSetup, build_setups
+
+__all__ = ["Table1Row", "build_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (dataset, model) accuracy row of Table I."""
+
+    dataset: str
+    model: str
+    train_accuracy: float
+    test_accuracy: float
+
+
+def build_table1(
+    config: ExperimentConfig | None = None,
+    setups: list[ExperimentSetup] | None = None,
+) -> list[Table1Row]:
+    """Reproduce Table I.
+
+    Either pass pre-trained ``setups`` (to share training cost with other
+    figures) or a config to train from scratch.
+    """
+    if setups is None:
+        setups = build_setups(config or ExperimentConfig())
+    return [
+        Table1Row(
+            dataset=s.dataset_name,
+            model=s.model_name.upper(),
+            train_accuracy=s.train_accuracy,
+            test_accuracy=s.test_accuracy,
+        )
+        for s in setups
+    ]

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything this package raises with a single ``except`` clause while
+still being able to discriminate failure modes precisely.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "NotFittedError",
+    "ConvergenceError",
+    "InterpretationError",
+    "CertificateError",
+    "BoundaryInstanceError",
+    "APIBudgetExceededError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (shape, dtype, range, ...).
+
+    Inherits from :class:`ValueError` so generic callers that expect the
+    standard-library convention keep working.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model was used before :meth:`fit` (or training) was called."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative training routine failed to make progress."""
+
+
+class InterpretationError(ReproError, RuntimeError):
+    """An interpretation method failed to produce a result."""
+
+
+class CertificateError(InterpretationError):
+    """The OpenAPI consistency certificate could not be satisfied.
+
+    Raised when Algorithm 1 exhausts its iteration budget without ever
+    obtaining a consistent overdetermined system.  Per the paper this has
+    probability 0 for instances drawn from a continuous distribution (it can
+    only happen for instances lying exactly on a region boundary), but the
+    iteration cap guarantees termination and this error reports the failure
+    honestly instead of returning a wrong answer.
+    """
+
+    def __init__(self, message: str, *, iterations: int | None = None, final_edge: float | None = None):
+        super().__init__(message)
+        #: number of shrink iterations performed before giving up
+        self.iterations = iterations
+        #: hypercube edge length at the final attempt
+        self.final_edge = final_edge
+
+
+class BoundaryInstanceError(InterpretationError):
+    """The instance to interpret appears to sit on a region boundary."""
+
+
+class APIBudgetExceededError(ReproError, RuntimeError):
+    """A :class:`repro.api.PredictionAPI` query budget was exhausted."""

@@ -1,0 +1,33 @@
+"""Reverse-engineering a PLM behind an API (the paper's future work).
+
+The conclusion of the paper announces: *"As future work, we will extend
+our work to reverse engineer PLMs hidden behind APIs."*  This package is
+that extension, built on the observation that one certified OpenAPI
+interpretation determines the region's *complete* softmax behaviour:
+
+solving the pairs ``(0, c')`` recovers ``W_0 - W_{c'}`` and
+``b_0 - b_{c'}`` for every ``c'``, and softmax is invariant to shifting
+all logits by a shared function — so the relative parameters reproduce the
+region's probability outputs **exactly**.
+
+* :class:`RegionExplorer` — harvests relative region parameters from
+  probe instances;
+* :class:`PiecewiseSurrogate` — a reconstructed PLM (itself a
+  :class:`~repro.models.base.PiecewiseLinearModel`) routing inputs to the
+  nearest harvested region;
+* :func:`fidelity_report` — agreement metrics between surrogate and
+  original.
+"""
+
+from repro.extraction.explorer import RegionExplorer, RegionRecord
+from repro.extraction.active import ActiveRegionExplorer
+from repro.extraction.surrogate import PiecewiseSurrogate, FidelityReport, fidelity_report
+
+__all__ = [
+    "RegionExplorer",
+    "ActiveRegionExplorer",
+    "RegionRecord",
+    "PiecewiseSurrogate",
+    "FidelityReport",
+    "fidelity_report",
+]

@@ -1,0 +1,176 @@
+"""Region harvesting: turn certified interpretations into region records.
+
+One :meth:`OpenAPIInterpreter.interpret` call with base class 0 yields, for
+a probe ``x``, the exact relative parameters of the locally linear region
+containing ``x``:
+
+.. math::
+
+    \\tilde W_c = W_c - W_0, \\qquad \\tilde b_c = b_c - b_0,
+
+(with :math:`\\tilde W_0 = 0, \\tilde b_0 = 0`).  Softmax only depends on
+logit *differences*, so ``softmax(x @ W + b) = softmax(x @ \\tilde W +
+\\tilde b)`` — the relative parameters reproduce the API's behaviour on the
+whole region exactly, which is the strongest reconstruction possible from
+probability outputs (the absolute gauge is unidentifiable by design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.service import PredictionAPI
+from repro.core.openapi import OpenAPIInterpreter
+from repro.core.types import Interpretation
+from repro.exceptions import CertificateError, ValidationError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["RegionRecord", "RegionExplorer"]
+
+
+@dataclass(frozen=True)
+class RegionRecord:
+    """Recovered relative parameters of one locally linear region.
+
+    Attributes
+    ----------
+    anchor:
+        The probe instance that discovered the region (used for routing).
+    rel_weights:
+        ``(d, C)`` matrix; column ``c`` is ``W_c - W_0`` (column 0 zero).
+    rel_bias:
+        Length-``C``; entry ``c`` is ``b_c - b_0`` (entry 0 zero).
+    key:
+        Quantized fingerprint used for de-duplication across probes.
+    """
+
+    anchor: np.ndarray
+    rel_weights: np.ndarray
+    rel_bias: np.ndarray
+    key: bytes
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        """Relative logits of the region's classifier at ``x``."""
+        return np.asarray(x, dtype=np.float64) @ self.rel_weights + self.rel_bias
+
+
+def _fingerprint(rel_weights: np.ndarray, rel_bias: np.ndarray, decimals: int) -> bytes:
+    """Quantized hash key identifying a region's recovered parameters.
+
+    OpenAPI recovers parameters to ~1e-12 relative error, so rounding to
+    ``decimals`` significant-ish digits collapses repeated discoveries of
+    the same region while keeping genuinely distinct regions apart.
+    """
+    scale = float(np.max(np.abs(rel_weights))) or 1.0
+    normalized = np.round(rel_weights / scale, decimals)
+    bias_norm = np.round(rel_bias / scale, decimals)
+    return normalized.tobytes() + bias_norm.tobytes()
+
+
+class RegionExplorer:
+    """Harvests locally linear regions of an API-hidden PLM.
+
+    Parameters
+    ----------
+    api:
+        The black-box service to reverse engineer.
+    interpreter:
+        A configured :class:`OpenAPIInterpreter`; a default one is built
+        when omitted.
+    dedup_decimals:
+        Rounding used by the region fingerprint (see :func:`_fingerprint`).
+    """
+
+    def __init__(
+        self,
+        api: PredictionAPI,
+        *,
+        interpreter: OpenAPIInterpreter | None = None,
+        dedup_decimals: int = 6,
+        seed: SeedLike = None,
+    ):
+        if dedup_decimals < 1:
+            raise ValidationError(f"dedup_decimals must be >= 1, got {dedup_decimals}")
+        self.api = api
+        self._rng = as_generator(seed)
+        self.interpreter = interpreter or OpenAPIInterpreter(seed=self._rng)
+        self.dedup_decimals = int(dedup_decimals)
+        self.records: list[RegionRecord] = []
+        self._seen: set[bytes] = set()
+        #: probes whose interpretation failed (boundary / budget) — kept
+        #: for honesty in reports.
+        self.failed_probes: int = 0
+
+    # ------------------------------------------------------------------ #
+    def harvest(self, x: np.ndarray) -> RegionRecord | None:
+        """Recover the region containing ``x``; returns None on failure.
+
+        Duplicate discoveries (same fingerprint) return the existing
+        record without growing :attr:`records`.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        try:
+            interpretation = self.interpreter.interpret(self.api, x, c=0)
+        except CertificateError:
+            self.failed_probes += 1
+            return None
+        record = self._record_from_interpretation(x, interpretation)
+        if record.key in self._seen:
+            for existing in self.records:
+                if existing.key == record.key:
+                    return existing
+        self._seen.add(record.key)
+        self.records.append(record)
+        return record
+
+    def explore(self, probes: np.ndarray) -> list[RegionRecord]:
+        """Harvest every probe instance; returns all unique records so far."""
+        probes = np.asarray(probes, dtype=np.float64)
+        if probes.ndim != 2 or probes.shape[1] != self.api.n_features:
+            raise ValidationError(
+                f"probes must be (n, {self.api.n_features}), got {probes.shape}"
+            )
+        for row in probes:
+            self.harvest(row)
+        return list(self.records)
+
+    def explore_random(
+        self,
+        n_probes: int,
+        *,
+        box: tuple[float, float] = (0.0, 1.0),
+    ) -> list[RegionRecord]:
+        """Harvest from uniform random probes inside the input box."""
+        if n_probes < 1:
+            raise ValidationError(f"n_probes must be >= 1, got {n_probes}")
+        lo, hi = box
+        if not hi > lo:
+            raise ValidationError(f"box must satisfy hi > lo, got {box}")
+        probes = self._rng.uniform(lo, hi, size=(n_probes, self.api.n_features))
+        return self.explore(probes)
+
+    @property
+    def n_regions(self) -> int:
+        """Number of distinct regions discovered so far."""
+        return len(self.records)
+
+    # ------------------------------------------------------------------ #
+    def _record_from_interpretation(
+        self, x: np.ndarray, interpretation: Interpretation
+    ) -> RegionRecord:
+        C = self.api.n_classes
+        d = self.api.n_features
+        rel_weights = np.zeros((d, C))
+        rel_bias = np.zeros(C)
+        for (_, c_prime), est in interpretation.pair_estimates.items():
+            # est holds D_{0,c'} = W_0 - W_{c'}; we store W_{c'} - W_0.
+            rel_weights[:, c_prime] = -est.weights
+            rel_bias[c_prime] = -est.intercept
+        return RegionRecord(
+            anchor=x.copy(),
+            rel_weights=rel_weights,
+            rel_bias=rel_bias,
+            key=_fingerprint(rel_weights, rel_bias, self.dedup_decimals),
+        )

@@ -1,0 +1,137 @@
+"""Reconstructed piecewise-linear surrogate and fidelity evaluation.
+
+The surrogate routes an input to the *nearest harvested anchor* (Euclidean)
+and applies that region's recovered relative classifier.  Inside a
+correctly-routed region the surrogate's probabilities equal the original
+API's exactly (softmax gauge invariance); all error comes from routing —
+inputs falling in undiscovered regions or closer to a neighbouring
+region's anchor.  Fidelity therefore improves monotonically with probe
+coverage, which the extraction benchmark charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.extraction.explorer import RegionRecord
+from repro.models.base import LocalLinearClassifier, PiecewiseLinearModel
+
+__all__ = ["PiecewiseSurrogate", "FidelityReport", "fidelity_report"]
+
+
+class PiecewiseSurrogate(PiecewiseLinearModel):
+    """A PLM reconstructed from harvested region records.
+
+    Being a :class:`PiecewiseLinearModel` itself, the surrogate supports
+    everything the library does with models — including being wrapped in
+    a :class:`~repro.api.PredictionAPI` and re-interpreted with OpenAPI
+    (which recovers the harvested parameters; a useful self-test).
+    """
+
+    def __init__(self, records: Sequence[RegionRecord]):
+        records = list(records)
+        if not records:
+            raise ValidationError("need at least one region record")
+        d, C = records[0].rel_weights.shape
+        for rec in records:
+            if rec.rel_weights.shape != (d, C):
+                raise ValidationError("inconsistent record shapes")
+        self._records = records
+        self._anchors = np.vstack([rec.anchor for rec in records])
+        self.n_features = d
+        self.n_classes = C
+
+    @property
+    def n_regions(self) -> int:
+        """Number of harvested regions backing the surrogate."""
+        return len(self._records)
+
+    # ------------------------------------------------------------------ #
+    def _route_index(self, x: np.ndarray) -> int:
+        diffs = self._anchors - x
+        return int(np.argmin(np.einsum("ij,ij->i", diffs, diffs)))
+
+    def decision_logits(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        single = X.ndim == 1
+        batch = self._check_batch(X)
+        logits = np.empty((batch.shape[0], self.n_classes))
+        for i, row in enumerate(batch):
+            logits[i] = self._records[self._route_index(row)].logits(row)
+        return logits[0] if single else logits
+
+    def region_id(self, x: np.ndarray) -> Hashable:
+        x = self._check_instance(x)
+        return self._route_index(x)
+
+    def local_linear_params(self, x: np.ndarray) -> LocalLinearClassifier:
+        x = self._check_instance(x)
+        idx = self._route_index(x)
+        rec = self._records[idx]
+        return LocalLinearClassifier(
+            weights=rec.rel_weights.copy(),
+            bias=rec.rel_bias.copy(),
+            region_id=idx,
+        )
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """Agreement between a surrogate and the original service.
+
+    Attributes
+    ----------
+    label_agreement:
+        Fraction of evaluation inputs with identical argmax labels.
+    prob_mae:
+        Mean absolute error of the probability vectors.
+    prob_max_error:
+        Worst absolute probability error across inputs and classes.
+    n_eval:
+        Number of evaluation inputs.
+    n_regions:
+        Regions backing the surrogate.
+    """
+
+    label_agreement: float
+    prob_mae: float
+    prob_max_error: float
+    n_eval: int
+    n_regions: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"fidelity: labels {self.label_agreement:.1%}, "
+            f"prob MAE {self.prob_mae:.2e}, max {self.prob_max_error:.2e} "
+            f"({self.n_regions} regions, n={self.n_eval})"
+        )
+
+
+def fidelity_report(surrogate: PiecewiseSurrogate, reference, X: np.ndarray) -> FidelityReport:
+    """Measure surrogate fidelity against a reference on evaluation inputs.
+
+    ``reference`` is anything with ``predict_proba`` — typically the
+    original :class:`~repro.api.PredictionAPI` (queries count against its
+    meter, as real extraction evaluation would).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValidationError(f"X must be 2-D, got shape {X.shape}")
+    if X.shape[0] == 0:
+        raise ValidationError("X must be non-empty")
+    ref_probs = np.atleast_2d(reference.predict_proba(X))
+    sur_probs = np.atleast_2d(surrogate.predict_proba(X))
+    errors = np.abs(ref_probs - sur_probs)
+    return FidelityReport(
+        label_agreement=float(
+            np.mean(np.argmax(ref_probs, axis=1) == np.argmax(sur_probs, axis=1))
+        ),
+        prob_mae=float(errors.mean()),
+        prob_max_error=float(errors.max()),
+        n_eval=int(X.shape[0]),
+        n_regions=surrogate.n_regions,
+    )

@@ -1,0 +1,32 @@
+"""Evaluation metrics of the paper's Section V.
+
+* :mod:`effectiveness` — CPP and NLCI under the feature-flipping protocol
+  (Figure 3);
+* :mod:`consistency` — nearest-neighbour cosine similarity (Figure 4);
+* :mod:`sample_quality` — Region Difference and Weight Difference of a
+  perturbation sample (Figures 5-6);
+* :mod:`exactness` — L1 distance to the ground-truth decision features
+  (Figure 7).
+"""
+
+from repro.metrics.effectiveness import (
+    flip_features,
+    effectiveness_curves,
+    EffectivenessCurves,
+)
+from repro.metrics.consistency import cosine_similarity, consistency_scores
+from repro.metrics.sample_quality import region_difference, weight_difference
+from repro.metrics.exactness import l1_distance, ExactnessSummary, summarize_exactness
+
+__all__ = [
+    "flip_features",
+    "effectiveness_curves",
+    "EffectivenessCurves",
+    "cosine_similarity",
+    "consistency_scores",
+    "region_difference",
+    "weight_difference",
+    "l1_distance",
+    "ExactnessSummary",
+    "summarize_exactness",
+]

@@ -1,0 +1,76 @@
+"""Consistency metric: nearest-neighbour cosine similarity (Figure 4).
+
+A consistent interpreter gives similar explanations to similar instances.
+The paper quantifies this as the cosine similarity between the
+interpretation of each test instance and that of its Euclidean nearest
+neighbour in the test set; a method whose explanations are constant within
+a locally linear region (OpenAPI) scores exactly 1 whenever both
+instances share a region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["cosine_similarity", "consistency_scores"]
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity, with the 0/0 convention ``cs(0, 0) = 1``.
+
+    Two all-zero attributions are "identical", hence maximally consistent;
+    one zero and one non-zero attribution score 0.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValidationError(
+            f"need two 1-D vectors of equal length, got {a.shape} and {b.shape}"
+        )
+    norm_a = float(np.linalg.norm(a))
+    norm_b = float(np.linalg.norm(b))
+    if norm_a == 0.0 and norm_b == 0.0:
+        return 1.0
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return float(a @ b / (norm_a * norm_b))
+
+
+def consistency_scores(
+    attribution_vectors: np.ndarray,
+    neighbor_indices: np.ndarray,
+    *,
+    sort_descending: bool = True,
+) -> np.ndarray:
+    """Cosine similarity of each attribution with its neighbour's.
+
+    Parameters
+    ----------
+    attribution_vectors:
+        ``(n, d)`` matrix, row ``i`` the interpretation of instance ``i``.
+    neighbor_indices:
+        Length-``n`` index vector, entry ``i`` the nearest neighbour of
+        instance ``i`` (see :meth:`repro.data.Dataset.nearest_neighbor`).
+    sort_descending:
+        Return scores sorted high-to-low, matching the paper's Figure 4
+        presentation.
+    """
+    vectors = np.asarray(attribution_vectors, dtype=np.float64)
+    neighbors = np.asarray(neighbor_indices)
+    if vectors.ndim != 2:
+        raise ValidationError(f"attribution_vectors must be 2-D, got {vectors.shape}")
+    n = vectors.shape[0]
+    if neighbors.shape != (n,):
+        raise ValidationError(
+            f"neighbor_indices must have shape ({n},), got {neighbors.shape}"
+        )
+    if n and (neighbors.min() < 0 or neighbors.max() >= n):
+        raise ValidationError("neighbor_indices out of range")
+    scores = np.array(
+        [cosine_similarity(vectors[i], vectors[neighbors[i]]) for i in range(n)]
+    )
+    if sort_descending:
+        scores = np.sort(scores)[::-1]
+    return scores

@@ -1,0 +1,165 @@
+"""Effectiveness metrics: CPP and NLCI (Figure 3, protocol of Ancona [2]).
+
+A good interpretation ranks truly decision-relevant features first, so
+flipping them should move the prediction the most.  Protocol (paper,
+Section V-A):
+
+1. sort features by descending absolute attribution weight;
+2. flip up to ``max_features`` of them, one at a time: positive-weight
+   features (supporting class ``c``) are set to 0, negative-weight
+   features (opposing) are set to 1;
+3. after each flip record the **CPP** — absolute change of the class-``c``
+   probability — and whether the predicted label changed (**NLCI** counts
+   instances whose label has changed after ``k`` flips).
+
+The flip targets 0/1 are the extremes of the pixel range — attacking a
+supporting feature erases it, attacking an opposing feature saturates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import Attribution
+from repro.exceptions import ValidationError
+
+__all__ = ["flip_features", "effectiveness_curves", "EffectivenessCurves"]
+
+
+def flip_features(
+    x0: np.ndarray,
+    attribution: Attribution,
+    k: int,
+    *,
+    low: float = 0.0,
+    high: float = 1.0,
+) -> np.ndarray:
+    """Return ``x0`` with its top-``k`` attributed features flipped.
+
+    Positive-weight features go to ``low``; negative-weight (and zero-
+    weight, which neither support nor oppose) go to ``high``.
+    """
+    x0 = np.asarray(x0, dtype=np.float64)
+    if x0.shape != attribution.values.shape:
+        raise ValidationError(
+            f"x0 shape {x0.shape} != attribution shape {attribution.values.shape}"
+        )
+    flipped = x0.copy()
+    top = attribution.top_features(k)
+    positive = attribution.values[top] > 0
+    flipped[top[positive]] = low
+    flipped[top[~positive]] = high
+    return flipped
+
+
+@dataclass(frozen=True)
+class EffectivenessCurves:
+    """CPP / NLCI curves over the number of flipped features.
+
+    Attributes
+    ----------
+    n_flipped:
+        The x-axis: 1..max_features.
+    avg_cpp:
+        Mean absolute change of the target-class probability after ``k``
+        flips, averaged over instances.
+    nlci:
+        Number of instances whose predicted label changed after ``k``
+        flips (monotone non-decreasing by construction: once flipped, a
+        feature stays flipped).
+    n_instances:
+        How many instances the averages cover.
+    """
+
+    n_flipped: np.ndarray
+    avg_cpp: np.ndarray
+    nlci: np.ndarray
+    n_instances: int
+
+
+def effectiveness_curves(
+    predict_proba,
+    instances: np.ndarray,
+    attributions: list[Attribution],
+    *,
+    max_features: int = 200,
+    low: float = 0.0,
+    high: float = 1.0,
+    batch: bool = True,
+) -> EffectivenessCurves:
+    """Run the flipping protocol for a set of instances.
+
+    Parameters
+    ----------
+    predict_proba:
+        Callable ``(n, d) -> (n, C)``; either a model's or an API's method.
+        (Evaluation may query the model directly — the restriction to API
+        access applies to the interpreters, not to the measurement.)
+    instances:
+        ``(n, d)`` instances, aligned with ``attributions``.
+    attributions:
+        One :class:`Attribution` per instance (same target class
+        convention as the paper: the predicted class).
+    max_features:
+        Flip budget (paper: 200).
+    batch:
+        Evaluate all ``k`` values of one instance in a single
+        ``predict_proba`` call (faster; semantically identical).
+
+    Returns
+    -------
+    EffectivenessCurves
+    """
+    instances = np.asarray(instances, dtype=np.float64)
+    if instances.ndim != 2:
+        raise ValidationError(f"instances must be 2-D, got {instances.shape}")
+    if len(attributions) != instances.shape[0]:
+        raise ValidationError(
+            f"{len(attributions)} attributions for {instances.shape[0]} instances"
+        )
+    if max_features < 1:
+        raise ValidationError(f"max_features must be >= 1, got {max_features}")
+    n, d = instances.shape
+    k_max = min(max_features, d)
+
+    cpp = np.zeros((n, k_max))
+    label_changed = np.zeros((n, k_max), dtype=bool)
+    for i in range(n):
+        x0 = instances[i]
+        attribution = attributions[i]
+        base_probs = np.atleast_2d(predict_proba(x0[None, :]))[0]
+        c = attribution.target_class
+        if c < 0:
+            c = int(np.argmax(base_probs))
+        base_label = int(np.argmax(base_probs))
+
+        order = attribution.top_features(k_max)
+        positive = attribution.values[order] > 0
+        targets = np.where(positive, low, high)
+
+        if batch:
+            flipped = np.repeat(x0[None, :], k_max, axis=0)
+            # Row k has the first k+1 features flipped (cumulative).
+            for k in range(k_max):
+                flipped[k:, order[k]] = targets[k]
+            probs = np.atleast_2d(predict_proba(flipped))
+            cpp[i] = np.abs(probs[:, c] - base_probs[c])
+            label_changed[i] = np.argmax(probs, axis=1) != base_label
+        else:
+            current = x0.copy()
+            for k in range(k_max):
+                current[order[k]] = targets[k]
+                probs = np.atleast_2d(predict_proba(current[None, :]))[0]
+                cpp[i, k] = abs(probs[c] - base_probs[c])
+                label_changed[i, k] = int(np.argmax(probs)) != base_label
+
+    # NLCI counts instances that have changed label at or before k flips.
+    changed_cumulative = np.maximum.accumulate(label_changed, axis=1)
+    return EffectivenessCurves(
+        n_flipped=np.arange(1, k_max + 1),
+        avg_cpp=cpp.mean(axis=0),
+        nlci=changed_cumulative.sum(axis=0).astype(np.int64),
+        n_instances=n,
+    )

@@ -1,0 +1,59 @@
+"""Exactness metric: L1 distance to the ground-truth decision features.
+
+Figure 7 of the paper: for every test instance, compare the decision
+features ``D_c*`` computed by an interpretation method against the ground
+truth ``D_c`` extracted from the model internals (OpenBox for PLNNs, the
+leaf classifier for LMTs), and report the L1 distance.  OpenAPI sits at
+float-rounding level; every heuristic method is orders of magnitude above
+for at least some perturbation distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["l1_distance", "ExactnessSummary", "summarize_exactness"]
+
+
+def l1_distance(ground_truth: np.ndarray, estimate: np.ndarray) -> float:
+    """``||D_c - D_c*||_1`` — the paper's L1Dist."""
+    gt = np.asarray(ground_truth, dtype=np.float64)
+    est = np.asarray(estimate, dtype=np.float64)
+    if gt.shape != est.shape or gt.ndim != 1:
+        raise ValidationError(
+            f"need two 1-D vectors of equal length, got {gt.shape} and {est.shape}"
+        )
+    return float(np.abs(gt - est).sum())
+
+
+@dataclass(frozen=True)
+class ExactnessSummary:
+    """Mean / min / max L1Dist over a set of instances (Figure 7's bars)."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    n_instances: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"L1Dist mean={self.mean:.3g} min={self.minimum:.3g} "
+            f"max={self.maximum:.3g} (n={self.n_instances})"
+        )
+
+
+def summarize_exactness(distances: list[float] | np.ndarray) -> ExactnessSummary:
+    """Aggregate per-instance L1 distances into the Figure 7 statistics."""
+    arr = np.asarray(distances, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValidationError(f"need a non-empty 1-D array, got shape {arr.shape}")
+    return ExactnessSummary(
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        n_instances=int(arr.size),
+    )

@@ -1,0 +1,85 @@
+"""Sample-quality metrics: Region Difference and Weight Difference.
+
+Figures 5-6 of the paper evaluate not the final interpretations but the
+*perturbation sample sets* the methods rely on, using white-box ground
+truth:
+
+* **RD** (Region Difference): 0 if every sampled instance lies in the same
+  locally linear region as ``x0``, else 1.  Averaged over instances it is
+  the fraction of interpretations built on contaminated samples.
+* **WD** (Weight Difference): the average L1 distance between the core
+  parameters of ``x0`` and those of each sampled instance,
+
+  .. math::
+
+      WD = \\frac{\\sum_{c'} \\sum_i \\lVert D^0_{c,c'} - D^i_{c,c'}
+      \\rVert_1}{(C - 1) \\lvert S \\rvert},
+
+  which measures *how wrong* the contaminated equations are, not just
+  whether contamination occurred.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.models.base import PiecewiseLinearModel
+
+__all__ = ["region_difference", "weight_difference"]
+
+
+def region_difference(
+    model: PiecewiseLinearModel, x0: np.ndarray, samples: np.ndarray
+) -> float:
+    """RD of one sample set: 0.0 if all samples share ``x0``'s region else 1.0."""
+    x0 = np.asarray(x0, dtype=np.float64)
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2 or samples.shape[1] != x0.shape[0]:
+        raise ValidationError(
+            f"samples must be (n, {x0.shape[0]}), got {samples.shape}"
+        )
+    if samples.shape[0] == 0:
+        raise ValidationError("samples is empty")
+    region0 = model.region_id(x0)
+    for row in samples:
+        if model.region_id(row) != region0:
+            return 1.0
+    return 0.0
+
+
+def weight_difference(
+    model: PiecewiseLinearModel,
+    x0: np.ndarray,
+    samples: np.ndarray,
+    c: int,
+) -> float:
+    """WD of one sample set for target class ``c`` (see module docstring).
+
+    Uses the models' exact local linear parameters — white-box ground
+    truth, available because we built the models; the paper obtains the
+    same quantities from OpenBox / the LMT leaves.
+    """
+    x0 = np.asarray(x0, dtype=np.float64)
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2 or samples.shape[1] != x0.shape[0]:
+        raise ValidationError(
+            f"samples must be (n, {x0.shape[0]}), got {samples.shape}"
+        )
+    if samples.shape[0] == 0:
+        raise ValidationError("samples is empty")
+    C = model.n_classes
+    if not 0 <= c < C:
+        raise ValidationError(f"class index {c} out of range [0, {C})")
+
+    local0 = model.local_linear_params(x0)
+    # D^0_{c,c'} for all c' != c, stacked as (C-1, d).
+    others = [cp for cp in range(C) if cp != c]
+    d0 = local0.weights[:, c][:, None] - local0.weights[:, others]  # (d, C-1)
+
+    total = 0.0
+    for row in samples:
+        local_i = model.local_linear_params(row)
+        d_i = local_i.weights[:, c][:, None] - local_i.weights[:, others]
+        total += float(np.abs(d0 - d_i).sum())
+    return total / ((C - 1) * samples.shape[0])

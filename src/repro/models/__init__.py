@@ -1,0 +1,40 @@
+"""Piecewise linear models: the substrates the paper interprets.
+
+Everything here is implemented from scratch on numpy:
+
+* :class:`SoftmaxRegression` — multinomial logistic regression (optionally
+  L1-sparse), the locally linear classifier building block;
+* :class:`ReLUNetwork` — fully-connected piecewise linear neural network
+  (PLNN) with ReLU activations, the paper's 784-256-128-100-10 target model;
+* :class:`MaxOutNetwork` — MaxOut PLNN (paper cites MaxOut as a PLM member);
+* :class:`LogisticModelTree` — C4.5-style tree with softmax-regression
+  leaves (LMT), the paper's second target model;
+* :mod:`repro.models.openbox` — ground-truth extraction of the exact locally
+  linear classifier governing an input (the paper's OpenBox reference [8]).
+"""
+
+from repro.models.base import PiecewiseLinearModel, LocalLinearClassifier
+from repro.models.linear import SoftmaxRegression
+from repro.models.plnn import ReLUNetwork
+from repro.models.maxout import MaxOutNetwork
+from repro.models.lmt import LogisticModelTree
+from repro.models.training import TrainingConfig, train_network
+from repro.models.openbox import (
+    extract_local_classifier,
+    ground_truth_decision_features,
+    ground_truth_core_parameters,
+)
+
+__all__ = [
+    "PiecewiseLinearModel",
+    "LocalLinearClassifier",
+    "SoftmaxRegression",
+    "ReLUNetwork",
+    "MaxOutNetwork",
+    "LogisticModelTree",
+    "TrainingConfig",
+    "train_network",
+    "extract_local_classifier",
+    "ground_truth_decision_features",
+    "ground_truth_core_parameters",
+]

@@ -1,0 +1,75 @@
+"""Numerically stable activation and loss primitives.
+
+Shared by every model implementation.  All functions operate on 2-D arrays
+with one sample per row; 1-D inputs are promoted and demoted transparently
+where noted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "relu",
+    "one_hot",
+    "cross_entropy",
+    "cross_entropy_gradient",
+]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax: shift by the row max before exponentiating."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-softmax (used for cross-entropy and log-odds targets)."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def relu(z: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(z, 0.0)
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Integer labels to a one-hot matrix."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValidationError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ValidationError(
+            f"labels must be in [0, {n_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.shape[0], n_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean categorical cross-entropy from raw logits."""
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise ValidationError(f"logits must be 2-D, got shape {logits.shape}")
+    logp = log_softmax(logits)
+    rows = np.arange(logits.shape[0])
+    return float(-logp[rows, labels].mean())
+
+
+def cross_entropy_gradient(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of mean cross-entropy w.r.t. the logits: ``(p - onehot)/n``."""
+    logits = np.asarray(logits, dtype=np.float64)
+    probs = softmax(logits)
+    grad = probs.copy()
+    grad[np.arange(logits.shape[0]), labels] -= 1.0
+    return grad / logits.shape[0]

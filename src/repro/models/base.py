@@ -1,0 +1,169 @@
+"""The piecewise linear model (PLM) interface.
+
+The paper's problem statement (Section III): a PLM partitions the input
+space into ``K`` locally linear regions, and inside region ``X_k`` behaves
+as ``F(x) = softmax(W_k^T x + b_k)``.  Every model in this library exposes
+that structure through three white-box hooks used *only* by the ground-truth
+side of the experiments — the interpretation methods under test never touch
+them, they only see :class:`repro.api.PredictionAPI`:
+
+``region_id(x)``
+    A hashable identifier of the locally linear region containing ``x``
+    (activation pattern for PLNNs, leaf index for LMTs).  Drives the
+    Region Difference (RD) metric of Figure 5.
+
+``local_linear_params(x)``
+    The exact ``(W, b)`` of the region's linear classifier — the OpenBox
+    ground truth against which exactness (Figure 7) is measured.
+
+``input_gradient(x, c)``
+    Exact gradient of class-``c`` output w.r.t. the input, used by the
+    gradient-based baselines that the paper grants white-box access.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.models.activations import softmax
+from repro.utils.validation import check_matrix, check_vector
+
+__all__ = ["LocalLinearClassifier", "PiecewiseLinearModel"]
+
+
+@dataclass(frozen=True)
+class LocalLinearClassifier:
+    """The exact affine classifier governing one locally linear region.
+
+    Attributes
+    ----------
+    weights:
+        ``(d, C)`` coefficient matrix ``W`` (column ``c`` scores class ``c``).
+    bias:
+        Length-``C`` bias vector ``b``.
+    region_id:
+        Hashable identity of the region this classifier rules.
+    """
+
+    weights: np.ndarray
+    bias: np.ndarray
+    region_id: Hashable = None
+
+    def __post_init__(self) -> None:
+        W = check_matrix(self.weights, name="weights")
+        b = check_vector(self.bias, name="bias", size=W.shape[1])
+        object.__setattr__(self, "weights", W)
+        object.__setattr__(self, "bias", b)
+
+    @property
+    def n_features(self) -> int:
+        return int(self.weights.shape[0])
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.weights.shape[1])
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        """Affine scores ``W^T x + b`` for one instance or a batch."""
+        x = np.asarray(x, dtype=np.float64)
+        return x @ self.weights + self.bias
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Softmax of the affine scores."""
+        return softmax(self.logits(x))
+
+
+class PiecewiseLinearModel(abc.ABC):
+    """Abstract base for every PLM in the library."""
+
+    # Subclasses set these once fitted/constructed.
+    n_features: int
+    n_classes: int
+
+    # ------------------------------------------------------------------ #
+    # Black-box surface (what the API wrapper exposes)
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def decision_logits(self, X: np.ndarray) -> np.ndarray:
+        """Pre-softmax scores, ``(n, C)`` for a batch or ``(C,)`` for one row."""
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities."""
+        return softmax(self.decision_logits(X))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Hard labels (argmax of the logits)."""
+        logits = np.atleast_2d(self.decision_logits(X))
+        return np.argmax(logits, axis=1)
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of correct hard predictions (Table I's metric)."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+    # ------------------------------------------------------------------ #
+    # White-box surface (ground truth only; hidden behind the API)
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def region_id(self, x: np.ndarray) -> Hashable:
+        """Hashable identifier of the locally linear region containing ``x``."""
+
+    @abc.abstractmethod
+    def local_linear_params(self, x: np.ndarray) -> LocalLinearClassifier:
+        """Exact ``(W, b)`` of the region containing ``x`` (OpenBox truth)."""
+
+    def input_gradient(self, x: np.ndarray, c: int, *, of: str = "logit") -> np.ndarray:
+        """Exact gradient of class ``c``'s output at ``x``.
+
+        Parameters
+        ----------
+        of:
+            ``"logit"`` (default) differentiates the pre-softmax score —
+            inside a region this is exactly column ``c`` of ``W``.
+            ``"proba"`` differentiates the softmax probability.
+
+        Notes
+        -----
+        Because the model is locally linear, both gradients follow in closed
+        form from :meth:`local_linear_params`; subclasses may override with
+        a cheaper computation but must agree with this default.
+        """
+        x = self._check_instance(x)
+        local = self.local_linear_params(x)
+        if not 0 <= c < self.n_classes:
+            raise ValidationError(f"class index {c} out of range [0, {self.n_classes})")
+        if of == "logit":
+            return local.weights[:, c].copy()
+        if of == "proba":
+            # d p_c / d x = sum_j p_c (delta_cj - p_j) W_j
+            probs = local.predict_proba(x)
+            jac_row = probs[c] * (np.eye(self.n_classes)[c] - probs)
+            return local.weights @ jac_row
+        raise ValidationError(f"of must be 'logit' or 'proba', got {of!r}")
+
+    # ------------------------------------------------------------------ #
+    def _check_instance(self, x: np.ndarray) -> np.ndarray:
+        """Validate a single instance vector against ``n_features``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1 or x.shape[0] != self.n_features:
+            raise ValidationError(
+                f"expected a single instance of shape ({self.n_features},), "
+                f"got shape {x.shape}"
+            )
+        return x
+
+    def _check_batch(self, X: np.ndarray) -> np.ndarray:
+        """Validate and promote a batch (or single row) to 2-D."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise ValidationError(
+                f"expected batch of shape (n, {self.n_features}), got {X.shape}"
+            )
+        return X

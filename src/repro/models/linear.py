@@ -1,0 +1,212 @@
+"""Multinomial (softmax) logistic regression, optionally L1-sparse.
+
+This is the locally linear classifier of the paper — the building block the
+LMT places at its leaves ("a sparse multinomial logistic regression
+classifier is trained on each leaf node", Section V), and also a degenerate
+one-region PLM that makes an ideal unit-test subject: OpenAPI must recover
+its decision features exactly on the *first* iteration, because every
+hypercube lies inside the single region.
+
+Training is full-batch Adam on the cross-entropy objective with an optional
+proximal (soft-threshold) step for the L1 penalty, which produces genuinely
+sparse weights like the paper's LMT leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.models.activations import cross_entropy, one_hot, softmax
+from repro.models.base import LocalLinearClassifier, PiecewiseLinearModel
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_labels, check_matrix
+
+__all__ = ["SoftmaxRegression"]
+
+
+class SoftmaxRegression(PiecewiseLinearModel):
+    """Softmax (multinomial logistic) regression classifier.
+
+    Parameters
+    ----------
+    l1:
+        L1 penalty strength; ``0`` disables sparsity.
+    learning_rate, max_iter, tol:
+        Full-batch Adam settings.  Training stops early when the objective
+        improvement over an iteration falls below ``tol``.
+    seed:
+        Controls weight initialization.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.data import make_blobs
+    >>> ds = make_blobs(300, n_features=4, n_classes=3, seed=0)
+    >>> clf = SoftmaxRegression(seed=0).fit(ds.X, ds.y)
+    >>> clf.accuracy(ds.X, ds.y) > 0.9
+    True
+    """
+
+    def __init__(
+        self,
+        *,
+        l1: float = 0.0,
+        learning_rate: float = 0.1,
+        max_iter: int = 500,
+        tol: float = 1e-7,
+        seed: SeedLike = None,
+    ):
+        if l1 < 0:
+            raise ValidationError(f"l1 must be >= 0, got {l1}")
+        if learning_rate <= 0:
+            raise ValidationError(f"learning_rate must be > 0, got {learning_rate}")
+        if max_iter < 1:
+            raise ValidationError(f"max_iter must be >= 1, got {max_iter}")
+        self.l1 = float(l1)
+        self.learning_rate = float(learning_rate)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.seed = seed
+        self._W: np.ndarray | None = None  # (d, C)
+        self._b: np.ndarray | None = None  # (C,)
+        self.n_iter_: int = 0
+        self.loss_history_: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, X: np.ndarray, y: np.ndarray, *, n_classes: int | None = None) -> "SoftmaxRegression":
+        """Fit on a design matrix and integer labels.
+
+        ``n_classes`` may exceed ``y.max()+1`` so leaf classifiers inside an
+        LMT can keep the full output dimensionality even when a leaf never
+        sees some classes.
+        """
+        X = check_matrix(X, name="X")
+        y = check_labels(y, name="y")
+        if X.shape[0] != y.shape[0]:
+            raise ValidationError(f"X has {X.shape[0]} rows, y has {y.shape[0]}")
+        if X.shape[0] == 0:
+            raise ValidationError("cannot fit on an empty dataset")
+        C = int(n_classes) if n_classes is not None else int(y.max()) + 1
+        if C < 2:
+            raise ValidationError(f"need at least 2 classes, got {C}")
+        if y.size and y.max() >= C:
+            raise ValidationError(f"labels exceed n_classes={C}")
+        n, d = X.shape
+
+        rng = as_generator(self.seed)
+        W = rng.normal(0.0, 0.01, size=(d, C))
+        b = np.zeros(C)
+        target = one_hot(y, C)
+
+        # Adam state.
+        m_w = np.zeros_like(W)
+        v_w = np.zeros_like(W)
+        m_b = np.zeros_like(b)
+        v_b = np.zeros_like(b)
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+        self.loss_history_ = []
+        prev_loss = np.inf
+        for t in range(1, self.max_iter + 1):
+            logits = X @ W + b
+            probs = softmax(logits)
+            grad_logits = (probs - target) / n
+            grad_w = X.T @ grad_logits
+            grad_b = grad_logits.sum(axis=0)
+
+            m_w = beta1 * m_w + (1 - beta1) * grad_w
+            v_w = beta2 * v_w + (1 - beta2) * grad_w**2
+            m_b = beta1 * m_b + (1 - beta1) * grad_b
+            v_b = beta2 * v_b + (1 - beta2) * grad_b**2
+            bias_c1 = 1 - beta1**t
+            bias_c2 = 1 - beta2**t
+            step_w = self.learning_rate * (m_w / bias_c1) / (np.sqrt(v_w / bias_c2) + eps)
+            step_b = self.learning_rate * (m_b / bias_c1) / (np.sqrt(v_b / bias_c2) + eps)
+            W = W - step_w
+            b = b - step_b
+
+            if self.l1 > 0:
+                # Proximal soft-threshold keeps weights genuinely sparse.
+                shrink = self.learning_rate * self.l1
+                W = np.sign(W) * np.maximum(np.abs(W) - shrink, 0.0)
+
+            loss = cross_entropy(X @ W + b, y) + self.l1 * float(np.abs(W).sum())
+            self.loss_history_.append(loss)
+            self.n_iter_ = t
+            if abs(prev_loss - loss) < self.tol:
+                break
+            prev_loss = loss
+
+        self._W = W
+        self._b = b
+        self.n_features = d
+        self.n_classes = C
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Parameter access
+    # ------------------------------------------------------------------ #
+    @property
+    def weights(self) -> np.ndarray:
+        """Fitted ``(d, C)`` coefficient matrix."""
+        self._require_fitted()
+        return self._W
+
+    @property
+    def bias(self) -> np.ndarray:
+        """Fitted length-``C`` bias vector."""
+        self._require_fitted()
+        return self._b
+
+    def set_parameters(self, W: np.ndarray, b: np.ndarray) -> "SoftmaxRegression":
+        """Install explicit parameters (used by tests and surrogates)."""
+        W = check_matrix(W, name="W")
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (W.shape[1],):
+            raise ValidationError(f"b must have shape ({W.shape[1]},), got {b.shape}")
+        self._W = W.copy()
+        self._b = b.copy()
+        self.n_features = W.shape[0]
+        self.n_classes = W.shape[1]
+        return self
+
+    def sparsity(self) -> float:
+        """Fraction of exactly-zero weights (diagnostic for the L1 penalty)."""
+        self._require_fitted()
+        return float(np.mean(self._W == 0.0))
+
+    # ------------------------------------------------------------------ #
+    # PLM interface
+    # ------------------------------------------------------------------ #
+    def decision_logits(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        single = X.ndim == 1
+        batch = self._check_batch(X)
+        logits = batch @ self._W + self._b
+        return logits[0] if single else logits
+
+    def region_id(self, x: np.ndarray) -> Hashable:
+        """A linear model has exactly one region."""
+        self._require_fitted()
+        self._check_instance(x)
+        return "linear"
+
+    def local_linear_params(self, x: np.ndarray) -> LocalLinearClassifier:
+        self._require_fitted()
+        self._check_instance(x)
+        return LocalLinearClassifier(
+            weights=self._W.copy(), bias=self._b.copy(), region_id="linear"
+        )
+
+    # ------------------------------------------------------------------ #
+    def _require_fitted(self) -> None:
+        if self._W is None or self._b is None:
+            raise NotFittedError(
+                "SoftmaxRegression is not fitted; call fit() or set_parameters()"
+            )

@@ -1,0 +1,217 @@
+"""MaxOut piecewise linear network.
+
+The paper lists MaxOut networks [15] alongside ReLU networks as members of
+the PLM family.  A MaxOut unit computes the maximum of ``k`` affine pieces;
+with the winning-piece pattern fixed, the network is one affine map, so the
+argmax pattern plays the role the on/off pattern plays for ReLU.
+
+Included as the paper-motivated extension model: every interpretation
+method in this library works on it unchanged, which is a useful end-to-end
+check that nothing silently assumes ReLU structure.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.models.activations import softmax
+from repro.models.base import LocalLinearClassifier, PiecewiseLinearModel
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["MaxOutNetwork"]
+
+
+class MaxOutNetwork(PiecewiseLinearModel):
+    """Feed-forward network with MaxOut hidden layers and a linear head.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Unit counts input → output, as for :class:`ReLUNetwork`.
+    pieces:
+        Number of affine pieces per MaxOut unit (``k >= 2``).
+
+    Notes
+    -----
+    Hidden layer ``l`` holds a weight tensor of shape
+    ``(fan_in, fan_out, k)`` and biases ``(fan_out, k)``; unit ``j`` outputs
+    ``max_p (h @ W[:, j, p] + b[j, p])``.  The output layer is plain affine.
+    """
+
+    def __init__(self, layer_sizes: Sequence[int], *, pieces: int = 2, seed: SeedLike = None):
+        sizes = [int(s) for s in layer_sizes]
+        if len(sizes) < 2:
+            raise ValidationError(
+                f"layer_sizes needs at least [n_features, n_classes], got {sizes}"
+            )
+        if any(s < 1 for s in sizes):
+            raise ValidationError(f"layer sizes must be positive, got {sizes}")
+        if pieces < 2:
+            raise ValidationError(f"pieces must be >= 2, got {pieces}")
+        self.layer_sizes = tuple(sizes)
+        self.pieces = int(pieces)
+        self.n_features = sizes[0]
+        self.n_classes = sizes[-1]
+
+        rng = as_generator(seed)
+        self.hidden_weights: list[np.ndarray] = []  # (in, out, k)
+        self.hidden_biases: list[np.ndarray] = []   # (out, k)
+        for fan_in, fan_out in zip(sizes[:-2], sizes[1:-1]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.hidden_weights.append(
+                rng.normal(0.0, scale, size=(fan_in, fan_out, self.pieces))
+            )
+            self.hidden_biases.append(
+                rng.normal(0.0, 0.1, size=(fan_out, self.pieces))
+            )
+        fan_in = sizes[-2]
+        self.out_weight = rng.normal(0.0, np.sqrt(1.0 / fan_in), size=(fan_in, sizes[-1]))
+        self.out_bias = np.zeros(sizes[-1])
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def decision_logits(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        single = X.ndim == 1
+        h = self._check_batch(X)
+        for W, b in zip(self.hidden_weights, self.hidden_biases):
+            # (n, out, k) affine pieces, reduced by max over the last axis.
+            z = np.einsum("ni,iok->nok", h, W) + b
+            h = z.max(axis=2)
+        logits = h @ self.out_weight + self.out_bias
+        return logits[0] if single else logits
+
+    def loss_and_grads(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[float, list[np.ndarray], list[np.ndarray]]:
+        """Cross-entropy and exact gradients (max routes gradient to winner).
+
+        Returns gradients aligned with :meth:`get_parameters` order:
+        hidden weight/bias pairs first, then the output pair.
+        """
+        y = np.asarray(y)
+        h = self._check_batch(X)
+        inputs: list[np.ndarray] = [h]
+        argmaxes: list[np.ndarray] = []
+        for W, b in zip(self.hidden_weights, self.hidden_biases):
+            z = np.einsum("ni,iok->nok", h, W) + b
+            winners = z.argmax(axis=2)  # (n, out)
+            argmaxes.append(winners)
+            h = np.take_along_axis(z, winners[:, :, None], axis=2)[:, :, 0]
+            inputs.append(h)
+        logits = h @ self.out_weight + self.out_bias
+        n = logits.shape[0]
+
+        probs = softmax(logits)
+        delta = probs
+        delta[np.arange(n), y] -= 1.0
+        delta /= n
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        loss = float(-logp[np.arange(n), y].mean())
+
+        grad_out_w = inputs[-1].T @ delta
+        grad_out_b = delta.sum(axis=0)
+        delta = delta @ self.out_weight.T  # (n, out of last hidden)
+
+        grad_hw: list[np.ndarray] = [np.empty(0)] * len(self.hidden_weights)
+        grad_hb: list[np.ndarray] = [np.empty(0)] * len(self.hidden_biases)
+        for layer in range(len(self.hidden_weights) - 1, -1, -1):
+            W = self.hidden_weights[layer]
+            winners = argmaxes[layer]  # (n, out)
+            h_in = inputs[layer]
+            gw = np.zeros_like(W)
+            gb = np.zeros_like(self.hidden_biases[layer])
+            # Scatter the incoming delta onto each unit's winning piece.
+            for p in range(self.pieces):
+                sel = (winners == p).astype(np.float64)  # (n, out)
+                masked = delta * sel
+                gw[:, :, p] = h_in.T @ masked
+                gb[:, p] = masked.sum(axis=0)
+            grad_hw[layer] = gw
+            grad_hb[layer] = gb
+            if layer > 0:
+                # Route delta back through the winning pieces only.
+                w_sel = np.take_along_axis(
+                    W[None, :, :, :].repeat(delta.shape[0], axis=0),
+                    winners[:, None, :, None],
+                    axis=3,
+                )[:, :, :, 0]  # (n, in, out)
+                delta = np.einsum("no,nio->ni", delta, w_sel)
+
+        grads_w = grad_hw + [grad_out_w]
+        grads_b = grad_hb + [grad_out_b]
+        return loss, grads_w, grads_b
+
+    # ------------------------------------------------------------------ #
+    # PLM interface
+    # ------------------------------------------------------------------ #
+    def winner_pattern(self, x: np.ndarray) -> list[np.ndarray]:
+        """Winning-piece index of every MaxOut unit at ``x``."""
+        x = self._check_instance(x)
+        h = x
+        winners: list[np.ndarray] = []
+        for W, b in zip(self.hidden_weights, self.hidden_biases):
+            z = np.einsum("i,iok->ok", h, W) + b
+            win = z.argmax(axis=1)
+            winners.append(win)
+            h = z[np.arange(z.shape[0]), win]
+        return winners
+
+    def region_id(self, x: np.ndarray) -> Hashable:
+        winners = self.winner_pattern(x)
+        if not winners:
+            return "linear"
+        return np.concatenate(winners).astype(np.int64).tobytes()
+
+    def local_linear_params(self, x: np.ndarray) -> LocalLinearClassifier:
+        winners = self.winner_pattern(x)
+        d = self.n_features
+        M = np.eye(d)
+        k = np.zeros(d)
+        for W, b, win in zip(self.hidden_weights, self.hidden_biases, winners):
+            out = W.shape[1]
+            w_sel = W[:, np.arange(out), win]       # (in, out)
+            b_sel = b[np.arange(out), win]          # (out,)
+            k = k @ w_sel + b_sel
+            M = M @ w_sel
+        k = k @ self.out_weight + self.out_bias
+        M = M @ self.out_weight
+        return LocalLinearClassifier(weights=M, bias=k, region_id=self.region_id(x))
+
+    # ------------------------------------------------------------------ #
+    def get_parameters(self) -> list[np.ndarray]:
+        """Flat parameter list: hidden (W, b) pairs, then output (W, b)."""
+        params: list[np.ndarray] = []
+        for W, b in zip(self.hidden_weights, self.hidden_biases):
+            params.extend([W, b])
+        params.extend([self.out_weight, self.out_bias])
+        return params
+
+    def set_parameters(self, params: Sequence[np.ndarray]) -> "MaxOutNetwork":
+        """Install parameters in :meth:`get_parameters` order."""
+        expected = 2 * len(self.hidden_weights) + 2
+        if len(params) != expected:
+            raise ValidationError(f"expected {expected} arrays, got {len(params)}")
+        idx = 0
+        for layer in range(len(self.hidden_weights)):
+            W = np.asarray(params[idx], dtype=np.float64)
+            b = np.asarray(params[idx + 1], dtype=np.float64)
+            if W.shape != self.hidden_weights[layer].shape:
+                raise ValidationError(f"hidden layer {layer} weight shape mismatch")
+            if b.shape != self.hidden_biases[layer].shape:
+                raise ValidationError(f"hidden layer {layer} bias shape mismatch")
+            self.hidden_weights[layer] = W.copy()
+            self.hidden_biases[layer] = b.copy()
+            idx += 2
+        W = np.asarray(params[idx], dtype=np.float64)
+        b = np.asarray(params[idx + 1], dtype=np.float64)
+        if W.shape != self.out_weight.shape or b.shape != self.out_bias.shape:
+            raise ValidationError("output layer shape mismatch")
+        self.out_weight = W.copy()
+        self.out_bias = b.copy()
+        return self

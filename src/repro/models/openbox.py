@@ -1,0 +1,144 @@
+"""OpenBox-style ground-truth extraction of locally linear classifiers.
+
+The paper measures exactness against OpenBox [8], which converts a
+piecewise linear network into the exact affine classifier governing a given
+input once the activation pattern is fixed.  This module provides:
+
+* :func:`relu_local_map` — the affine-composition algebra for ReLU
+  networks (the core of OpenBox);
+* :func:`extract_local_classifier` — uniform entry point over any
+  :class:`~repro.models.base.PiecewiseLinearModel`;
+* :func:`ground_truth_decision_features` /
+  :func:`ground_truth_core_parameters` — the quantities the metrics in
+  Figures 5-7 compare against.
+
+These functions touch model internals and are therefore *never* available
+to the interpretation methods under test — they see only the API.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.models.base import LocalLinearClassifier, PiecewiseLinearModel
+
+__all__ = [
+    "relu_local_map",
+    "extract_local_classifier",
+    "ground_truth_decision_features",
+    "ground_truth_core_parameters",
+    "decision_features_from_weights",
+    "core_parameters_from_weights",
+]
+
+
+def relu_local_map(
+    weights: Sequence[np.ndarray],
+    biases: Sequence[np.ndarray],
+    masks: Sequence[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse a ReLU network to its affine map for a fixed mask pattern.
+
+    Parameters
+    ----------
+    weights, biases:
+        Layer parameters in row-vector convention (``h_out = h_in @ W + b``);
+        the last pair is the linear output head.
+    masks:
+        Boolean on/off pattern of each hidden layer, as returned by
+        :meth:`ReLUNetwork.activation_pattern`.
+
+    Returns
+    -------
+    (M, k):
+        ``M`` of shape ``(d, C)`` and ``k`` of shape ``(C,)`` such that for
+        every ``x`` in the region, ``logits(x) = x @ M + k``.
+    """
+    if len(weights) != len(biases):
+        raise ValidationError(
+            f"got {len(weights)} weight arrays but {len(biases)} bias arrays"
+        )
+    if len(masks) != len(weights) - 1:
+        raise ValidationError(
+            f"need one mask per hidden layer ({len(weights) - 1}), got {len(masks)}"
+        )
+    d = weights[0].shape[0]
+    M = np.eye(d)
+    k = np.zeros(d)
+    for W, b, mask in zip(weights[:-1], biases[:-1], masks):
+        mask = np.asarray(mask)
+        if mask.shape != (W.shape[1],):
+            raise ValidationError(
+                f"mask shape {mask.shape} does not match layer width {W.shape[1]}"
+            )
+        gate = mask.astype(np.float64)
+        k = (k @ W + b) * gate
+        M = (M @ W) * gate  # broadcast gates over columns (units)
+    k = k @ weights[-1] + biases[-1]
+    M = M @ weights[-1]
+    return M, k
+
+
+def extract_local_classifier(model: PiecewiseLinearModel, x: np.ndarray) -> LocalLinearClassifier:
+    """Exact locally linear classifier of ``model`` at ``x`` (ground truth)."""
+    return model.local_linear_params(np.asarray(x, dtype=np.float64))
+
+
+def decision_features_from_weights(W: np.ndarray, c: int) -> np.ndarray:
+    """Decision features ``D_c`` from a coefficient matrix (Equation 1).
+
+    ``D_c = (1/(C-1)) * sum_{c' != c} (W_c - W_{c'})``, which simplifies to
+    ``W_c - mean_{c' != c} W_{c'}``.
+    """
+    W = np.asarray(W, dtype=np.float64)
+    if W.ndim != 2:
+        raise ValidationError(f"W must be 2-D (d, C), got shape {W.shape}")
+    C = W.shape[1]
+    if C < 2:
+        raise ValidationError(f"need at least 2 classes, got {C}")
+    if not 0 <= c < C:
+        raise ValidationError(f"class index {c} out of range [0, {C})")
+    others = np.delete(W, c, axis=1)
+    return W[:, c] - others.mean(axis=1)
+
+
+def core_parameters_from_weights(
+    W: np.ndarray, b: np.ndarray, c: int, c_prime: int
+) -> tuple[np.ndarray, float]:
+    """Core parameters ``(D_{c,c'}, B_{c,c'})`` of a linear classifier.
+
+    These fully characterize the classifier's behaviour on the pair
+    ``(c, c')``: ``ln(y_c / y_c') = D_{c,c'}^T x + B_{c,c'}`` (Equation 2).
+    """
+    W = np.asarray(W, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if W.ndim != 2:
+        raise ValidationError(f"W must be 2-D (d, C), got shape {W.shape}")
+    C = W.shape[1]
+    if b.shape != (C,):
+        raise ValidationError(f"b must have shape ({C},), got {b.shape}")
+    for idx in (c, c_prime):
+        if not 0 <= idx < C:
+            raise ValidationError(f"class index {idx} out of range [0, {C})")
+    if c == c_prime:
+        raise ValidationError("c and c_prime must differ")
+    return W[:, c] - W[:, c_prime], float(b[c] - b[c_prime])
+
+
+def ground_truth_decision_features(
+    model: PiecewiseLinearModel, x: np.ndarray, c: int
+) -> np.ndarray:
+    """Ground-truth ``D_c`` of ``model`` at ``x`` (Figure 7's reference)."""
+    local = extract_local_classifier(model, x)
+    return decision_features_from_weights(local.weights, c)
+
+
+def ground_truth_core_parameters(
+    model: PiecewiseLinearModel, x: np.ndarray, c: int, c_prime: int
+) -> tuple[np.ndarray, float]:
+    """Ground-truth ``(D_{c,c'}, B_{c,c'})`` of ``model`` at ``x``."""
+    local = extract_local_classifier(model, x)
+    return core_parameters_from_weights(local.weights, local.bias, c, c_prime)

@@ -1,0 +1,197 @@
+"""Fully-connected piecewise linear neural network (PLNN) with ReLU.
+
+This is the paper's primary target model — Section V trains a
+784-256-128-100-10 ReLU network.  A ReLU network is piecewise linear: fix
+the on/off pattern of every hidden unit and the network collapses to one
+affine map; the pattern therefore *is* the locally linear region identity.
+
+The class implements, from scratch on numpy:
+
+* forward inference (logits / probabilities),
+* exact backpropagation for training (consumed by
+  :func:`repro.models.training.train_network`),
+* the activation-pattern region id, and
+* exact local linear parameters via the OpenBox algebra
+  (:func:`repro.models.openbox.relu_local_map`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.models.activations import relu, softmax
+from repro.models.base import LocalLinearClassifier, PiecewiseLinearModel
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["ReLUNetwork"]
+
+
+class ReLUNetwork(PiecewiseLinearModel):
+    """Multi-layer perceptron with ReLU hidden activations.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Unit counts from input to output, e.g. ``[784, 256, 128, 100, 10]``
+        (the paper's architecture).  At least ``[d, C]`` (no hidden layer,
+        i.e. a plain linear classifier) is allowed.
+    seed:
+        Controls He-style weight initialization.
+
+    Notes
+    -----
+    Weights use the row-vector convention: activations are
+    ``h_{l+1} = relu(h_l @ W_l + b_l)`` with ``W_l`` of shape
+    ``(fan_in, fan_out)``.
+    """
+
+    def __init__(self, layer_sizes: Sequence[int], *, seed: SeedLike = None):
+        sizes = [int(s) for s in layer_sizes]
+        if len(sizes) < 2:
+            raise ValidationError(
+                f"layer_sizes needs at least [n_features, n_classes], got {sizes}"
+            )
+        if any(s < 1 for s in sizes):
+            raise ValidationError(f"layer sizes must be positive, got {sizes}")
+        if sizes[-1] < 2:
+            raise ValidationError(f"output layer needs >= 2 classes, got {sizes[-1]}")
+        self.layer_sizes = tuple(sizes)
+        self.n_features = sizes[0]
+        self.n_classes = sizes[-1]
+
+        rng = as_generator(seed)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He initialization for ReLU
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    @property
+    def n_hidden_layers(self) -> int:
+        """Number of ReLU layers (layers before the final linear map)."""
+        return len(self.weights) - 1
+
+    def decision_logits(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        single = X.ndim == 1
+        h = self._check_batch(X)
+        for W, b in zip(self.weights[:-1], self.biases[:-1]):
+            h = relu(h @ W + b)
+        logits = h @ self.weights[-1] + self.biases[-1]
+        return logits[0] if single else logits
+
+    def forward_cached(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Logits plus the post-activation of every layer (for backprop).
+
+        Returns ``(logits, activations)`` where ``activations[0]`` is the
+        input batch and ``activations[l]`` the output of hidden layer ``l``.
+        """
+        h = self._check_batch(X)
+        activations = [h]
+        for W, b in zip(self.weights[:-1], self.biases[:-1]):
+            h = relu(h @ W + b)
+            activations.append(h)
+        logits = h @ self.weights[-1] + self.biases[-1]
+        return logits, activations
+
+    def loss_and_grads(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[float, list[np.ndarray], list[np.ndarray]]:
+        """Mean cross-entropy and its gradients w.r.t. every weight/bias.
+
+        The returned gradient lists are aligned with :attr:`weights` and
+        :attr:`biases`.  Used by the trainer; exact backpropagation.
+        """
+        y = np.asarray(y)
+        logits, activations = self.forward_cached(X)
+        n = logits.shape[0]
+        probs = softmax(logits)
+        delta = probs
+        delta[np.arange(n), y] -= 1.0
+        delta /= n
+        rows = np.arange(n)
+        logp = logits - logits.max(axis=1, keepdims=True)
+        logp = logp - np.log(np.exp(logp).sum(axis=1, keepdims=True))
+        loss = float(-logp[rows, y].mean())
+
+        grad_w: list[np.ndarray] = [np.empty(0)] * len(self.weights)
+        grad_b: list[np.ndarray] = [np.empty(0)] * len(self.biases)
+        for layer in range(len(self.weights) - 1, -1, -1):
+            grad_w[layer] = activations[layer].T @ delta
+            grad_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = delta @ self.weights[layer].T
+                delta = delta * (activations[layer] > 0.0)
+        return loss, grad_w, grad_b
+
+    # ------------------------------------------------------------------ #
+    # PLM interface (white-box ground truth)
+    # ------------------------------------------------------------------ #
+    def activation_pattern(self, x: np.ndarray) -> list[np.ndarray]:
+        """Boolean on/off mask of every hidden unit at ``x``.
+
+        The concatenated pattern identifies the locally linear region: two
+        inputs share a region iff they share the pattern (paper [8]).
+        """
+        x = self._check_instance(x)
+        masks: list[np.ndarray] = []
+        h = x
+        for W, b in zip(self.weights[:-1], self.biases[:-1]):
+            z = h @ W + b
+            mask = z > 0.0
+            masks.append(mask)
+            h = z * mask
+        return masks
+
+    def region_id(self, x: np.ndarray) -> Hashable:
+        masks = self.activation_pattern(x)
+        if not masks:
+            return "linear"
+        return np.packbits(np.concatenate(masks)).tobytes()
+
+    def local_linear_params(self, x: np.ndarray) -> LocalLinearClassifier:
+        # Imported here to avoid a circular import at module load time
+        # (openbox works on model internals and also re-exports helpers).
+        from repro.models.openbox import relu_local_map
+
+        masks = self.activation_pattern(x)
+        M, k = relu_local_map(self.weights, self.biases, masks)
+        return LocalLinearClassifier(weights=M, bias=k, region_id=self.region_id(x))
+
+    # ------------------------------------------------------------------ #
+    # Parameter plumbing (used by the trainer and by tests)
+    # ------------------------------------------------------------------ #
+    def get_parameters(self) -> list[np.ndarray]:
+        """Flat list ``[W0, b0, W1, b1, ...]`` of live arrays."""
+        params: list[np.ndarray] = []
+        for W, b in zip(self.weights, self.biases):
+            params.extend([W, b])
+        return params
+
+    def set_parameters(self, params: Sequence[np.ndarray]) -> "ReLUNetwork":
+        """Install parameters from the format of :meth:`get_parameters`."""
+        expected = 2 * len(self.weights)
+        if len(params) != expected:
+            raise ValidationError(f"expected {expected} arrays, got {len(params)}")
+        for layer in range(len(self.weights)):
+            W = np.asarray(params[2 * layer], dtype=np.float64)
+            b = np.asarray(params[2 * layer + 1], dtype=np.float64)
+            if W.shape != self.weights[layer].shape:
+                raise ValidationError(
+                    f"layer {layer} weight shape {W.shape} != "
+                    f"{self.weights[layer].shape}"
+                )
+            if b.shape != self.biases[layer].shape:
+                raise ValidationError(
+                    f"layer {layer} bias shape {b.shape} != {self.biases[layer].shape}"
+                )
+            self.weights[layer] = W.copy()
+            self.biases[layer] = b.copy()
+        return self

@@ -1,0 +1,152 @@
+"""Mini-batch training loop for the from-scratch networks.
+
+Works with any model exposing ``loss_and_grads(X, y)``,
+``get_parameters()`` and ``set_parameters()`` — i.e. :class:`ReLUNetwork`
+and :class:`MaxOutNetwork`.  Uses Adam with optional early stopping on
+training accuracy, mirroring "standard back-propagation" from the paper's
+Section V at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_labels, check_matrix
+
+__all__ = ["TrainingConfig", "TrainingReport", "train_network"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters for :func:`train_network`.
+
+    Attributes
+    ----------
+    epochs:
+        Maximum number of passes over the training set.
+    batch_size:
+        Mini-batch size (clipped to the dataset size).
+    learning_rate:
+        Adam step size.
+    target_accuracy:
+        Stop early once training accuracy reaches this level (1.0 disables
+        early stopping in practice only for noisy data).
+    shuffle:
+        Reshuffle the data every epoch.
+    seed:
+        Controls shuffling (weight init is the model's own seed).
+    """
+
+    epochs: int = 30
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    target_accuracy: float = 0.995
+    shuffle: bool = True
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValidationError(f"epochs must be >= 1, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ValidationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ValidationError(
+                f"learning_rate must be > 0, got {self.learning_rate}"
+            )
+        if not 0.0 < self.target_accuracy <= 1.0:
+            raise ValidationError(
+                f"target_accuracy must be in (0, 1], got {self.target_accuracy}"
+            )
+
+
+@dataclass
+class TrainingReport:
+    """What happened during training (returned by :func:`train_network`)."""
+
+    epochs_run: int = 0
+    final_loss: float = float("nan")
+    final_train_accuracy: float = float("nan")
+    loss_history: list[float] = field(default_factory=list)
+    accuracy_history: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+
+def train_network(model, X: np.ndarray, y: np.ndarray, config: TrainingConfig | None = None) -> TrainingReport:
+    """Train ``model`` in place with mini-batch Adam.
+
+    Parameters
+    ----------
+    model:
+        Object with ``loss_and_grads(X, y) -> (loss, grads_w, grads_b)``,
+        ``weights``/``biases``-style parameters reachable through
+        ``get_parameters()`` / ``set_parameters()``, and ``accuracy(X, y)``.
+    X, y:
+        Training design matrix and integer labels.
+    config:
+        Hyper-parameters; defaults are sensible for the synthetic datasets.
+
+    Returns
+    -------
+    TrainingReport
+        Loss/accuracy trajectories and stopping information.
+    """
+    config = config or TrainingConfig()
+    X = check_matrix(X, name="X")
+    y = check_labels(y, name="y")
+    if X.shape[0] != y.shape[0]:
+        raise ValidationError(f"X has {X.shape[0]} rows, y has {y.shape[0]}")
+    if X.shape[0] == 0:
+        raise ValidationError("cannot train on an empty dataset")
+    n = X.shape[0]
+    batch = min(config.batch_size, n)
+    rng = as_generator(config.seed)
+
+    params = model.get_parameters()
+    m_state = [np.zeros_like(p) for p in params]
+    v_state = [np.zeros_like(p) for p in params]
+    beta1, beta2, eps = 0.9, 0.999, 1e-8
+    step = 0
+
+    report = TrainingReport()
+    for epoch in range(1, config.epochs + 1):
+        order = rng.permutation(n) if config.shuffle else np.arange(n)
+        epoch_loss = 0.0
+        n_batches = 0
+        for start in range(0, n, batch):
+            idx = order[start : start + batch]
+            loss, grads_w, grads_b = model.loss_and_grads(X[idx], y[idx])
+            epoch_loss += loss
+            n_batches += 1
+            step += 1
+
+            # Interleave to match get_parameters() order: W0, b0, W1, b1, ...
+            grads: list[np.ndarray] = []
+            for gw, gb in zip(grads_w, grads_b):
+                grads.extend([gw, gb])
+
+            params = model.get_parameters()
+            new_params = []
+            for i, (p, g) in enumerate(zip(params, grads)):
+                m_state[i] = beta1 * m_state[i] + (1 - beta1) * g
+                v_state[i] = beta2 * v_state[i] + (1 - beta2) * g**2
+                m_hat = m_state[i] / (1 - beta1**step)
+                v_hat = v_state[i] / (1 - beta2**step)
+                new_params.append(
+                    p - config.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+                )
+            model.set_parameters(new_params)
+
+        train_acc = model.accuracy(X, y)
+        report.epochs_run = epoch
+        report.final_loss = epoch_loss / max(n_batches, 1)
+        report.final_train_accuracy = train_acc
+        report.loss_history.append(report.final_loss)
+        report.accuracy_history.append(train_acc)
+        if train_acc >= config.target_accuracy:
+            report.stopped_early = True
+            break
+    return report

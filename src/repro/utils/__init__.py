@@ -1,0 +1,34 @@
+"""Shared utilities: RNG plumbing, validation helpers, linear algebra."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_array,
+    check_matrix,
+    check_vector,
+    check_probability_vector,
+    check_positive,
+    check_in_range,
+)
+from repro.utils.linalg import (
+    AffineLeastSquaresResult,
+    solve_affine_system,
+    solve_affine_least_squares,
+    consistency_certificate,
+    is_full_rank,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_array",
+    "check_matrix",
+    "check_vector",
+    "check_probability_vector",
+    "check_positive",
+    "check_in_range",
+    "AffineLeastSquaresResult",
+    "solve_affine_system",
+    "solve_affine_least_squares",
+    "consistency_certificate",
+    "is_full_rank",
+]

@@ -1,0 +1,134 @@
+"""Argument-validation helpers shared across the library.
+
+These helpers convert inputs to float64 ``numpy`` arrays and raise
+:class:`repro.exceptions.ValidationError` with actionable messages.  They are
+deliberately small and explicit: validation failures in an interpretation
+pipeline are almost always caller bugs, and a precise message beats a numpy
+broadcasting traceback three frames deep.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "check_array",
+    "check_matrix",
+    "check_vector",
+    "check_probability_vector",
+    "check_positive",
+    "check_in_range",
+    "check_labels",
+]
+
+
+def check_array(x: object, *, name: str = "array", ndim: int | None = None) -> np.ndarray:
+    """Convert ``x`` to a float64 array, optionally enforcing dimensionality."""
+    try:
+        arr = np.asarray(x, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not convertible to a float array: {exc}") from exc
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite entries")
+    if ndim is not None and arr.ndim != ndim:
+        raise ValidationError(f"{name} must be {ndim}-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def check_vector(x: object, *, name: str = "vector", size: int | None = None) -> np.ndarray:
+    """Validate a 1-D float vector, optionally of a fixed size."""
+    arr = check_array(x, name=name, ndim=1)
+    if size is not None and arr.shape[0] != size:
+        raise ValidationError(f"{name} must have length {size}, got {arr.shape[0]}")
+    return arr
+
+
+def check_matrix(
+    x: object,
+    *,
+    name: str = "matrix",
+    rows: int | None = None,
+    cols: int | None = None,
+) -> np.ndarray:
+    """Validate a 2-D float matrix, optionally with fixed row/column counts."""
+    arr = check_array(x, name=name, ndim=2)
+    if rows is not None and arr.shape[0] != rows:
+        raise ValidationError(f"{name} must have {rows} rows, got {arr.shape[0]}")
+    if cols is not None and arr.shape[1] != cols:
+        raise ValidationError(f"{name} must have {cols} columns, got {arr.shape[1]}")
+    return arr
+
+
+def check_probability_vector(y: object, *, name: str = "probabilities", atol: float = 1e-6) -> np.ndarray:
+    """Validate a probability vector: non-negative entries summing to 1."""
+    arr = check_vector(y, name=name)
+    if np.any(arr < -atol):
+        raise ValidationError(f"{name} has negative entries (min={arr.min():.3g})")
+    total = float(arr.sum())
+    if abs(total - 1.0) > max(atol, atol * arr.size):
+        raise ValidationError(f"{name} must sum to 1, sums to {total:.6g}")
+    return arr
+
+
+def check_positive(value: float, *, name: str = "value", strict: bool = True) -> float:
+    """Validate a (strictly) positive scalar."""
+    value = float(value)
+    if strict and not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    name: str = "value",
+    inclusive: bool = True,
+) -> float:
+    """Validate that a scalar lies in ``[lo, hi]`` (or ``(lo, hi)``)."""
+    value = float(value)
+    if inclusive:
+        ok = lo <= value <= hi
+    else:
+        ok = lo < value < hi
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValidationError(
+            f"{name} must be in {bracket[0]}{lo}, {hi}{bracket[1]}, got {value}"
+        )
+    return value
+
+
+def check_labels(y: object, *, n_classes: int | None = None, name: str = "labels") -> np.ndarray:
+    """Validate an integer label vector in ``{0, ..., n_classes-1}``."""
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        as_int = arr.astype(np.int64)
+        if not np.array_equal(as_int, arr):
+            raise ValidationError(f"{name} must be integers")
+        arr = as_int
+    else:
+        arr = arr.astype(np.int64)
+    if arr.size and arr.min() < 0:
+        raise ValidationError(f"{name} must be non-negative, min={arr.min()}")
+    if n_classes is not None and arr.size and arr.max() >= n_classes:
+        raise ValidationError(f"{name} must be < {n_classes}, max={arr.max()}")
+    return arr
+
+
+def ensure_sequence_of_strings(items: Sequence[str], *, name: str = "items") -> list[str]:
+    """Validate a sequence of strings (used for class names)."""
+    out = list(items)
+    for item in out:
+        if not isinstance(item, str):
+            raise ValidationError(f"{name} must contain strings, got {type(item).__name__}")
+    return out

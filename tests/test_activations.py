@@ -1,0 +1,123 @@
+"""Tests for numerical activation/loss primitives (repro.models.activations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ValidationError
+from repro.models.activations import (
+    cross_entropy,
+    cross_entropy_gradient,
+    log_softmax,
+    one_hot,
+    relu,
+    softmax,
+)
+
+finite_logits = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+    elements=st.floats(-50, 50, allow_nan=False),
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(np.random.default_rng(0).normal(size=(4, 5)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_extreme_logits_stable(self):
+        probs = softmax(np.array([[1000.0, 0.0], [-1000.0, 0.0]]))
+        assert np.all(np.isfinite(probs))
+        assert probs[0, 0] == pytest.approx(1.0)
+        assert probs[1, 0] == pytest.approx(0.0)
+
+    def test_1d_input(self):
+        probs = softmax(np.array([0.0, 0.0]))
+        np.testing.assert_allclose(probs, [0.5, 0.5])
+
+    @settings(max_examples=30, deadline=None)
+    @given(logits=finite_logits)
+    def test_property_valid_distribution(self, logits):
+        probs = softmax(logits)
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(logits=finite_logits, shift=st.floats(-100, 100, allow_nan=False))
+    def test_property_shift_invariance(self, logits, shift):
+        """softmax(z + c) == softmax(z): the gauge freedom OpenAPI exploits."""
+        np.testing.assert_allclose(
+            softmax(logits + shift), softmax(logits), atol=1e-12
+        )
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self):
+        logits = np.random.default_rng(1).normal(size=(3, 4))
+        np.testing.assert_allclose(
+            log_softmax(logits), np.log(softmax(logits)), atol=1e-12
+        )
+
+    def test_no_underflow_for_extreme_inputs(self):
+        out = log_softmax(np.array([[0.0, -2000.0]]))
+        assert np.isfinite(out).all()
+        assert out[0, 1] == pytest.approx(-2000.0, rel=1e-9)
+
+
+class TestRelu:
+    def test_clamps_negatives(self):
+        np.testing.assert_array_equal(
+            relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+
+class TestOneHot:
+    def test_encoding(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            one_hot(np.array([3]), 3)
+        with pytest.raises(ValidationError):
+            one_hot(np.array([-1]), 3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert cross_entropy(logits, np.array([0, 1])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_prediction(self):
+        logits = np.zeros((4, 3))
+        assert cross_entropy(logits, np.zeros(4, dtype=int)) == pytest.approx(
+            np.log(3)
+        )
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValidationError):
+            cross_entropy(np.zeros(3), np.array([0]))
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([1, 0, 3])
+        grad = cross_entropy_gradient(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                numeric = (cross_entropy(bumped, labels) - cross_entropy(logits, labels)) / eps
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-5)

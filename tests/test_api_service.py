@@ -1,0 +1,125 @@
+"""Tests for the prediction-API boundary (repro.api)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    NoisyResponse,
+    PredictionAPI,
+    RoundedResponse,
+    TruncatedResponse,
+)
+from repro.exceptions import APIBudgetExceededError, ValidationError
+
+
+class TestPredictionAPI:
+    def test_metadata(self, linear_api):
+        assert linear_api.n_features == 6
+        assert linear_api.n_classes == 3
+
+    def test_query_counting(self, linear_model, blobs3):
+        api = PredictionAPI(linear_model)
+        api.predict_proba(blobs3.X[:7])
+        api.predict_proba(blobs3.X[0])
+        assert api.query_count == 8
+        api.reset_query_count()
+        assert api.query_count == 0
+
+    def test_single_vs_batch_shapes(self, linear_api, blobs3):
+        single = linear_api.predict_proba(blobs3.X[0])
+        batch = linear_api.predict_proba(blobs3.X[:1])
+        assert single.shape == (3,)
+        assert batch.shape == (1, 3)
+        np.testing.assert_allclose(single, batch[0])
+
+    def test_matches_model(self, linear_model, linear_api, blobs3):
+        np.testing.assert_allclose(
+            linear_api.predict_proba(blobs3.X[:5]),
+            linear_model.predict_proba(blobs3.X[:5]),
+        )
+
+    def test_predict_labels(self, linear_model, blobs3):
+        api = PredictionAPI(linear_model)
+        np.testing.assert_array_equal(
+            api.predict(blobs3.X[:5]), linear_model.predict(blobs3.X[:5])
+        )
+
+    def test_budget_enforced(self, linear_model, blobs3):
+        api = PredictionAPI(linear_model, budget=10)
+        api.predict_proba(blobs3.X[:10])
+        with pytest.raises(APIBudgetExceededError):
+            api.predict_proba(blobs3.X[0])
+
+    def test_budget_rejects_partial_batch(self, linear_model, blobs3):
+        api = PredictionAPI(linear_model, budget=5)
+        with pytest.raises(APIBudgetExceededError):
+            api.predict_proba(blobs3.X[:6])
+        # Nothing was consumed by the rejected call.
+        assert api.query_count == 0
+
+    def test_wrong_width_rejected(self, linear_api):
+        with pytest.raises(ValidationError):
+            linear_api.predict_proba(np.ones(5))
+
+    def test_non_model_rejected(self):
+        with pytest.raises(ValidationError):
+            PredictionAPI(object())
+
+    def test_invalid_budget_rejected(self, linear_model):
+        with pytest.raises(ValidationError):
+            PredictionAPI(linear_model, budget=0)
+
+
+class TestResponseTransforms:
+    def test_rounded_response(self, linear_model, blobs3):
+        api = PredictionAPI(linear_model, transform=RoundedResponse(2))
+        probs = api.predict_proba(blobs3.X[:5])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+        # Before renormalization entries had 2 decimals; after renormalizing
+        # by a near-1 total they stay within half a unit of the grid.
+        assert np.all(np.abs(probs - np.round(probs, 2)) < 5e-3)
+
+    def test_rounded_validation(self):
+        with pytest.raises(ValidationError):
+            RoundedResponse(0)
+
+    def test_noisy_response_changes_output(self, linear_model, blobs3):
+        api_clean = PredictionAPI(linear_model)
+        api_noisy = PredictionAPI(
+            linear_model, transform=NoisyResponse(0.05, seed=0)
+        )
+        clean = api_clean.predict_proba(blobs3.X[:5])
+        noisy = api_noisy.predict_proba(blobs3.X[:5])
+        assert not np.allclose(clean, noisy)
+        np.testing.assert_allclose(noisy.sum(axis=1), 1.0)
+        assert np.all(noisy >= 0)
+
+    def test_noisy_zero_scale_identity(self, linear_model, blobs3):
+        api = PredictionAPI(linear_model, transform=NoisyResponse(0.0))
+        np.testing.assert_allclose(
+            api.predict_proba(blobs3.X[:3]),
+            linear_model.predict_proba(blobs3.X[:3]),
+        )
+
+    def test_noisy_validation(self):
+        with pytest.raises(ValidationError):
+            NoisyResponse(-0.1)
+
+    def test_truncated_response(self, linear_model, blobs3):
+        api = PredictionAPI(linear_model, transform=TruncatedResponse(2))
+        probs = api.predict_proba(blobs3.X[:5])
+        assert np.all((probs > 0).sum(axis=1) <= 2)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_truncated_noop_when_k_covers_classes(self, linear_model, blobs3):
+        api = PredictionAPI(linear_model, transform=TruncatedResponse(3))
+        np.testing.assert_allclose(
+            api.predict_proba(blobs3.X[:3]),
+            linear_model.predict_proba(blobs3.X[:3]),
+        )
+
+    def test_truncated_validation(self):
+        with pytest.raises(ValidationError):
+            TruncatedResponse(1)

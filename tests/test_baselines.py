@@ -1,0 +1,193 @@
+"""Tests for the baseline interpreters: gradients, ZOO, LIME, adapters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import PredictionAPI
+from repro.baselines import (
+    GradientTimesInput,
+    IntegratedGradients,
+    LogOddsLIME,
+    NaiveExplainer,
+    OpenAPIExplainer,
+    SaliencyMap,
+    StandardLIME,
+    ZOOInterpreter,
+)
+from repro.exceptions import ValidationError
+from repro.models.openbox import ground_truth_decision_features
+
+
+class TestSaliencyMap:
+    def test_nonnegative(self, relu_model, blobs3):
+        att = SaliencyMap(relu_model).explain(blobs3.X[0])
+        assert np.all(att.values >= 0)
+        assert att.method == "saliency"
+
+    def test_linear_model_gives_abs_weight_column(self, linear_model, blobs3):
+        att = SaliencyMap(linear_model).explain(blobs3.X[0], c=1)
+        np.testing.assert_allclose(
+            att.values, np.abs(linear_model.weights[:, 1])
+        )
+
+    def test_default_class_is_prediction(self, relu_model, blobs3):
+        att = SaliencyMap(relu_model).explain(blobs3.X[0])
+        assert att.target_class == int(relu_model.predict(blobs3.X[0])[0])
+
+    def test_proba_mode(self, relu_model, blobs3):
+        att = SaliencyMap(relu_model, of="proba").explain(blobs3.X[0], c=0)
+        assert att.values.shape == (6,)
+
+    def test_invalid_of_rejected(self, relu_model):
+        with pytest.raises(ValidationError):
+            SaliencyMap(relu_model, of="banana")
+
+
+class TestGradientTimesInput:
+    def test_linear_model(self, linear_model, blobs3):
+        x = blobs3.X[0]
+        att = GradientTimesInput(linear_model).explain(x, c=2)
+        np.testing.assert_allclose(att.values, linear_model.weights[:, 2] * x)
+
+    def test_zero_input_gives_zero(self, relu_model):
+        x = np.zeros(6)
+        att = GradientTimesInput(relu_model).explain(x, c=0)
+        np.testing.assert_allclose(att.values, 0.0)
+
+
+class TestIntegratedGradients:
+    def test_completeness_on_linear_model(self, linear_model, blobs3):
+        """For an affine score, IG sums exactly to f(x) - f(baseline)."""
+        x = blobs3.X[0]
+        c = 1
+        att = IntegratedGradients(linear_model, steps=10).explain(x, c=c)
+        f_x = float(linear_model.decision_logits(x)[c])
+        f_0 = float(linear_model.decision_logits(np.zeros_like(x))[c])
+        assert att.values.sum() == pytest.approx(f_x - f_0, abs=1e-8)
+
+    def test_custom_baseline(self, linear_model, blobs3):
+        x = blobs3.X[0]
+        att = IntegratedGradients(
+            linear_model, steps=5, baseline=x.copy()
+        ).explain(x, c=0)
+        np.testing.assert_allclose(att.values, 0.0, atol=1e-12)
+
+    def test_validations(self, linear_model):
+        with pytest.raises(ValidationError):
+            IntegratedGradients(linear_model, steps=0)
+        with pytest.raises(ValidationError):
+            IntegratedGradients(linear_model, baseline=np.ones(3))
+
+
+class TestZOO:
+    def test_exact_on_linear_model(self, linear_api, linear_model, blobs3):
+        """Inside one region the difference quotient is exact."""
+        x0 = blobs3.X[0]
+        att = ZOOInterpreter(linear_api, h=1e-4, seed=0).explain(x0, c=0)
+        gt = ground_truth_decision_features(linear_model, x0, 0)
+        np.testing.assert_allclose(att.values, gt, atol=1e-6)
+
+    def test_query_count_and_samples(self, linear_model, blobs3):
+        api = PredictionAPI(linear_model)
+        att = ZOOInterpreter(api, h=1e-4, seed=0).explain(blobs3.X[0], c=0)
+        d = blobs3.n_features
+        assert att.n_queries == 2 * d
+        assert att.samples.shape == (2 * d, d)
+
+    def test_large_h_wrong_on_plnn(self, relu_api, relu_model, blobs3):
+        x0 = blobs3.X[2]
+        c = int(relu_model.predict(x0)[0])
+        gt = ground_truth_decision_features(relu_model, x0, c)
+        bad = ZOOInterpreter(relu_api, h=0.5, seed=0).explain(x0, c=c)
+        good = ZOOInterpreter(relu_api, h=1e-6, seed=0).explain(x0, c=c)
+        err_bad = np.abs(bad.values - gt).sum()
+        err_good = np.abs(good.values - gt).sum()
+        assert err_good < err_bad
+
+    def test_validations(self, linear_api):
+        with pytest.raises(ValidationError):
+            ZOOInterpreter(linear_api, h=0.0)
+
+
+class TestLogOddsLIME:
+    def test_linear_regression_accurate_inside_region(
+        self, linear_api, linear_model, blobs3
+    ):
+        x0 = blobs3.X[0]
+        att = LogOddsLIME(linear_api, h=1e-3, seed=0).explain(x0, c=0)
+        gt = ground_truth_decision_features(linear_model, x0, 0)
+        np.testing.assert_allclose(att.values, gt, atol=1e-5)
+        assert att.method == "lime_linear"
+
+    def test_ridge_collapses_for_tiny_h(self, linear_api, linear_model, blobs3):
+        """The paper's Ridge-LIME pathology: constant fit at tiny h."""
+        x0 = blobs3.X[0]
+        gt = ground_truth_decision_features(linear_model, x0, 0)
+        att = LogOddsLIME(
+            linear_api, h=1e-8, regression="ridge", seed=0
+        ).explain(x0, c=0)
+        assert np.linalg.norm(att.values) < 0.01 * np.linalg.norm(gt)
+        assert att.method == "lime_ridge"
+
+    def test_sample_budget_and_metadata(self, linear_model, blobs3):
+        api = PredictionAPI(linear_model)
+        lime = LogOddsLIME(api, h=1e-3, n_samples=20, seed=0)
+        att = lime.explain(blobs3.X[0], c=0)
+        assert att.n_queries == 20
+        assert att.samples.shape == (20, blobs3.n_features)
+
+    def test_validations(self, linear_api):
+        with pytest.raises(ValidationError):
+            LogOddsLIME(linear_api, regression="lasso")
+        with pytest.raises(ValidationError):
+            LogOddsLIME(linear_api, n_samples=3)
+        with pytest.raises(ValidationError):
+            LogOddsLIME(linear_api, h=0.0)
+
+
+class TestStandardLIME:
+    def test_produces_signed_attribution(self, relu_api, blobs3):
+        att = StandardLIME(relu_api, seed=0).explain(blobs3.X[0])
+        assert att.values.shape == (6,)
+        assert att.method == "lime"
+
+    def test_gradient_direction_on_linear_model(self, linear_api, linear_model, blobs3):
+        """Locally, the probability fit should correlate with the true
+        probability gradient of the target class."""
+        x0 = blobs3.X[0]
+        c = int(linear_model.predict(x0)[0])
+        # Mild ridge strength: with the default alpha=1 the deliberate
+        # shrinkage dominates at small h (the pathology other tests cover).
+        att = StandardLIME(linear_api, h=0.01, alpha=1e-4, seed=0).explain(x0, c=c)
+        grad = linear_model.input_gradient(x0, c, of="proba")
+        cos = att.values @ grad / (
+            np.linalg.norm(att.values) * np.linalg.norm(grad) + 1e-12
+        )
+        assert cos > 0.9
+
+    def test_validations(self, linear_api):
+        with pytest.raises(ValidationError):
+            StandardLIME(linear_api, h=0.0)
+        with pytest.raises(ValidationError):
+            StandardLIME(linear_api, kernel_width=0.0)
+        with pytest.raises(ValidationError):
+            StandardLIME(linear_api, n_samples=2)
+
+
+class TestAdapters:
+    def test_openapi_adapter_exact(self, relu_api, relu_model, blobs3):
+        x0 = blobs3.X[0]
+        att = OpenAPIExplainer(relu_api, seed=0).explain(x0)
+        gt = ground_truth_decision_features(relu_model, x0, att.target_class)
+        np.testing.assert_allclose(att.values, gt, atol=1e-8)
+        assert att.method == "openapi"
+        assert att.samples is not None
+
+    def test_naive_adapter(self, linear_api, linear_model, blobs3):
+        x0 = blobs3.X[0]
+        att = NaiveExplainer(linear_api, perturbation=1e-3, seed=0).explain(x0, c=0)
+        gt = ground_truth_decision_features(linear_model, x0, 0)
+        np.testing.assert_allclose(att.values, gt, atol=1e-6)
+        assert att.method == "naive"

@@ -1,0 +1,50 @@
+"""Tests for the reproduction self-check scorecard (repro.eval.check)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.eval.check import CheckItem, run_reproduction_check
+from repro.eval.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def scorecard():
+    return run_reproduction_check(seed=0)
+
+
+class TestScorecard:
+    def test_all_claims_pass(self, scorecard):
+        failed = [item for item in scorecard if not item.passed]
+        assert not failed, "\n".join(str(item) for item in failed)
+
+    def test_covers_the_headline_claims(self, scorecard):
+        names = " ".join(item.name for item in scorecard)
+        assert "Table I" in names
+        assert "exact" in names
+        assert "Theorem 1" in names
+        assert "Ridge-LIME" in names
+        assert "certificate" in names
+        assert "verify" in names
+
+    def test_items_carry_details(self, scorecard):
+        for item in scorecard:
+            assert isinstance(item, CheckItem)
+            assert item.detail
+
+    def test_custom_config(self):
+        cfg = ExperimentConfig.test_scale().scaled(
+            datasets=("synthetic-fashion",), n_interpret=2
+        )
+        items = run_reproduction_check(cfg, seed=1)
+        assert all(item.passed for item in items)
+
+
+class TestCheckCLI:
+    def test_check_command(self, capsys):
+        code = main(["check", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "checks passed" in out
+        assert "[PASS]" in out

@@ -1,0 +1,251 @@
+"""Tests for the data package: container, splits, generators, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Dataset,
+    available_datasets,
+    load_dataset,
+    make_blobs,
+    make_synthetic_digits,
+    make_synthetic_fashion,
+    train_test_split,
+)
+from repro.data.digits import DIGIT_CLASS_NAMES, digit_strokes
+from repro.data.fashion import FASHION_CLASS_NAMES, garment_polygons
+from repro.exceptions import ValidationError
+
+
+class TestDataset:
+    def test_basic_properties(self, blobs3):
+        assert blobs3.n_samples == 300
+        assert blobs3.n_features == 6
+        assert blobs3.n_classes == 3
+        assert len(blobs3) == 300
+
+    def test_row_label_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset(X=np.ones((3, 2)), y=np.array([0, 1]))
+
+    def test_image_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset(X=np.ones((2, 5)), y=np.array([0, 1]), image_shape=(2, 2))
+
+    def test_class_names_too_few_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset(X=np.ones((2, 2)), y=np.array([0, 1]), class_names=("only",))
+
+    def test_class_name_fallback(self, blobs3):
+        assert blobs3.class_name(0) == "blob-0"
+        assert blobs3.class_name(99) == "class-99"
+
+    def test_subset_and_of_class(self, blobs3):
+        sub = blobs3.of_class(1)
+        assert np.all(sub.y == 1)
+        assert sub.n_samples > 0
+
+    def test_sample_without_replacement(self, blobs3):
+        s = blobs3.sample(50, seed=0)
+        assert s.n_samples == 50
+        with pytest.raises(ValidationError):
+            blobs3.sample(10_000)
+
+    def test_shuffled_preserves_pairs(self, blobs3):
+        sh = blobs3.shuffled(seed=1)
+        # Same multiset of labels, same rows (possibly reordered).
+        assert sorted(sh.y.tolist()) == sorted(blobs3.y.tolist())
+        assert sh.X.sum() == pytest.approx(blobs3.X.sum())
+
+    def test_normalized_range(self):
+        ds = Dataset(X=np.array([[0.0, 10.0], [5.0, 20.0]]), y=np.array([0, 1]))
+        norm = ds.normalized()
+        assert norm.X.min() == 0.0
+        assert norm.X.max() == 1.0
+
+    def test_image_round_trip(self):
+        ds = make_synthetic_digits(4, size=8, seed=0)
+        img = ds.image(0)
+        assert img.shape == (8, 8)
+        np.testing.assert_array_equal(img.ravel(), ds.X[0])
+
+    def test_image_on_non_image_rejected(self, blobs3):
+        with pytest.raises(ValidationError):
+            blobs3.image(0)
+
+    def test_class_average_image(self):
+        ds = make_synthetic_digits(20, size=8, seed=0)
+        avg = ds.class_average_image(0)
+        assert avg.shape == (8, 8)
+        assert 0.0 <= avg.min() and avg.max() <= 1.0
+
+    def test_nearest_neighbor_excludes_self(self, blobs3):
+        nn = blobs3.nearest_neighbor(0)
+        assert nn != 0
+        assert 0 <= nn < blobs3.n_samples
+
+    def test_nearest_neighbor_is_closest(self):
+        X = np.array([[0.0], [1.0], [0.1], [5.0]])
+        ds = Dataset(X=X, y=np.array([0, 0, 0, 1]))
+        assert ds.nearest_neighbor(0) == 2
+
+
+class TestTrainTestSplit:
+    def test_sizes_and_disjointness(self, blobs3):
+        train, test = train_test_split(blobs3, test_fraction=0.25, seed=0)
+        assert train.n_samples + test.n_samples == blobs3.n_samples
+        assert test.n_samples == pytest.approx(75, abs=5)
+
+    def test_stratified_keeps_all_classes(self, blobs3):
+        _, test = train_test_split(blobs3, test_fraction=0.1, seed=0)
+        assert set(test.y.tolist()) == {0, 1, 2}
+
+    def test_unstratified(self, blobs3):
+        train, test = train_test_split(
+            blobs3, test_fraction=0.2, seed=0, stratify=False
+        )
+        assert train.n_samples + test.n_samples == blobs3.n_samples
+
+    def test_bad_fraction_rejected(self, blobs3):
+        for frac in (0.0, 1.0, -0.5):
+            with pytest.raises(ValidationError):
+                train_test_split(blobs3, test_fraction=frac)
+
+
+class TestMakeBlobs:
+    def test_shapes_and_box(self):
+        ds = make_blobs(60, n_features=4, n_classes=3, seed=0)
+        assert ds.X.shape == (60, 4)
+        assert ds.X.min() >= 0.0 and ds.X.max() <= 1.0
+        assert ds.n_classes == 3
+
+    def test_balanced_classes(self):
+        ds = make_blobs(90, n_classes=3, seed=0)
+        counts = np.bincount(ds.y)
+        assert np.all(counts == 30)
+
+    def test_custom_box(self):
+        ds = make_blobs(30, box=(-1.0, 2.0), seed=0)
+        assert ds.X.min() >= -1.0 and ds.X.max() <= 2.0
+
+    def test_separable_with_high_separation(self):
+        from repro.models import SoftmaxRegression
+
+        ds = make_blobs(150, n_features=5, n_classes=3, separation=5.0, seed=1)
+        clf = SoftmaxRegression(seed=1).fit(ds.X, ds.y)
+        assert clf.accuracy(ds.X, ds.y) > 0.95
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValidationError):
+            make_blobs(2, n_classes=3)
+        with pytest.raises(ValidationError):
+            make_blobs(10, n_features=0)
+        with pytest.raises(ValidationError):
+            make_blobs(10, cluster_std=0)
+        with pytest.raises(ValidationError):
+            make_blobs(10, box=(1.0, 1.0))
+
+
+@pytest.mark.parametrize("maker", [make_synthetic_digits, make_synthetic_fashion])
+class TestImageGenerators:
+    def test_shapes_range_balance(self, maker):
+        ds = maker(40, size=10, seed=0)
+        assert ds.X.shape == (40, 100)
+        assert ds.image_shape == (10, 10)
+        assert ds.X.min() >= 0.0 and ds.X.max() <= 1.0
+        counts = np.bincount(ds.y, minlength=10)
+        assert counts.max() - counts.min() <= 1
+
+    def test_reproducible(self, maker):
+        a = maker(10, size=8, seed=7)
+        b = maker(10, size=8, seed=7)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_class_subset(self, maker):
+        ds = maker(12, size=8, classes=(0, 3), seed=0)
+        assert ds.n_classes == 2
+        assert set(ds.y.tolist()) == {0, 1}
+
+    def test_images_nonempty(self, maker):
+        ds = maker(10, size=12, noise=0.0, seed=0)
+        # Every rendered image must contain some ink.
+        assert np.all(ds.X.sum(axis=1) > 1.0)
+
+    def test_distinct_classes_have_distinct_prototypes(self, maker):
+        ds = maker(40, size=12, noise=0.0, jitter=False, seed=0)
+        means = np.vstack(
+            [ds.X[ds.y == c].mean(axis=0) for c in range(ds.n_classes)]
+        )
+        dists = np.linalg.norm(means[:, None, :] - means[None, :, :], axis=2)
+        off_diag = dists[~np.eye(10, dtype=bool)]
+        assert off_diag.min() > 0.5
+
+    def test_invalid_args(self, maker):
+        with pytest.raises(ValidationError):
+            maker(0)
+        with pytest.raises(ValidationError):
+            maker(5, classes=(11,))
+
+    def test_learnable(self, maker):
+        from repro.models import SoftmaxRegression
+
+        ds = maker(200, size=8, seed=3)
+        clf = SoftmaxRegression(max_iter=300, seed=3).fit(ds.X, ds.y)
+        assert clf.accuracy(ds.X, ds.y) > 0.9
+
+
+class TestStrokeAndPolygonDefinitions:
+    def test_all_digits_defined(self):
+        for d in range(10):
+            strokes = digit_strokes(d)
+            assert strokes and all(s.shape[1] == 2 for s in strokes)
+
+    def test_all_garments_defined(self):
+        for c in range(10):
+            polys = garment_polygons(c)
+            assert polys and all(p.shape[0] >= 3 for p in polys)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            digit_strokes(10)
+        with pytest.raises(ValidationError):
+            garment_polygons(-1)
+
+    def test_class_name_tuples(self):
+        assert len(DIGIT_CLASS_NAMES) == 10
+        assert len(FASHION_CLASS_NAMES) == 10
+        assert FASHION_CLASS_NAMES[9] == "ankle-boot"
+
+
+class TestRegistry:
+    def test_available_contains_aliases(self):
+        names = available_datasets()
+        assert "mnist" in names and "fmnist" in names
+        assert "synthetic-digits" in names
+
+    def test_aliases_resolve(self):
+        ds = load_dataset("mnist", 10, size=8, seed=0)
+        assert ds.name == "synthetic-digits"
+        ds = load_dataset("FMNIST", 10, size=8, seed=0)
+        assert ds.name == "synthetic-fashion"
+
+    def test_blobs_kwargs_forwarded(self):
+        ds = load_dataset("blobs", 30, n_features=7, seed=0)
+        assert ds.n_features == 7
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            load_dataset("imagenet", 10)
+
+
+@settings(max_examples=10, deadline=None)
+@given(size=st.integers(6, 16), seed=st.integers(0, 100))
+def test_property_digit_pixels_in_unit_range(size, seed):
+    ds = make_synthetic_digits(5, size=size, seed=seed)
+    assert ds.X.min() >= 0.0 and ds.X.max() <= 1.0
+    assert ds.X.shape == (5, size * size)

@@ -1,0 +1,247 @@
+"""Tests for the experiment harness, tables, figures and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaseInterpreter
+from repro.core.types import Attribution
+from repro.eval import (
+    ExperimentConfig,
+    build_setups,
+    build_table1,
+    interpret_instances,
+    render_heatmap,
+    render_series,
+    render_table,
+)
+from repro.eval.figures import (
+    build_fig2_heatmaps,
+    build_fig3_effectiveness,
+    build_fig4_consistency,
+    build_fig567_quality,
+)
+from repro.eval.harness import black_box_method_grid, effectiveness_method_grid
+from repro.exceptions import CertificateError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig.test_scale().scaled(
+        datasets=("synthetic-fashion",), n_interpret=3
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_setups(tiny_config):
+    return build_setups(tiny_config)
+
+
+class TestConfig:
+    def test_presets_valid(self):
+        ExperimentConfig.bench_scale()
+        ExperimentConfig.test_scale()
+        ExperimentConfig.paper_scale()
+
+    def test_paper_scale_faithful(self):
+        cfg = ExperimentConfig.paper_scale()
+        assert cfg.image_size == 28
+        assert cfg.n_features == 784
+        assert cfg.plnn_hidden == (256, 128, 100)
+        assert cfg.n_interpret == 1000
+        assert cfg.lmt_min_samples_split == 100
+
+    def test_scaled_override(self):
+        cfg = ExperimentConfig().scaled(n_interpret=7)
+        assert cfg.n_interpret == 7
+
+    def test_validations(self):
+        with pytest.raises(ValidationError):
+            ExperimentConfig(models=("forest",))
+        with pytest.raises(ValidationError):
+            ExperimentConfig(datasets=())
+        with pytest.raises(ValidationError):
+            ExperimentConfig(image_size=2)
+        with pytest.raises(ValidationError):
+            ExperimentConfig(h_grid=())
+
+
+class TestBuildSetups:
+    def test_grid_complete(self, tiny_setups, tiny_config):
+        assert len(tiny_setups) == len(tiny_config.datasets) * len(
+            tiny_config.models
+        )
+        labels = {s.label for s in tiny_setups}
+        assert "synthetic-fashion/LMT" in labels
+        assert "synthetic-fashion/PLNN" in labels
+
+    def test_models_learned_something(self, tiny_setups):
+        for setup in tiny_setups:
+            assert setup.train_accuracy > 0.7, setup.label
+
+    def test_split_sizes(self, tiny_setups, tiny_config):
+        for setup in tiny_setups:
+            total = setup.train.n_samples + setup.test.n_samples
+            assert total == tiny_config.n_train + tiny_config.n_test
+
+    def test_maxout_kind_supported(self, tiny_config):
+        cfg = tiny_config.scaled(models=("maxout",), n_train=240, n_test=80)
+        setups = build_setups(cfg)
+        assert setups[0].model_name == "maxout"
+        assert setups[0].train_accuracy > 0.5
+
+
+class TestMethodGrids:
+    def test_black_box_grid_keys(self, tiny_setups):
+        methods = black_box_method_grid(tiny_setups[0].api, (1e-4, 1e-2))
+        assert set(methods) == {
+            "OpenAPI",
+            "L(1e-04)", "L(1e-02)",
+            "R(1e-04)", "R(1e-02)",
+            "N(1e-04)", "N(1e-02)",
+            "Z(1e-04)", "Z(1e-02)",
+        }
+
+    def test_effectiveness_grid_keys(self, tiny_setups):
+        methods = effectiveness_method_grid(tiny_setups[0])
+        assert set(methods) == {"S", "OA", "I", "G", "L"}
+        assert all(isinstance(m, BaseInterpreter) for m in methods.values())
+
+
+class TestInterpretInstances:
+    def test_skips_failures(self, tiny_setups):
+        class Flaky(BaseInterpreter):
+            method_name = "flaky"
+
+            def explain(self, x0, c=None):
+                if x0[0] > 0.5:
+                    raise CertificateError("boundary")
+                return Attribution(values=np.zeros_like(x0))
+
+        instances = np.array([[0.1, 0.2], [0.9, 0.2], [0.3, 0.3]])
+        atts, kept = interpret_instances(Flaky(), instances)
+        assert kept == [0, 2]
+        assert len(atts) == 2
+
+    def test_raise_mode(self):
+        class AlwaysFails(BaseInterpreter):
+            method_name = "fails"
+
+            def explain(self, x0, c=None):
+                raise CertificateError("nope")
+
+        with pytest.raises(CertificateError):
+            interpret_instances(
+                AlwaysFails(), np.ones((1, 2)), on_failure="raise"
+            )
+
+    def test_bad_mode_rejected(self):
+        class Dummy(BaseInterpreter):
+            method_name = "dummy"
+
+            def explain(self, x0, c=None):
+                return Attribution(values=np.zeros_like(x0))
+
+        with pytest.raises(ValidationError):
+            interpret_instances(Dummy(), np.ones((1, 2)), on_failure="explode")
+
+
+class TestTable1:
+    def test_rows_from_setups(self, tiny_setups):
+        rows = build_table1(setups=tiny_setups)
+        assert len(rows) == len(tiny_setups)
+        for row in rows:
+            assert 0.0 <= row.train_accuracy <= 1.0
+            assert 0.0 <= row.test_accuracy <= 1.0
+
+
+class TestFigureBuilders:
+    def test_fig2(self, tiny_setups):
+        entries = build_fig2_heatmaps(
+            tiny_setups[0], classes=(0, 1), n_per_class=2, seed=0
+        )
+        assert len(entries) <= 2
+        for entry in entries:
+            assert entry.average_image.shape == entry.average_heatmap.shape
+            assert entry.n_instances >= 1
+
+    def test_fig2_requires_images(self, linear_model, blobs3):
+        from repro.api import PredictionAPI
+        from repro.eval.harness import ExperimentSetup
+
+        setup = ExperimentSetup(
+            dataset_name="blobs",
+            model_name="linear",
+            train=blobs3,
+            test=blobs3,
+            model=linear_model,
+            api=PredictionAPI(linear_model),
+            train_accuracy=1.0,
+            test_accuracy=1.0,
+        )
+        with pytest.raises(ValidationError):
+            build_fig2_heatmaps(setup)
+
+    def test_fig3(self, tiny_setups, tiny_config):
+        result = build_fig3_effectiveness(tiny_setups[1], tiny_config, seed=0)
+        assert set(result.curves) == {"S", "OA", "I", "G", "L"}
+        for curves in result.curves.values():
+            assert np.all(curves.avg_cpp >= 0)
+            assert np.all(np.diff(curves.nlci) >= 0)
+
+    def test_fig4(self, tiny_setups, tiny_config):
+        result = build_fig4_consistency(tiny_setups[1], tiny_config, seed=0)
+        assert "OA" in result.scores
+        for scores in result.scores.values():
+            assert np.all(scores <= 1.0 + 1e-9)
+            assert np.all(np.diff(scores) <= 1e-12)  # sorted descending
+
+    def test_fig567(self, tiny_setups, tiny_config):
+        cfg = tiny_config.scaled(h_grid=(1e-4, 1e-2))
+        result = build_fig567_quality(tiny_setups[1], cfg, seed=0)
+        assert "OpenAPI" in result.cells
+        open_api = result.cells["OpenAPI"]
+        # The paper's headline shape: OpenAPI's samples are clean and its
+        # interpretation exact.
+        assert open_api.avg_rd == 0.0
+        assert open_api.wd_mean == pytest.approx(0.0, abs=1e-12)
+        assert open_api.l1_mean < 1e-6
+        for name, cell in result.cells.items():
+            assert cell.l1_mean >= 0
+            assert cell.n_instances > 0
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["x", 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_render_table_validations(self):
+        with pytest.raises(ValidationError):
+            render_table([], [])
+        with pytest.raises(ValidationError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_series_downsamples(self):
+        series = {"m": np.linspace(0, 1, 200)}
+        out = render_series(series, max_points=5)
+        assert out.count("\n") <= 8
+
+    def test_render_series_empty(self):
+        assert render_series({}) == "(no series)"
+
+    def test_render_heatmap_unsigned(self):
+        out = render_heatmap(np.array([[0.0, 1.0], [0.5, 0.25]]))
+        assert len(out.splitlines()) == 2
+        assert "@" in out  # max value maps to densest shade
+
+    def test_render_heatmap_signed(self):
+        out = render_heatmap(np.array([[-1.0, 1.0]]))
+        assert "-" in out
+
+    def test_render_heatmap_validation(self):
+        with pytest.raises(ValidationError):
+            render_heatmap(np.ones(3))

@@ -1,0 +1,129 @@
+"""Tests for the reverse-engineering extension (repro.extraction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import PredictionAPI
+from repro.core import OpenAPIInterpreter
+from repro.exceptions import ValidationError
+from repro.extraction import (
+    PiecewiseSurrogate,
+    RegionExplorer,
+    fidelity_report,
+)
+
+
+class TestRegionExplorer:
+    def test_harvest_linear_model_single_region(self, linear_api, blobs3):
+        explorer = RegionExplorer(linear_api, seed=0)
+        explorer.explore(blobs3.X[:10])
+        # One region: all ten probes collapse to one record.
+        assert explorer.n_regions == 1
+        assert explorer.failed_probes == 0
+
+    def test_record_reproduces_probabilities(self, linear_api, linear_model, blobs3):
+        explorer = RegionExplorer(linear_api, seed=0)
+        record = explorer.harvest(blobs3.X[0])
+        assert record is not None
+        from repro.models.activations import softmax
+
+        for x in blobs3.X[:5]:
+            np.testing.assert_allclose(
+                softmax(record.logits(x)),
+                linear_model.predict_proba(x),
+                atol=1e-8,
+            )
+
+    def test_relative_gauge(self, linear_api, blobs3):
+        explorer = RegionExplorer(linear_api, seed=0)
+        record = explorer.harvest(blobs3.X[0])
+        np.testing.assert_allclose(record.rel_weights[:, 0], 0.0)
+        assert record.rel_bias[0] == 0.0
+
+    def test_multiple_regions_on_plnn(self, relu_api, blobs3):
+        explorer = RegionExplorer(relu_api, seed=1)
+        explorer.explore(blobs3.X[:30])
+        assert explorer.n_regions > 1
+
+    def test_dedup_by_fingerprint(self, relu_api, blobs3):
+        explorer = RegionExplorer(relu_api, seed=2)
+        first = explorer.harvest(blobs3.X[0])
+        again = explorer.harvest(blobs3.X[0] + 1e-12)
+        assert explorer.n_regions >= 1
+        assert again is not None and again.key == first.key
+
+    def test_explore_random(self, relu_api):
+        explorer = RegionExplorer(relu_api, seed=3)
+        records = explorer.explore_random(5)
+        assert len(records) == explorer.n_regions >= 1
+
+    def test_validations(self, linear_api):
+        with pytest.raises(ValidationError):
+            RegionExplorer(linear_api, dedup_decimals=0)
+        explorer = RegionExplorer(linear_api, seed=0)
+        with pytest.raises(ValidationError):
+            explorer.explore(np.ones((2, 99)))
+        with pytest.raises(ValidationError):
+            explorer.explore_random(0)
+        with pytest.raises(ValidationError):
+            explorer.explore_random(1, box=(1.0, 0.0))
+
+    def test_custom_interpreter(self, linear_api, blobs3):
+        interp = OpenAPIInterpreter(max_iterations=3, seed=0)
+        explorer = RegionExplorer(linear_api, interpreter=interp, seed=0)
+        assert explorer.harvest(blobs3.X[0]) is not None
+
+
+class TestPiecewiseSurrogate:
+    @pytest.fixture(scope="class")
+    def surrogate_pair(self, relu_api, blobs3):
+        explorer = RegionExplorer(relu_api, seed=4)
+        explorer.explore(blobs3.X[:60])
+        return PiecewiseSurrogate(explorer.records), explorer
+
+    def test_exact_on_anchors(self, surrogate_pair, relu_api):
+        surrogate, explorer = surrogate_pair
+        for record in explorer.records[:10]:
+            np.testing.assert_allclose(
+                surrogate.predict_proba(record.anchor),
+                relu_api.predict_proba(record.anchor),
+                atol=1e-8,
+            )
+
+    def test_is_a_plm(self, surrogate_pair, blobs3):
+        surrogate, _ = surrogate_pair
+        x = blobs3.X[0]
+        local = surrogate.local_linear_params(x)
+        np.testing.assert_allclose(
+            local.logits(x), surrogate.decision_logits(x), atol=1e-12
+        )
+        assert isinstance(surrogate.region_id(x), int)
+
+    def test_reinterpretable_by_openapi(self, surrogate_pair, blobs3):
+        """The surrogate is itself a PLM behind an API — interpret it."""
+        surrogate, _ = surrogate_pair
+        api = PredictionAPI(surrogate)
+        interp = OpenAPIInterpreter(seed=5).interpret(api, blobs3.X[0])
+        assert interp.all_certified
+
+    def test_fidelity_high_with_good_coverage(
+        self, surrogate_pair, relu_api, blobs3
+    ):
+        surrogate, _ = surrogate_pair
+        report = fidelity_report(surrogate, relu_api, blobs3.X[100:200])
+        assert report.label_agreement > 0.9
+        assert report.prob_mae < 0.1
+        assert report.n_regions == surrogate.n_regions
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValidationError):
+            PiecewiseSurrogate([])
+
+    def test_fidelity_validations(self, surrogate_pair, relu_api):
+        surrogate, _ = surrogate_pair
+        with pytest.raises(ValidationError):
+            fidelity_report(surrogate, relu_api, np.empty((0, 6)))
+        with pytest.raises(ValidationError):
+            fidelity_report(surrogate, relu_api, np.ones(6))

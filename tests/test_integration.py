@@ -1,0 +1,141 @@
+"""End-to-end integration tests across the whole library.
+
+These exercise full pipelines — data generation → training → API wrapping →
+interpretation → metrics — the way the examples and benchmarks do, at the
+smallest scale that still exercises multi-region structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import PredictionAPI, RoundedResponse
+from repro.core import OpenAPIInterpreter
+from repro.data import load_dataset, train_test_split
+from repro.eval import ExperimentConfig, build_setups
+from repro.eval.figures import build_fig567_quality
+from repro.exceptions import CertificateError
+from repro.extraction import PiecewiseSurrogate, RegionExplorer, fidelity_report
+from repro.metrics import l1_distance
+from repro.models import LogisticModelTree, ReLUNetwork, TrainingConfig, train_network
+from repro.models.openbox import ground_truth_decision_features
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        import repro.baselines as b
+        import repro.core as c
+        import repro.data as d
+        import repro.eval as e
+        import repro.extraction as x
+        import repro.metrics as m
+        import repro.models as mo
+        import repro.utils as u
+
+        for module in (b, c, d, e, x, m, mo, u):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module, name)
+
+
+class TestImagePipelineEndToEnd:
+    """The paper's pipeline on a miniature image problem."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        ds = load_dataset("mnist", 260, size=7, seed=0)
+        train, test = train_test_split(ds, test_fraction=0.2, seed=0)
+        net = ReLUNetwork([ds.n_features, 24, 10], seed=0)
+        train_network(
+            net, train.X, train.y,
+            TrainingConfig(epochs=100, learning_rate=3e-3, seed=0),
+        )
+        return train, test, net, PredictionAPI(net)
+
+    def test_model_learns(self, pipeline):
+        train, test, net, _ = pipeline
+        assert net.accuracy(train.X, train.y) > 0.85
+
+    def test_openapi_exact_on_image_model(self, pipeline):
+        _, test, net, api = pipeline
+        interpreter = OpenAPIInterpreter(seed=1)
+        checked = 0
+        for x0 in test.X[:5]:
+            try:
+                interp = interpreter.interpret(api, x0)
+            except CertificateError:  # boundary instance: probability ~0
+                continue
+            gt = ground_truth_decision_features(net, x0, interp.target_class)
+            assert l1_distance(gt, interp.decision_features) < 1e-6
+            checked += 1
+        assert checked >= 4
+
+    def test_extraction_round_trip(self, pipeline):
+        train, test, _, api = pipeline
+        explorer = RegionExplorer(api, seed=2)
+        explorer.explore(train.X[:25])
+        surrogate = PiecewiseSurrogate(explorer.records)
+        report = fidelity_report(surrogate, api, test.X[:40])
+        assert report.label_agreement > 0.8
+
+
+class TestLMTPipelineEndToEnd:
+    def test_openapi_exact_on_image_lmt(self):
+        ds = load_dataset("fmnist", 300, size=7, seed=3)
+        train, test = train_test_split(ds, test_fraction=0.2, seed=3)
+        lmt = LogisticModelTree(
+            min_samples_split=80, max_depth=3, leaf_accuracy_stop=0.95, seed=3
+        ).fit(train.X, train.y, n_classes=ds.n_classes)
+        api = PredictionAPI(lmt)
+        interpreter = OpenAPIInterpreter(seed=3)
+        for x0 in test.X[:3]:
+            interp = interpreter.interpret(api, x0)
+            gt = ground_truth_decision_features(lmt, x0, interp.target_class)
+            assert l1_distance(gt, interp.decision_features) < 1e-6
+
+
+class TestRobustnessAblation:
+    def test_rounding_breaks_certificate_honestly(self, relu_model, blobs3):
+        """A 2-decimal API cannot support exact recovery; OpenAPI must
+        refuse (CertificateError) rather than return a wrong answer."""
+        api = PredictionAPI(relu_model, transform=RoundedResponse(2))
+        interpreter = OpenAPIInterpreter(seed=0, max_iterations=8)
+        with pytest.raises(CertificateError):
+            interpreter.interpret(api, blobs3.X[0])
+
+    def test_high_precision_rounding_tolerated_or_refused(
+        self, relu_model, blobs3
+    ):
+        """With 12-decimal rounding the certificate may pass (noise below
+        tolerance) or refuse — but a *certified* answer must be accurate."""
+        api = PredictionAPI(relu_model, transform=RoundedResponse(12))
+        interpreter = OpenAPIInterpreter(seed=0, rtol=1e-5, max_iterations=30)
+        try:
+            interp = interpreter.interpret(api, blobs3.X[0])
+        except CertificateError:
+            return
+        gt = ground_truth_decision_features(
+            relu_model, blobs3.X[0], interp.target_class
+        )
+        assert l1_distance(gt, interp.decision_features) < 1e-2
+
+
+class TestFullExperimentGridSmoke:
+    def test_minimal_grid_runs(self):
+        cfg = ExperimentConfig.test_scale().scaled(
+            datasets=("synthetic-digits",),
+            models=("lmt",),
+            n_interpret=2,
+            h_grid=(1e-4,),
+        )
+        setups = build_setups(cfg)
+        result = build_fig567_quality(setups[0], cfg, seed=0)
+        assert result.cells["OpenAPI"].l1_mean < 1e-6

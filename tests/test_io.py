@@ -1,0 +1,116 @@
+"""Tests for pickle-free serialization (repro.io)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OpenAPIInterpreter, verify_interpretation
+from repro.exceptions import ValidationError
+from repro.io import (
+    load_interpretation,
+    load_model,
+    save_interpretation,
+    save_model,
+)
+from repro.models import MaxOutNetwork
+
+
+class TestModelRoundTrips:
+    def test_softmax_regression(self, linear_model, blobs3, tmp_path):
+        path = tmp_path / "linear.npz"
+        save_model(linear_model, path)
+        loaded = load_model(path)
+        np.testing.assert_array_equal(
+            loaded.predict_proba(blobs3.X[:10]),
+            linear_model.predict_proba(blobs3.X[:10]),
+        )
+
+    def test_relu_network(self, relu_model, blobs3, tmp_path):
+        path = tmp_path / "plnn.npz"
+        save_model(relu_model, path)
+        loaded = load_model(path)
+        np.testing.assert_array_equal(
+            loaded.decision_logits(blobs3.X[:10]),
+            relu_model.decision_logits(blobs3.X[:10]),
+        )
+        # Region structure survives too (same parameters, same masks).
+        assert loaded.region_id(blobs3.X[0]) == relu_model.region_id(blobs3.X[0])
+
+    def test_maxout_network(self, maxout_model, blobs3, tmp_path):
+        path = tmp_path / "maxout.npz"
+        save_model(maxout_model, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, MaxOutNetwork)
+        np.testing.assert_array_equal(
+            loaded.decision_logits(blobs3.X[:10]),
+            maxout_model.decision_logits(blobs3.X[:10]),
+        )
+
+    def test_lmt(self, lmt_model, xor_dataset, tmp_path):
+        path = tmp_path / "lmt.npz"
+        save_model(lmt_model, path)
+        loaded = load_model(path)
+        np.testing.assert_array_equal(
+            loaded.predict_proba(xor_dataset.X[:20]),
+            lmt_model.predict_proba(xor_dataset.X[:20]),
+        )
+        assert loaded.n_leaves == lmt_model.n_leaves
+        for x in xor_dataset.X[:10]:
+            assert loaded.region_id(x) == lmt_model.region_id(x)
+
+    def test_unsupported_model_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_model(object(), tmp_path / "bad.npz")
+
+    def test_corrupted_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz file")
+        with pytest.raises(ValidationError):
+            load_model(path)
+
+    def test_non_artifact_npz_rejected(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, data=np.ones(3))
+        with pytest.raises(ValidationError):
+            load_model(path)
+
+
+class TestInterpretationRoundTrip:
+    def test_full_round_trip(self, relu_api, blobs3, tmp_path):
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, blobs3.X[0])
+        path = tmp_path / "claim.npz"
+        save_interpretation(interp, path)
+        loaded = load_interpretation(path)
+
+        np.testing.assert_array_equal(loaded.x0, interp.x0)
+        np.testing.assert_array_equal(
+            loaded.decision_features, interp.decision_features
+        )
+        assert loaded.target_class == interp.target_class
+        assert loaded.method == interp.method
+        assert loaded.iterations == interp.iterations
+        assert loaded.final_edge == interp.final_edge
+        assert loaded.all_certified
+        assert set(loaded.pair_estimates) == set(interp.pair_estimates)
+        for pair in interp.pair_estimates:
+            np.testing.assert_array_equal(
+                loaded.pair_estimates[pair].weights,
+                interp.pair_estimates[pair].weights,
+            )
+        np.testing.assert_array_equal(loaded.samples, interp.samples)
+
+    def test_reloaded_claim_verifies(self, relu_api, blobs3, tmp_path):
+        """The audit workflow: store the claim, reload it later, re-check
+        it against the live API."""
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, blobs3.X[1])
+        path = tmp_path / "audit.npz"
+        save_interpretation(interp, path)
+        report = verify_interpretation(relu_api, load_interpretation(path), seed=1)
+        assert report.passed
+
+    def test_model_file_not_an_interpretation(self, linear_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(linear_model, path)
+        with pytest.raises(ValidationError):
+            load_interpretation(path)

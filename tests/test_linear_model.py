@@ -1,0 +1,171 @@
+"""Tests for SoftmaxRegression and the PLM base interface on it."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_blobs
+from repro.exceptions import NotFittedError, ValidationError
+from repro.models import SoftmaxRegression
+from repro.models.base import LocalLinearClassifier
+
+
+class TestFitting:
+    def test_reaches_high_accuracy_on_separable_data(self, blobs3, linear_model):
+        assert linear_model.accuracy(blobs3.X, blobs3.y) > 0.95
+
+    def test_loss_history_decreases(self, linear_model):
+        losses = linear_model.loss_history_
+        assert losses[-1] < losses[0]
+
+    def test_l1_produces_sparsity(self):
+        ds = make_blobs(200, n_features=10, n_classes=3, seed=4)
+        dense = SoftmaxRegression(l1=0.0, seed=4).fit(ds.X, ds.y)
+        sparse = SoftmaxRegression(l1=5e-2, seed=4).fit(ds.X, ds.y)
+        assert sparse.sparsity() > dense.sparsity()
+        assert sparse.sparsity() >= 0.1
+
+    def test_extra_classes_allowed(self, blobs3):
+        clf = SoftmaxRegression(max_iter=50, seed=0).fit(
+            blobs3.X, blobs3.y, n_classes=5
+        )
+        assert clf.n_classes == 5
+        assert clf.predict_proba(blobs3.X[:3]).shape == (3, 5)
+
+    def test_labels_exceeding_classes_rejected(self, blobs3):
+        with pytest.raises(ValidationError):
+            SoftmaxRegression().fit(blobs3.X, blobs3.y, n_classes=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            SoftmaxRegression().fit(np.empty((0, 3)), np.empty(0, dtype=int))
+
+    def test_mismatched_rows_rejected(self, blobs3):
+        with pytest.raises(ValidationError):
+            SoftmaxRegression().fit(blobs3.X, blobs3.y[:-1])
+
+    def test_invalid_hyperparams_rejected(self):
+        with pytest.raises(ValidationError):
+            SoftmaxRegression(l1=-1.0)
+        with pytest.raises(ValidationError):
+            SoftmaxRegression(learning_rate=0.0)
+        with pytest.raises(ValidationError):
+            SoftmaxRegression(max_iter=0)
+
+    def test_reproducible_with_seed(self, blobs3):
+        a = SoftmaxRegression(max_iter=50, seed=9).fit(blobs3.X, blobs3.y)
+        b = SoftmaxRegression(max_iter=50, seed=9).fit(blobs3.X, blobs3.y)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+
+class TestPrediction:
+    def test_proba_rows_sum_to_one(self, linear_model, blobs3):
+        probs = linear_model.predict_proba(blobs3.X[:10])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_single_instance_shapes(self, linear_model, blobs3):
+        x = blobs3.X[0]
+        assert linear_model.decision_logits(x).shape == (3,)
+        assert linear_model.predict_proba(x).shape == (3,)
+
+    def test_predict_matches_argmax(self, linear_model, blobs3):
+        probs = linear_model.predict_proba(blobs3.X[:20])
+        np.testing.assert_array_equal(
+            linear_model.predict(blobs3.X[:20]), np.argmax(probs, axis=1)
+        )
+
+    def test_unfitted_raises(self):
+        clf = SoftmaxRegression()
+        with pytest.raises(NotFittedError):
+            clf.predict(np.ones((1, 3)))
+        with pytest.raises(NotFittedError):
+            _ = clf.weights
+
+
+class TestPLMInterface:
+    def test_single_region(self, linear_model, blobs3):
+        ids = {linear_model.region_id(x) for x in blobs3.X[:20]}
+        assert len(ids) == 1
+
+    def test_local_params_reproduce_logits(self, linear_model, blobs3):
+        x = blobs3.X[3]
+        local = linear_model.local_linear_params(x)
+        np.testing.assert_allclose(
+            local.logits(x), linear_model.decision_logits(x), atol=1e-12
+        )
+
+    def test_input_gradient_logit_is_weight_column(self, linear_model, blobs3):
+        x = blobs3.X[0]
+        for c in range(3):
+            np.testing.assert_allclose(
+                linear_model.input_gradient(x, c),
+                linear_model.weights[:, c],
+                atol=1e-12,
+            )
+
+    def test_input_gradient_proba_matches_finite_differences(
+        self, linear_model, blobs3
+    ):
+        x = blobs3.X[1]
+        c = 1
+        grad = linear_model.input_gradient(x, c, of="proba")
+        eps = 1e-6
+        for i in range(x.shape[0]):
+            bumped = x.copy()
+            bumped[i] += eps
+            numeric = (
+                linear_model.predict_proba(bumped)[c]
+                - linear_model.predict_proba(x)[c]
+            ) / eps
+            assert grad[i] == pytest.approx(numeric, abs=1e-5)
+
+    def test_input_gradient_validations(self, linear_model, blobs3):
+        x = blobs3.X[0]
+        with pytest.raises(ValidationError):
+            linear_model.input_gradient(x, 99)
+        with pytest.raises(ValidationError):
+            linear_model.input_gradient(x, 0, of="nonsense")
+
+    def test_wrong_instance_shape_rejected(self, linear_model):
+        with pytest.raises(ValidationError):
+            linear_model.region_id(np.ones(4))
+
+
+class TestSetParameters:
+    def test_round_trip(self):
+        W = np.arange(6, dtype=float).reshape(3, 2)
+        b = np.array([0.5, -0.5])
+        clf = SoftmaxRegression().set_parameters(W, b)
+        assert clf.n_features == 3 and clf.n_classes == 2
+        np.testing.assert_array_equal(clf.weights, W)
+        np.testing.assert_array_equal(clf.bias, b)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            SoftmaxRegression().set_parameters(np.ones((3, 2)), np.ones(3))
+
+    def test_copies_inputs(self):
+        W = np.ones((2, 2))
+        clf = SoftmaxRegression().set_parameters(W, np.zeros(2))
+        W[0, 0] = 99.0
+        assert clf.weights[0, 0] == 1.0
+
+
+class TestLocalLinearClassifier:
+    def test_validates_shapes(self):
+        with pytest.raises(ValidationError):
+            LocalLinearClassifier(weights=np.ones((2, 3)), bias=np.ones(2))
+
+    def test_predict_proba(self):
+        llc = LocalLinearClassifier(weights=np.eye(2), bias=np.zeros(2))
+        probs = llc.predict_proba(np.array([10.0, 0.0]))
+        assert probs[0] > 0.99
+
+    def test_properties(self):
+        llc = LocalLinearClassifier(
+            weights=np.ones((4, 2)), bias=np.zeros(2), region_id="r1"
+        )
+        assert llc.n_features == 4
+        assert llc.n_classes == 2
+        assert llc.region_id == "r1"

@@ -1,0 +1,117 @@
+"""Tests for the MaxOut network extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.models import MaxOutNetwork
+from repro.models.activations import cross_entropy
+
+
+class TestConstruction:
+    def test_shapes(self):
+        net = MaxOutNetwork([5, 6, 3], pieces=3, seed=0)
+        assert net.hidden_weights[0].shape == (5, 6, 3)
+        assert net.hidden_biases[0].shape == (6, 3)
+        assert net.out_weight.shape == (6, 3)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            MaxOutNetwork([5])
+        with pytest.raises(ValidationError):
+            MaxOutNetwork([5, 4, 3], pieces=1)
+        with pytest.raises(ValidationError):
+            MaxOutNetwork([5, 0, 3])
+
+
+class TestForward:
+    def test_probabilities_valid(self, maxout_model, blobs3):
+        probs = maxout_model.predict_proba(blobs3.X[:10])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_trained_accuracy(self, maxout_model, blobs3):
+        assert maxout_model.accuracy(blobs3.X, blobs3.y) > 0.85
+
+    def test_single_and_batch_agree(self, maxout_model, blobs3):
+        x = blobs3.X[0]
+        np.testing.assert_allclose(
+            maxout_model.decision_logits(x),
+            maxout_model.decision_logits(x[None, :])[0],
+        )
+
+
+class TestBackprop:
+    def test_gradients_match_finite_differences(self):
+        rng = np.random.default_rng(1)
+        net = MaxOutNetwork([3, 4, 2], pieces=2, seed=1)
+        X = rng.uniform(0.2, 0.8, size=(5, 3))
+        y = rng.integers(0, 2, size=5)
+        _, grads_w, grads_b = net.loss_and_grads(X, y)
+        params = net.get_parameters()
+        grads = []
+        for gw, gb in zip(grads_w, grads_b):
+            grads.extend([gw, gb])
+
+        eps = 1e-6
+        for p, g in zip(params, grads):
+            flat_p = p.ravel()
+            flat_g = g.ravel()
+            for idx in (0, flat_p.size - 1):
+                original = flat_p[idx]
+                flat_p[idx] = original + eps
+                up = cross_entropy(net.decision_logits(X), y)
+                flat_p[idx] = original - eps
+                down = cross_entropy(net.decision_logits(X), y)
+                flat_p[idx] = original
+                numeric = (up - down) / (2 * eps)
+                assert flat_g[idx] == pytest.approx(numeric, abs=1e-6)
+
+
+class TestRegionStructure:
+    def test_winner_pattern_shapes(self, maxout_model, blobs3):
+        winners = maxout_model.winner_pattern(blobs3.X[0])
+        assert len(winners) == 1
+        assert winners[0].shape == (8,)
+        assert np.all((winners[0] >= 0) & (winners[0] < 3))
+
+    def test_local_params_reproduce_logits(self, maxout_model, blobs3):
+        for x in blobs3.X[:10]:
+            local = maxout_model.local_linear_params(x)
+            np.testing.assert_allclose(
+                local.logits(x), maxout_model.decision_logits(x), atol=1e-10
+            )
+
+    def test_region_id_stable(self, maxout_model, blobs3):
+        x = blobs3.X[0]
+        assert maxout_model.region_id(x) == maxout_model.region_id(x + 1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_property_local_map_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        net = MaxOutNetwork([4, 5, 3], pieces=3, seed=seed)
+        x = rng.uniform(-1, 1, size=4)
+        local = net.local_linear_params(x)
+        np.testing.assert_allclose(
+            local.logits(x), net.decision_logits(x), atol=1e-9
+        )
+
+
+class TestParameterPlumbing:
+    def test_round_trip(self, maxout_model):
+        clone = MaxOutNetwork(
+            maxout_model.layer_sizes, pieces=maxout_model.pieces, seed=77
+        )
+        clone.set_parameters(maxout_model.get_parameters())
+        x = np.full(maxout_model.n_features, 0.4)
+        np.testing.assert_allclose(
+            clone.decision_logits(x), maxout_model.decision_logits(x)
+        )
+
+    def test_wrong_count_rejected(self, maxout_model):
+        with pytest.raises(ValidationError):
+            maxout_model.set_parameters(maxout_model.get_parameters()[:-1])

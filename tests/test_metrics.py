@@ -1,0 +1,260 @@
+"""Tests for the evaluation metrics (CPP/NLCI, CS, RD, WD, L1Dist)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.types import Attribution
+from repro.exceptions import ValidationError
+from repro.metrics import (
+    consistency_scores,
+    cosine_similarity,
+    effectiveness_curves,
+    flip_features,
+    l1_distance,
+    region_difference,
+    summarize_exactness,
+    weight_difference,
+)
+
+
+class TestFlipFeatures:
+    def test_positive_to_low_negative_to_high(self):
+        x = np.array([0.5, 0.5, 0.5])
+        att = Attribution(values=np.array([2.0, -3.0, 0.1]))
+        flipped = flip_features(x, att, 2)
+        # Top-2 by |weight|: index 1 (negative -> 1.0), index 0 (positive -> 0).
+        np.testing.assert_allclose(flipped, [0.0, 1.0, 0.5])
+
+    def test_original_untouched(self):
+        x = np.array([0.5, 0.5])
+        att = Attribution(values=np.array([1.0, -1.0]))
+        flip_features(x, att, 2)
+        np.testing.assert_allclose(x, [0.5, 0.5])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            flip_features(np.ones(3), Attribution(values=np.ones(2)), 1)
+
+
+class TestEffectivenessCurves:
+    @staticmethod
+    def _linear_proba(X):
+        """A hand-made 2-class model: p(class 1) = sigmoid(4 x_0 - 2)."""
+        X = np.atleast_2d(X)
+        z = 4.0 * X[:, 0] - 2.0
+        p1 = 1.0 / (1.0 + np.exp(-z))
+        return np.column_stack([1.0 - p1, p1])
+
+    def test_relevant_feature_moves_prediction(self):
+        instances = np.array([[0.9, 0.5], [0.8, 0.2]])
+        atts = [
+            Attribution(values=np.array([1.0, 0.0]), target_class=1)
+            for _ in range(2)
+        ]
+        curves = effectiveness_curves(self._linear_proba, instances, atts,
+                                      max_features=2)
+        # Flipping x0 (the only relevant feature) to 0 flips the label.
+        assert curves.avg_cpp[0] > 0.5
+        assert curves.nlci[0] == 2
+        assert curves.n_instances == 2
+
+    def test_irrelevant_feature_changes_nothing(self):
+        instances = np.array([[0.9, 0.5]])
+        atts = [Attribution(values=np.array([0.0, 1.0]), target_class=1)]
+        curves = effectiveness_curves(self._linear_proba, instances, atts,
+                                      max_features=1)
+        assert curves.avg_cpp[0] == pytest.approx(0.0, abs=1e-9)
+        assert curves.nlci[0] == 0
+
+    def test_nlci_monotone(self, relu_model, blobs3):
+        rng = np.random.default_rng(0)
+        instances = blobs3.X[:5]
+        atts = [
+            Attribution(values=rng.normal(size=6), target_class=int(c))
+            for c in relu_model.predict(instances)
+        ]
+        curves = effectiveness_curves(
+            relu_model.predict_proba, instances, atts, max_features=6
+        )
+        assert np.all(np.diff(curves.nlci) >= 0)
+
+    def test_batch_and_loop_agree(self, relu_model, blobs3):
+        instances = blobs3.X[:3]
+        atts = [
+            Attribution(values=np.linspace(-1, 1, 6), target_class=int(c))
+            for c in relu_model.predict(instances)
+        ]
+        fast = effectiveness_curves(
+            relu_model.predict_proba, instances, atts, max_features=5, batch=True
+        )
+        slow = effectiveness_curves(
+            relu_model.predict_proba, instances, atts, max_features=5, batch=False
+        )
+        np.testing.assert_allclose(fast.avg_cpp, slow.avg_cpp)
+        np.testing.assert_array_equal(fast.nlci, slow.nlci)
+
+    def test_k_capped_at_dimensionality(self):
+        instances = np.array([[0.5, 0.5]])
+        atts = [Attribution(values=np.array([1.0, -1.0]), target_class=1)]
+        curves = effectiveness_curves(self._linear_proba, instances, atts,
+                                      max_features=100)
+        assert curves.n_flipped.shape == (2,)
+
+    def test_validations(self):
+        with pytest.raises(ValidationError):
+            effectiveness_curves(self._linear_proba, np.ones(3), [])
+        with pytest.raises(ValidationError):
+            effectiveness_curves(self._linear_proba, np.ones((2, 2)), [])
+        with pytest.raises(ValidationError):
+            effectiveness_curves(
+                self._linear_proba,
+                np.ones((1, 2)),
+                [Attribution(values=np.ones(2))],
+                max_features=0,
+            )
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, -1.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_opposite_vectors(self):
+        v = np.array([1.0, 0.0])
+        assert cosine_similarity(v, -v) == pytest.approx(-1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(0.0)
+
+    def test_zero_conventions(self):
+        z = np.zeros(3)
+        assert cosine_similarity(z, z) == 1.0
+        assert cosine_similarity(z, np.ones(3)) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            cosine_similarity(np.ones(3), np.ones(2))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        v=hnp.arrays(
+            np.float64, st.integers(2, 8),
+            elements=st.floats(-10, 10, allow_nan=False),
+        ),
+        scale=st.floats(0.1, 100),
+    )
+    def test_property_scale_invariance(self, v, scale):
+        if np.linalg.norm(v) == 0:
+            return
+        assert cosine_similarity(v, scale * v) == pytest.approx(1.0)
+
+
+class TestConsistencyScores:
+    def test_identical_rows_score_one(self):
+        vectors = np.ones((4, 3))
+        scores = consistency_scores(vectors, np.array([1, 0, 3, 2]))
+        np.testing.assert_allclose(scores, 1.0)
+
+    def test_sorted_descending(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(6, 4))
+        scores = consistency_scores(vectors, np.array([1, 0, 3, 2, 5, 4]))
+        assert np.all(np.diff(scores) <= 0)
+
+    def test_out_of_range_neighbors_rejected(self):
+        with pytest.raises(ValidationError):
+            consistency_scores(np.ones((2, 2)), np.array([1, 5]))
+
+
+class TestRegionDifference:
+    def test_zero_when_same_region(self, relu_model, blobs3):
+        x0 = blobs3.X[0]
+        samples = x0 + np.random.default_rng(0).uniform(
+            -1e-10, 1e-10, size=(5, 6)
+        )
+        assert region_difference(relu_model, x0, samples) == 0.0
+
+    def test_one_when_any_sample_crosses(self, relu_model, blobs3):
+        x0 = blobs3.X[0]
+        other = None
+        for candidate in blobs3.X[1:]:
+            if relu_model.region_id(candidate) != relu_model.region_id(x0):
+                other = candidate
+                break
+        assert other is not None
+        samples = np.vstack([x0 + 1e-12, other])
+        assert region_difference(relu_model, x0, samples) == 1.0
+
+    def test_validations(self, relu_model, blobs3):
+        with pytest.raises(ValidationError):
+            region_difference(relu_model, blobs3.X[0], np.empty((0, 6)))
+        with pytest.raises(ValidationError):
+            region_difference(relu_model, blobs3.X[0], np.ones((2, 3)))
+
+
+class TestWeightDifference:
+    def test_zero_within_region(self, relu_model, blobs3):
+        x0 = blobs3.X[0]
+        samples = x0 + np.random.default_rng(1).uniform(
+            -1e-10, 1e-10, size=(4, 6)
+        )
+        assert weight_difference(relu_model, x0, samples, 0) == pytest.approx(0.0)
+
+    def test_positive_across_regions(self, relu_model, blobs3):
+        x0 = blobs3.X[0]
+        rid = relu_model.region_id(x0)
+        others = [x for x in blobs3.X if relu_model.region_id(x) != rid][:3]
+        wd = weight_difference(relu_model, x0, np.vstack(others), 0)
+        assert wd > 0.0
+
+    def test_matches_manual_formula(self, relu_model, blobs3):
+        from repro.models.openbox import ground_truth_core_parameters
+
+        x0 = blobs3.X[0]
+        samples = blobs3.X[1:4]
+        c = 1
+        total = 0.0
+        for row in samples:
+            for cp in (0, 2):
+                d0, _ = ground_truth_core_parameters(relu_model, x0, c, cp)
+                di, _ = ground_truth_core_parameters(relu_model, row, c, cp)
+                total += np.abs(d0 - di).sum()
+        expected = total / (2 * 3)
+        assert weight_difference(relu_model, x0, samples, c) == pytest.approx(
+            expected
+        )
+
+    def test_validations(self, relu_model, blobs3):
+        with pytest.raises(ValidationError):
+            weight_difference(relu_model, blobs3.X[0], np.ones((2, 6)), 99)
+
+
+class TestExactness:
+    def test_l1_distance(self):
+        assert l1_distance(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == 3.0
+
+    def test_l1_zero_for_identical(self):
+        v = np.array([1.0, -2.0])
+        assert l1_distance(v, v) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            l1_distance(np.ones(2), np.ones(3))
+
+    def test_summary(self):
+        s = summarize_exactness([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.n_instances == 3
+
+    def test_summary_validation(self):
+        with pytest.raises(ValidationError):
+            summarize_exactness([])

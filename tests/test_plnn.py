@@ -1,0 +1,181 @@
+"""Tests for the ReLU network (PLNN) and its piecewise linear structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.models import ReLUNetwork
+from repro.models.activations import cross_entropy
+
+
+class TestConstruction:
+    def test_layer_shapes(self):
+        net = ReLUNetwork([5, 8, 3], seed=0)
+        assert net.weights[0].shape == (5, 8)
+        assert net.weights[1].shape == (8, 3)
+        assert net.n_hidden_layers == 1
+        assert net.n_features == 5 and net.n_classes == 3
+
+    def test_no_hidden_layer_allowed(self):
+        net = ReLUNetwork([4, 2], seed=0)
+        assert net.n_hidden_layers == 0
+        assert net.region_id(np.zeros(4)) == "linear"
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            ReLUNetwork([5])
+        with pytest.raises(ValidationError):
+            ReLUNetwork([5, 0, 3])
+        with pytest.raises(ValidationError):
+            ReLUNetwork([5, 4, 1])  # single-class output
+
+
+class TestForward:
+    def test_batch_and_single_agree(self, relu_model, blobs3):
+        x = blobs3.X[0]
+        np.testing.assert_allclose(
+            relu_model.decision_logits(x),
+            relu_model.decision_logits(x[None, :])[0],
+        )
+
+    def test_probabilities_valid(self, relu_model, blobs3):
+        probs = relu_model.predict_proba(blobs3.X[:10])
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_trained_accuracy(self, relu_model, blobs3):
+        assert relu_model.accuracy(blobs3.X, blobs3.y) > 0.9
+
+    def test_wrong_width_rejected(self, relu_model):
+        with pytest.raises(ValidationError):
+            relu_model.decision_logits(np.ones((2, 7)))
+
+
+class TestBackprop:
+    def test_gradients_match_finite_differences(self):
+        """Exact backprop check on every parameter of a tiny network."""
+        rng = np.random.default_rng(0)
+        net = ReLUNetwork([3, 4, 2], seed=0)
+        X = rng.uniform(0.2, 0.8, size=(6, 3))
+        y = rng.integers(0, 2, size=6)
+        _, grads_w, grads_b = net.loss_and_grads(X, y)
+
+        eps = 1e-6
+        for layer in range(len(net.weights)):
+            W = net.weights[layer]
+            for idx in [(0, 0), (W.shape[0] - 1, W.shape[1] - 1)]:
+                original = W[idx]
+                W[idx] = original + eps
+                up = cross_entropy(net.decision_logits(X), y)
+                W[idx] = original - eps
+                down = cross_entropy(net.decision_logits(X), y)
+                W[idx] = original
+                numeric = (up - down) / (2 * eps)
+                assert grads_w[layer][idx] == pytest.approx(numeric, abs=1e-6)
+            b = net.biases[layer]
+            original = b[0]
+            b[0] = original + eps
+            up = cross_entropy(net.decision_logits(X), y)
+            b[0] = original - eps
+            down = cross_entropy(net.decision_logits(X), y)
+            b[0] = original
+            numeric = (up - down) / (2 * eps)
+            assert grads_b[layer][0] == pytest.approx(numeric, abs=1e-6)
+
+    def test_forward_cached_consistent(self, relu_model, blobs3):
+        logits, activations = relu_model.forward_cached(blobs3.X[:4])
+        np.testing.assert_allclose(
+            logits, relu_model.decision_logits(blobs3.X[:4])
+        )
+        assert len(activations) == relu_model.n_hidden_layers + 1
+
+
+class TestRegionStructure:
+    def test_activation_pattern_shapes(self, relu_model, blobs3):
+        masks = relu_model.activation_pattern(blobs3.X[0])
+        assert [m.shape[0] for m in masks] == [16, 8]
+        assert all(m.dtype == bool for m in masks)
+
+    def test_region_id_deterministic(self, relu_model, blobs3):
+        x = blobs3.X[0]
+        assert relu_model.region_id(x) == relu_model.region_id(x.copy())
+
+    def test_nearby_points_share_region(self, relu_model, blobs3):
+        x = blobs3.X[0]
+        nudged = x + 1e-9
+        assert relu_model.region_id(x) == relu_model.region_id(nudged)
+
+    def test_multiple_regions_exist(self, relu_model, blobs3):
+        ids = {relu_model.region_id(x) for x in blobs3.X}
+        assert len(ids) > 1
+
+    def test_local_params_reproduce_logits_exactly(self, relu_model, blobs3):
+        """The OpenBox identity: inside a region the net IS the affine map."""
+        for x in blobs3.X[:10]:
+            local = relu_model.local_linear_params(x)
+            np.testing.assert_allclose(
+                local.logits(x), relu_model.decision_logits(x), atol=1e-10
+            )
+
+    def test_local_params_valid_on_whole_region(self, relu_model, blobs3):
+        """The affine map extends to other points of the same region."""
+        x = blobs3.X[0]
+        local = relu_model.local_linear_params(x)
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(20):
+            probe = x + rng.uniform(-1e-4, 1e-4, size=x.shape)
+            if relu_model.region_id(probe) == local.region_id:
+                hits += 1
+                np.testing.assert_allclose(
+                    local.logits(probe),
+                    relu_model.decision_logits(probe),
+                    atol=1e-10,
+                )
+        assert hits > 0  # tiny cube: sanity that we tested something
+
+    def test_input_gradient_is_local_weight_column(self, relu_model, blobs3):
+        x = blobs3.X[2]
+        local = relu_model.local_linear_params(x)
+        for c in range(3):
+            np.testing.assert_allclose(
+                relu_model.input_gradient(x, c), local.weights[:, c], atol=1e-12
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_property_openbox_identity_random_nets(self, seed):
+        """relu_local_map reproduces forward logits for random nets/inputs."""
+        rng = np.random.default_rng(seed)
+        net = ReLUNetwork([4, 6, 5, 3], seed=seed)
+        x = rng.uniform(-2, 2, size=4)
+        local = net.local_linear_params(x)
+        np.testing.assert_allclose(
+            local.logits(x), net.decision_logits(x), atol=1e-9
+        )
+
+
+class TestParameterPlumbing:
+    def test_round_trip(self, relu_model):
+        params = relu_model.get_parameters()
+        clone = ReLUNetwork(relu_model.layer_sizes, seed=99)
+        clone.set_parameters(params)
+        x = np.full(relu_model.n_features, 0.3)
+        np.testing.assert_allclose(
+            clone.decision_logits(x), relu_model.decision_logits(x)
+        )
+
+    def test_wrong_count_rejected(self, relu_model):
+        with pytest.raises(ValidationError):
+            relu_model.set_parameters(relu_model.get_parameters()[:-1])
+
+    def test_wrong_shape_rejected(self):
+        net = ReLUNetwork([3, 4, 2], seed=0)
+        params = net.get_parameters()
+        params[0] = np.ones((3, 5))
+        with pytest.raises(ValidationError):
+            net.set_parameters(params)

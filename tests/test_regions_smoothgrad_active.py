@@ -1,0 +1,184 @@
+"""Tests for region geometry, SmoothGrad, and active extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SmoothGrad
+from repro.exceptions import ValidationError
+from repro.extraction import ActiveRegionExplorer, RegionExplorer
+from repro.models.regions import (
+    count_regions_on_segment,
+    region_radius,
+    region_statistics,
+)
+
+
+class TestRegionRadius:
+    def test_linear_model_has_unbounded_region(self, linear_model, blobs3):
+        radius = region_radius(linear_model, blobs3.X[0], max_radius=5.0, seed=0)
+        assert radius == 5.0  # single region: never finds a boundary
+
+    def test_plnn_radius_finite_and_positive(self, relu_model, blobs3):
+        radius = region_radius(relu_model, blobs3.X[0], seed=0)
+        assert 0.0 < radius <= 2.0
+
+    def test_radius_is_safe(self, relu_model, blobs3):
+        """Perturbations strictly inside the radius keep the region id
+        (along the tested directions — spot check with fresh ones)."""
+        x = blobs3.X[0]
+        radius = region_radius(relu_model, x, n_directions=16, seed=0)
+        home = relu_model.region_id(x)
+        rng = np.random.default_rng(1)
+        stays = 0
+        for _ in range(20):
+            direction = rng.normal(size=x.shape)
+            direction /= np.linalg.norm(direction)
+            if relu_model.region_id(x + 0.5 * radius * direction) == home:
+                stays += 1
+        # The radius is a min over sampled directions, not exact; most
+        # fresh directions at half the radius must stay inside.
+        assert stays >= 16
+
+    def test_lmt_radius_larger_than_plnn(self, lmt_model, relu_model, blobs3, xor_dataset):
+        """The Figure 5 geometry: LMT cells are much larger than PLNN cells."""
+        lmt_r = np.median([
+            region_radius(lmt_model, x, seed=0) for x in xor_dataset.X[:10]
+        ])
+        plnn_r = np.median([
+            region_radius(relu_model, x, seed=0) for x in blobs3.X[:10]
+        ])
+        assert lmt_r > plnn_r
+
+    def test_validations(self, relu_model, blobs3):
+        with pytest.raises(ValidationError):
+            region_radius(relu_model, blobs3.X[0], n_directions=0)
+        with pytest.raises(ValidationError):
+            region_radius(relu_model, blobs3.X[0], max_radius=0.0)
+
+
+class TestCountRegionsOnSegment:
+    def test_single_region_for_linear(self, linear_model, blobs3):
+        assert count_regions_on_segment(
+            linear_model, blobs3.X[0], blobs3.X[1]
+        ) == 1
+
+    def test_plnn_crosses_regions(self, relu_model, blobs3):
+        # Two far-apart instances of different classes: the line between
+        # them must cross boundaries.
+        a = blobs3.X[blobs3.y == 0][0]
+        b = blobs3.X[blobs3.y == 1][0]
+        assert count_regions_on_segment(relu_model, a, b) > 1
+
+    def test_degenerate_segment(self, relu_model, blobs3):
+        x = blobs3.X[0]
+        assert count_regions_on_segment(relu_model, x, x) == 1
+
+    def test_monotone_in_resolution(self, relu_model, blobs3):
+        a, b = blobs3.X[0], blobs3.X[1]
+        coarse = count_regions_on_segment(relu_model, a, b, n_steps=16)
+        fine = count_regions_on_segment(relu_model, a, b, n_steps=512)
+        assert fine >= coarse
+
+    def test_validations(self, relu_model, blobs3):
+        with pytest.raises(ValidationError):
+            count_regions_on_segment(relu_model, blobs3.X[0], np.ones(3))
+        with pytest.raises(ValidationError):
+            count_regions_on_segment(
+                relu_model, blobs3.X[0], blobs3.X[1], n_steps=0
+            )
+
+
+class TestRegionStatistics:
+    def test_summary_fields(self, relu_model, blobs3):
+        stats = region_statistics(relu_model, blobs3.X[:8], seed=0)
+        assert stats.radii.shape == (8,)
+        assert stats.min_radius <= stats.median_radius <= stats.max_radius
+        assert 1 <= stats.n_distinct_regions <= 8
+
+    def test_empty_rejected(self, relu_model):
+        with pytest.raises(ValidationError):
+            region_statistics(relu_model, np.empty((0, 6)))
+
+
+class TestSmoothGrad:
+    def test_basic_attribution(self, relu_model, blobs3):
+        att = SmoothGrad(relu_model, seed=0).explain(blobs3.X[0])
+        assert att.values.shape == (6,)
+        assert att.method == "smoothgrad"
+        assert att.samples.shape == (25, 6)
+
+    def test_linear_model_recovers_gradient(self, linear_model, blobs3):
+        """One region: the average of identical gradients is the gradient."""
+        att = SmoothGrad(linear_model, n_samples=10, seed=0).explain(
+            blobs3.X[0], c=1
+        )
+        np.testing.assert_allclose(att.values, linear_model.weights[:, 1])
+
+    def test_magnitude_variant_nonnegative(self, relu_model, blobs3):
+        att = SmoothGrad(relu_model, magnitude=True, seed=0).explain(blobs3.X[0])
+        assert np.all(att.values >= 0)
+
+    def test_smoothing_mixes_regions(self, relu_model, blobs3):
+        """With large noise the attribution differs from the local
+        gradient — the inexactness OpenAPI avoids."""
+        x0 = blobs3.X[0]
+        c = int(relu_model.predict(x0)[0])
+        local_grad = relu_model.input_gradient(x0, c)
+        att = SmoothGrad(
+            relu_model, n_samples=50, noise_scale=1.0, seed=0
+        ).explain(x0, c=c)
+        assert not np.allclose(att.values, local_grad, atol=1e-6)
+
+    def test_validations(self, relu_model):
+        with pytest.raises(ValidationError):
+            SmoothGrad(relu_model, n_samples=0)
+        with pytest.raises(ValidationError):
+            SmoothGrad(relu_model, noise_scale=0.0)
+        with pytest.raises(ValidationError):
+            SmoothGrad(relu_model, of="banana")
+
+
+class TestActiveRegionExplorer:
+    def test_discovers_regions(self, relu_api):
+        active = ActiveRegionExplorer(relu_api, seed=0)
+        active.explore(20)
+        assert active.n_regions >= 1
+        assert len(active.records) == active.n_regions
+
+    def test_fidelity_at_equal_budget(self, relu_api, blobs3):
+        """The documented trade-off: boundary-seeking may find fewer
+        regions than random probing but must keep surrogate label
+        fidelity competitive at equal budget (its anchors sit where
+        routing errors happen)."""
+        from repro.extraction import PiecewiseSurrogate, fidelity_report
+
+        budget = 40
+        active = ActiveRegionExplorer(relu_api, exploit_fraction=0.5, seed=1)
+        active.explore(budget)
+        random_explorer = RegionExplorer(relu_api, seed=1)
+        random_explorer.explore_random(budget)
+
+        eval_X = blobs3.X[200:]
+        fid_active = fidelity_report(
+            PiecewiseSurrogate(active.records), relu_api, eval_X
+        )
+        fid_random = fidelity_report(
+            PiecewiseSurrogate(random_explorer.records), relu_api, eval_X
+        )
+        assert fid_active.label_agreement >= fid_random.label_agreement - 0.02
+
+    def test_pure_random_mode(self, relu_api):
+        active = ActiveRegionExplorer(relu_api, exploit_fraction=0.0, seed=2)
+        active.explore(5)
+        assert active.n_regions >= 1
+
+    def test_validations(self, relu_api):
+        with pytest.raises(ValidationError):
+            ActiveRegionExplorer(relu_api, exploit_fraction=1.5)
+        with pytest.raises(ValidationError):
+            ActiveRegionExplorer(relu_api, box=(1.0, 0.0))
+        active = ActiveRegionExplorer(relu_api, seed=0)
+        with pytest.raises(ValidationError):
+            active.explore(0)

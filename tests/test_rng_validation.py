@@ -1,0 +1,158 @@
+"""Tests for RNG plumbing and validation helpers (repro.utils)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_labels,
+    check_matrix,
+    check_positive,
+    check_probability_vector,
+    check_vector,
+)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).uniform(size=5)
+        b = as_generator(42).uniform(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        g = as_generator(seq)
+        assert isinstance(g, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_children_are_independent_of_each_other(self):
+        g1, g2 = spawn_generators(0, 2)
+        assert not np.allclose(g1.uniform(size=8), g2.uniform(size=8))
+
+    def test_reproducible_from_int_seed(self):
+        a = [g.uniform() for g in spawn_generators(5, 3)]
+        b = [g.uniform() for g in spawn_generators(5, 3)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        children = spawn_generators(np.random.default_rng(1), 4)
+        assert len(children) == 4
+
+    def test_spawn_from_seed_sequence(self):
+        children = spawn_generators(np.random.SeedSequence(1), 2)
+        assert len(children) == 2
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestCheckArray:
+    def test_converts_lists(self):
+        arr = check_array([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_array([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_array([np.inf])
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError):
+            check_array([1.0, 2.0], ndim=2)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_array(["a", "b"])
+
+
+class TestCheckVectorMatrix:
+    def test_vector_size_enforced(self):
+        with pytest.raises(ValidationError):
+            check_vector([1.0, 2.0], size=3)
+
+    def test_matrix_shape_enforced(self):
+        with pytest.raises(ValidationError):
+            check_matrix(np.ones((2, 3)), rows=3)
+        with pytest.raises(ValidationError):
+            check_matrix(np.ones((2, 3)), cols=2)
+
+    def test_valid_passthrough(self):
+        m = check_matrix(np.ones((2, 3)), rows=2, cols=3)
+        assert m.shape == (2, 3)
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        check_probability_vector([0.2, 0.3, 0.5])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([-0.1, 1.1])
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([0.2, 0.2])
+
+
+class TestScalarChecks:
+    def test_check_positive(self):
+        assert check_positive(1.5) == 1.5
+        with pytest.raises(ValidationError):
+            check_positive(0.0)
+        assert check_positive(0.0, strict=False) == 0.0
+        with pytest.raises(ValidationError):
+            check_positive(-1.0, strict=False)
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, 0, 1) == 0.5
+        assert check_in_range(1.0, 0, 1) == 1.0
+        with pytest.raises(ValidationError):
+            check_in_range(1.0, 0, 1, inclusive=False)
+        with pytest.raises(ValidationError):
+            check_in_range(2.0, 0, 1)
+
+
+class TestCheckLabels:
+    def test_accepts_ints(self):
+        y = check_labels([0, 1, 2], n_classes=3)
+        assert y.dtype == np.int64
+
+    def test_accepts_integral_floats(self):
+        y = check_labels(np.array([0.0, 1.0]))
+        assert y.dtype == np.int64
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValidationError):
+            check_labels([0.5, 1.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_labels([-1, 0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_labels([0, 3], n_classes=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            check_labels(np.zeros((2, 2), dtype=int))

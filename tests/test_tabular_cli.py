@@ -1,0 +1,159 @@
+"""Tests for the credit-scoring dataset, the experiment runner and the CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import (
+    CREDIT_CLASS_NAMES,
+    CREDIT_FEATURE_NAMES,
+    load_dataset,
+    make_credit_scoring,
+)
+from repro.data.tabular import _creditworthiness
+from repro.eval.runner import (
+    EXPERIMENT_IDS,
+    ExperimentReport,
+    resolve_config,
+    run_experiments,
+)
+from repro.exceptions import ValidationError
+
+
+class TestCreditScoring:
+    def test_shapes_and_names(self):
+        ds = make_credit_scoring(200, seed=0)
+        assert ds.X.shape == (200, len(CREDIT_FEATURE_NAMES))
+        assert ds.class_names == CREDIT_CLASS_NAMES
+        assert ds.X.min() >= 0.0 and ds.X.max() <= 1.0
+
+    def test_all_classes_present(self):
+        ds = make_credit_scoring(300, seed=1)
+        assert set(ds.y.tolist()) == {0, 1, 2}
+
+    def test_class_imbalance_matches_cutoffs(self):
+        ds = make_credit_scoring(1000, label_noise=0.0, seed=2)
+        counts = np.bincount(ds.y)
+        # 30% deny / 30% review / 40% approve by construction.
+        assert counts[0] == pytest.approx(300, abs=20)
+        assert counts[2] == pytest.approx(400, abs=20)
+
+    def test_reproducible(self):
+        a = make_credit_scoring(100, seed=5)
+        b = make_credit_scoring(100, seed=5)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_label_noise_flips_labels(self):
+        clean = make_credit_scoring(500, label_noise=0.0, seed=3)
+        noisy = make_credit_scoring(500, label_noise=0.3, seed=3)
+        assert (clean.y != noisy.y).mean() > 0.1
+
+    def test_learnable_by_plnn(self):
+        from repro.models import ReLUNetwork, TrainingConfig, train_network
+
+        ds = make_credit_scoring(800, seed=4)
+        net = ReLUNetwork([ds.n_features, 24, 3], seed=4)
+        report = train_network(
+            net, ds.X, ds.y,
+            TrainingConfig(epochs=120, learning_rate=3e-3, seed=4),
+        )
+        assert report.final_train_accuracy > 0.85
+
+    def test_ground_truth_is_piecewise(self):
+        """The secured-loan regime changes collateral's marginal effect."""
+        base = np.full((1, 10), 0.5)
+        collateral_idx = CREDIT_FEATURE_NAMES.index("collateral")
+
+        def marginal(at):
+            lo = base.copy()
+            hi = base.copy()
+            lo[0, collateral_idx] = at - 0.01
+            hi[0, collateral_idx] = at + 0.01
+            return float(
+                (_creditworthiness(hi) - _creditworthiness(lo))[0]
+            ) / 0.02
+
+        assert marginal(0.8) > marginal(0.2) + 0.5
+
+    def test_registry_integration(self):
+        ds = load_dataset("credit-scoring", 50, seed=0)
+        assert ds.name == "credit-scoring"
+
+    def test_validations(self):
+        with pytest.raises(ValidationError):
+            make_credit_scoring(5)
+        with pytest.raises(ValidationError):
+            make_credit_scoring(100, label_noise=1.0)
+
+
+class TestRunner:
+    def test_resolve_config(self):
+        assert resolve_config("test").n_features == 36
+        assert resolve_config("paper").n_features == 784
+        with pytest.raises(ValidationError):
+            resolve_config("galactic")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValidationError):
+            run_experiments(["fig99"], scale="test")
+
+    def test_single_experiment(self):
+        cfg = resolve_config("test").scaled(
+            datasets=("synthetic-digits",), models=("lmt",)
+        )
+        report = run_experiments(["table1"], config=cfg)
+        assert isinstance(report, ExperimentReport)
+        assert "table1" in report.sections
+        assert "LMT" in report.sections["table1"]
+        assert "table1" in report.as_text()
+
+    def test_all_expands(self):
+        cfg = resolve_config("test").scaled(
+            datasets=("synthetic-digits",),
+            models=("lmt",),
+            n_interpret=2,
+            h_grid=(1e-4,),
+        )
+        report = run_experiments(["all"], config=cfg)
+        assert set(report.sections) == set(EXPERIMENT_IDS)
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "table1", "--scale", "test"])
+        assert args.command == "run" and args.ids == ["table1"]
+        args = parser.parse_args(["interpret", "--dataset", "blobs"])
+        assert args.command == "interpret"
+        args = parser.parse_args(["list"])
+        assert args.command == "list"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "credit-scoring" in out
+        assert "scale paper" in out
+
+    def test_run_command_writes_output(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        code = main(["run", "table1", "--scale", "test", "--output", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+        assert "table1" in out_file.read_text()
+
+    def test_interpret_command(self, capsys):
+        code = main(["interpret", "--dataset", "blobs", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certified=True" in out
+        assert "verification PASS" in out
+
+    def test_interpret_bad_instance(self, capsys):
+        code = main([
+            "interpret", "--dataset", "blobs", "--instance", "100000"
+        ])
+        assert code == 2

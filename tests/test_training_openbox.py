@@ -1,0 +1,206 @@
+"""Tests for the trainer and the OpenBox ground-truth extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_blobs
+from repro.exceptions import ValidationError
+from repro.models import ReLUNetwork, TrainingConfig, train_network
+from repro.models.openbox import (
+    core_parameters_from_weights,
+    decision_features_from_weights,
+    extract_local_classifier,
+    ground_truth_core_parameters,
+    ground_truth_decision_features,
+    relu_local_map,
+)
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        TrainingConfig()
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValidationError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ValidationError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValidationError):
+            TrainingConfig(learning_rate=0)
+        with pytest.raises(ValidationError):
+            TrainingConfig(target_accuracy=0.0)
+
+
+class TestTrainNetwork:
+    def test_loss_decreases(self, blobs3):
+        net = ReLUNetwork([6, 12, 3], seed=0)
+        report = train_network(
+            net, blobs3.X, blobs3.y,
+            TrainingConfig(epochs=20, learning_rate=3e-3, seed=0),
+        )
+        assert report.loss_history[-1] < report.loss_history[0]
+        assert report.final_train_accuracy > 0.8
+
+    def test_early_stopping(self, blobs3):
+        net = ReLUNetwork([6, 16, 3], seed=1)
+        report = train_network(
+            net, blobs3.X, blobs3.y,
+            TrainingConfig(
+                epochs=200, learning_rate=5e-3, target_accuracy=0.9, seed=1
+            ),
+        )
+        assert report.stopped_early
+        assert report.epochs_run < 200
+
+    def test_empty_data_rejected(self):
+        net = ReLUNetwork([3, 4, 2], seed=0)
+        with pytest.raises(ValidationError):
+            train_network(net, np.empty((0, 3)), np.empty(0, dtype=int))
+
+    def test_mismatched_rows_rejected(self, blobs3):
+        net = ReLUNetwork([6, 4, 3], seed=0)
+        with pytest.raises(ValidationError):
+            train_network(net, blobs3.X, blobs3.y[:-1])
+
+    def test_reproducible(self, blobs3):
+        def run():
+            net = ReLUNetwork([6, 8, 3], seed=7)
+            train_network(
+                net, blobs3.X, blobs3.y,
+                TrainingConfig(epochs=5, seed=7),
+            )
+            return net.decision_logits(blobs3.X[:5])
+
+        np.testing.assert_array_equal(run(), run())
+
+
+class TestReluLocalMap:
+    def test_identity_for_all_on_masks(self):
+        """With every unit active the map is the plain product of layers."""
+        rng = np.random.default_rng(0)
+        W1 = rng.normal(size=(3, 4))
+        b1 = rng.normal(size=4)
+        W2 = rng.normal(size=(4, 2))
+        b2 = rng.normal(size=2)
+        masks = [np.ones(4, dtype=bool)]
+        M, k = relu_local_map([W1, W2], [b1, b2], masks)
+        np.testing.assert_allclose(M, W1 @ W2)
+        np.testing.assert_allclose(k, b1 @ W2 + b2)
+
+    def test_all_off_masks_kill_input(self):
+        rng = np.random.default_rng(1)
+        W1 = rng.normal(size=(3, 4))
+        b1 = rng.normal(size=4)
+        W2 = rng.normal(size=(4, 2))
+        b2 = rng.normal(size=2)
+        M, k = relu_local_map([W1, W2], [b1, b2], [np.zeros(4, dtype=bool)])
+        np.testing.assert_allclose(M, 0.0)
+        np.testing.assert_allclose(k, b2)
+
+    def test_mask_count_validated(self):
+        W = [np.ones((2, 2)), np.ones((2, 2))]
+        b = [np.zeros(2), np.zeros(2)]
+        with pytest.raises(ValidationError):
+            relu_local_map(W, b, [])
+        with pytest.raises(ValidationError):
+            relu_local_map(W, b, [np.ones(3, dtype=bool)])
+
+    def test_weight_bias_count_validated(self):
+        with pytest.raises(ValidationError):
+            relu_local_map([np.ones((2, 2))], [], [])
+
+
+class TestDecisionFeatureFormulas:
+    def test_two_class_reduces_to_column_difference(self):
+        W = np.array([[1.0, 3.0], [2.0, -1.0]])
+        np.testing.assert_allclose(
+            decision_features_from_weights(W, 0), W[:, 0] - W[:, 1]
+        )
+        np.testing.assert_allclose(
+            decision_features_from_weights(W, 1), W[:, 1] - W[:, 0]
+        )
+
+    def test_multi_class_average(self):
+        rng = np.random.default_rng(2)
+        W = rng.normal(size=(4, 5))
+        c = 2
+        expected = np.mean(
+            [W[:, c] - W[:, cp] for cp in range(5) if cp != c], axis=0
+        )
+        np.testing.assert_allclose(decision_features_from_weights(W, c), expected)
+
+    def test_gauge_invariance(self):
+        """Adding any vector to every column leaves D_c unchanged —
+        the reason API-only recovery (which loses the gauge) is enough."""
+        rng = np.random.default_rng(3)
+        W = rng.normal(size=(4, 3))
+        shift = rng.normal(size=4)
+        shifted = W + shift[:, None]
+        for c in range(3):
+            np.testing.assert_allclose(
+                decision_features_from_weights(W, c),
+                decision_features_from_weights(shifted, c),
+                atol=1e-12,
+            )
+
+    def test_validations(self):
+        with pytest.raises(ValidationError):
+            decision_features_from_weights(np.ones(3), 0)
+        with pytest.raises(ValidationError):
+            decision_features_from_weights(np.ones((3, 1)), 0)
+        with pytest.raises(ValidationError):
+            decision_features_from_weights(np.ones((3, 2)), 5)
+
+    def test_core_parameters(self):
+        W = np.array([[1.0, 3.0], [2.0, -1.0]])
+        b = np.array([0.5, -0.5])
+        D, B = core_parameters_from_weights(W, b, 0, 1)
+        np.testing.assert_allclose(D, [-2.0, 3.0])
+        assert B == pytest.approx(1.0)
+
+    def test_core_parameters_antisymmetric(self):
+        rng = np.random.default_rng(4)
+        W = rng.normal(size=(3, 4))
+        b = rng.normal(size=4)
+        D01, B01 = core_parameters_from_weights(W, b, 0, 1)
+        D10, B10 = core_parameters_from_weights(W, b, 1, 0)
+        np.testing.assert_allclose(D01, -D10)
+        assert B01 == pytest.approx(-B10)
+
+    def test_core_parameters_validations(self):
+        W = np.ones((3, 2))
+        b = np.zeros(2)
+        with pytest.raises(ValidationError):
+            core_parameters_from_weights(W, b, 0, 0)
+        with pytest.raises(ValidationError):
+            core_parameters_from_weights(W, b, 0, 5)
+        with pytest.raises(ValidationError):
+            core_parameters_from_weights(W, np.zeros(3), 0, 1)
+
+
+class TestGroundTruthHelpers:
+    def test_ground_truth_consistency(self, relu_model, blobs3):
+        x = blobs3.X[0]
+        local = extract_local_classifier(relu_model, x)
+        gt = ground_truth_decision_features(relu_model, x, 1)
+        np.testing.assert_allclose(
+            gt, decision_features_from_weights(local.weights, 1)
+        )
+        D, B = ground_truth_core_parameters(relu_model, x, 1, 2)
+        np.testing.assert_allclose(D, local.weights[:, 1] - local.weights[:, 2])
+        assert B == pytest.approx(float(local.bias[1] - local.bias[2]))
+
+    def test_log_odds_identity(self, relu_model, blobs3):
+        """D_{c,c'}^T x + B_{c,c'} equals the softmax log-odds (Equation 2)."""
+        x = blobs3.X[4]
+        probs = relu_model.predict_proba(x)
+        for c in range(3):
+            for cp in range(3):
+                if c == cp:
+                    continue
+                D, B = ground_truth_core_parameters(relu_model, x, c, cp)
+                assert float(D @ x + B) == pytest.approx(
+                    float(np.log(probs[c] / probs[cp])), abs=1e-9
+                )

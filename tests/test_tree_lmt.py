@@ -1,0 +1,176 @@
+"""Tests for C4.5 split search and the logistic model tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.models import LogisticModelTree
+from repro.models.tree import entropy, find_best_split
+
+
+class TestEntropy:
+    def test_pure_is_zero(self):
+        assert entropy(np.zeros(10, dtype=int), 2) == 0.0
+
+    def test_uniform_two_classes_is_one_bit(self):
+        labels = np.array([0] * 5 + [1] * 5)
+        assert entropy(labels, 2) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert entropy(np.empty(0, dtype=int), 3) == 0.0
+
+    def test_uniform_k_classes(self):
+        labels = np.arange(4).repeat(3)
+        assert entropy(labels, 4) == pytest.approx(2.0)
+
+
+class TestFindBestSplit:
+    def test_clean_threshold_found(self):
+        X = np.array([[0.1], [0.2], [0.3], [0.7], [0.8], [0.9]])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        split = find_best_split(X, y, 2)
+        assert split is not None
+        assert split.feature == 0
+        assert 0.3 < split.threshold < 0.7
+        assert split.gain == pytest.approx(1.0)
+        assert split.n_left == 3 and split.n_right == 3
+
+    def test_picks_informative_feature(self):
+        rng = np.random.default_rng(0)
+        n = 100
+        informative = np.concatenate([rng.uniform(0, 0.4, n // 2),
+                                      rng.uniform(0.6, 1.0, n // 2)])
+        noise = rng.uniform(size=n)
+        X = np.column_stack([noise, informative])
+        y = np.array([0] * (n // 2) + [1] * (n // 2))
+        split = find_best_split(X, y, 2)
+        assert split is not None and split.feature == 1
+
+    def test_pure_node_returns_none(self):
+        X = np.random.default_rng(1).uniform(size=(10, 2))
+        assert find_best_split(X, np.zeros(10, dtype=int), 2) is None
+
+    def test_min_leaf_respected(self):
+        X = np.array([[0.0], [1.0], [1.1], [1.2]])
+        y = np.array([0, 1, 1, 1])
+        split = find_best_split(X, y, 2, min_leaf=2)
+        assert split is None or (split.n_left >= 2 and split.n_right >= 2)
+
+    def test_too_few_samples(self):
+        X = np.array([[0.0]])
+        assert find_best_split(X, np.array([0]), 2) is None
+
+    def test_constant_feature_unusable(self):
+        X = np.ones((10, 1))
+        y = np.array([0, 1] * 5)
+        assert find_best_split(X, y, 2) is None
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            find_best_split(np.ones(5), np.zeros(5, dtype=int), 2)
+        with pytest.raises(ValidationError):
+            find_best_split(np.ones((5, 2)), np.zeros(4, dtype=int), 2)
+
+    def test_threshold_capping(self):
+        """max_thresholds caps the candidate scan without losing the split."""
+        rng = np.random.default_rng(2)
+        X = rng.uniform(size=(200, 1))
+        y = (X[:, 0] > 0.5).astype(int)
+        split = find_best_split(X, y, 2, max_thresholds=4)
+        assert split is not None
+        assert abs(split.threshold - 0.5) < 0.15
+
+
+class TestLogisticModelTree:
+    def test_xor_requires_multiple_leaves(self, lmt_model):
+        assert lmt_model.n_leaves >= 2
+        assert lmt_model.depth >= 1
+
+    def test_xor_accuracy(self, lmt_model, xor_dataset):
+        assert lmt_model.accuracy(xor_dataset.X, xor_dataset.y) > 0.9
+
+    def test_linearly_separable_stays_single_leaf(self, blobs3):
+        lmt = LogisticModelTree(
+            min_samples_split=50, leaf_accuracy_stop=0.9, seed=0
+        ).fit(blobs3.X, blobs3.y)
+        assert lmt.n_leaves == 1
+        assert lmt.region_id(blobs3.X[0]) == 0
+
+    def test_min_samples_split_blocks_growth(self, xor_dataset):
+        lmt = LogisticModelTree(
+            min_samples_split=10_000, leaf_accuracy_stop=0.99, seed=0
+        ).fit(xor_dataset.X, xor_dataset.y)
+        assert lmt.n_leaves == 1
+
+    def test_max_depth_zero_forces_single_leaf(self, xor_dataset):
+        lmt = LogisticModelTree(max_depth=0, seed=0).fit(
+            xor_dataset.X, xor_dataset.y
+        )
+        assert lmt.n_leaves == 1
+
+    def test_routing_consistent_with_region_id(self, lmt_model, xor_dataset):
+        for x in xor_dataset.X[:20]:
+            leaf = lmt_model.leaf_for(x)
+            assert leaf.leaf_id == lmt_model.region_id(x)
+
+    def test_local_params_match_leaf_classifier(self, lmt_model, xor_dataset):
+        x = xor_dataset.X[0]
+        local = lmt_model.local_linear_params(x)
+        leaf = lmt_model.leaf_for(x)
+        np.testing.assert_array_equal(local.weights, leaf.classifier.weights)
+        np.testing.assert_array_equal(local.bias, leaf.classifier.bias)
+
+    def test_local_params_reproduce_logits(self, lmt_model, xor_dataset):
+        for x in xor_dataset.X[:10]:
+            local = lmt_model.local_linear_params(x)
+            np.testing.assert_allclose(
+                local.logits(x), lmt_model.decision_logits(x), atol=1e-12
+            )
+
+    def test_leaves_iterator(self, lmt_model):
+        leaves = list(lmt_model.leaves())
+        assert len(leaves) == lmt_model.n_leaves
+        assert all(leaf.is_leaf for leaf in leaves)
+        assert [leaf.leaf_id for leaf in leaves] == list(range(len(leaves)))
+
+    def test_predict_proba_batch(self, lmt_model, xor_dataset):
+        probs = lmt_model.predict_proba(xor_dataset.X[:5])
+        assert probs.shape == (5, 2)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        lmt = LogisticModelTree()
+        with pytest.raises(NotFittedError):
+            lmt.predict(np.ones((1, 2)))
+        with pytest.raises(NotFittedError):
+            _ = lmt.n_leaves
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValidationError):
+            LogisticModelTree(min_samples_split=1)
+        with pytest.raises(ValidationError):
+            LogisticModelTree(leaf_accuracy_stop=0.0)
+        with pytest.raises(ValidationError):
+            LogisticModelTree(max_depth=-1)
+
+    def test_reproducible(self, xor_dataset):
+        a = LogisticModelTree(min_samples_split=40, max_depth=3, seed=5).fit(
+            xor_dataset.X, xor_dataset.y
+        )
+        b = LogisticModelTree(min_samples_split=40, max_depth=3, seed=5).fit(
+            xor_dataset.X, xor_dataset.y
+        )
+        assert a.n_leaves == b.n_leaves
+        np.testing.assert_array_equal(
+            a.predict(xor_dataset.X), b.predict(xor_dataset.X)
+        )
+
+    def test_region_partition(self, lmt_model, xor_dataset):
+        """Every instance maps to exactly one leaf (regions partition X)."""
+        rng = np.random.default_rng(3)
+        probes = rng.uniform(0, 1, size=(50, 2))
+        for x in probes:
+            rid = lmt_model.region_id(x)
+            assert 0 <= rid < lmt_model.n_leaves

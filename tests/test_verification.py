@@ -1,0 +1,154 @@
+"""Tests for post-hoc interpretation verification (repro.core.verification)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import PredictionAPI
+from repro.core import (
+    NaiveInterpreter,
+    OpenAPIInterpreter,
+    verify_interpretation,
+)
+from repro.core.types import CoreParameterEstimate, Interpretation
+from repro.exceptions import ValidationError
+
+
+class TestVerifyGenuineInterpretations:
+    def test_openapi_passes_on_linear_model(self, linear_api, blobs3):
+        interp = OpenAPIInterpreter(seed=0).interpret(linear_api, blobs3.X[0])
+        report = verify_interpretation(linear_api, interp, seed=1)
+        assert report.passed
+        assert report.max_error < 1e-9
+        assert report.n_probes == 16
+
+    def test_openapi_passes_on_plnn(self, relu_api, blobs3):
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, blobs3.X[2])
+        report = verify_interpretation(relu_api, interp, seed=1)
+        assert report.passed
+        assert set(report.per_pair_max) == set(interp.pair_estimates)
+
+    def test_openapi_passes_on_lmt(self, lmt_api, xor_dataset):
+        interp = OpenAPIInterpreter(seed=0).interpret(lmt_api, xor_dataset.X[0])
+        report = verify_interpretation(lmt_api, interp, seed=1)
+        assert report.passed
+
+    def test_starts_from_final_edge_by_default(self, relu_api, blobs3):
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, blobs3.X[0])
+        report = verify_interpretation(relu_api, interp, seed=1)
+        assert report.passed
+        # Adaptive probing never grows beyond the certified starting edge.
+        assert report.edge <= interp.final_edge
+        assert report.error_at_x0 <= report.tolerance
+
+    def test_query_cost(self, relu_model, blobs3):
+        api = PredictionAPI(relu_model)
+        interp = OpenAPIInterpreter(seed=0).interpret(api, blobs3.X[0])
+        before = api.query_count
+        report = verify_interpretation(api, interp, n_probes=10, seed=1)
+        # 1 query for x0 plus n_probes per attempted edge.
+        assert api.query_count - before == 1 + report.attempts * 10
+
+
+class TestVerifyCatchesBadInterpretations:
+    def test_tampered_weights_fail(self, relu_api, blobs3):
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, blobs3.X[0])
+        pair, estimate = next(iter(interp.pair_estimates.items()))
+        tampered_est = CoreParameterEstimate(
+            c=estimate.c,
+            c_prime=estimate.c_prime,
+            weights=estimate.weights + 0.5,
+            intercept=estimate.intercept,
+            certified=True,
+        )
+        tampered = dataclasses.replace(
+            interp,
+            pair_estimates={**interp.pair_estimates, pair: tampered_est},
+        )
+        report = verify_interpretation(relu_api, tampered, seed=1)
+        assert not report.passed
+        assert report.per_pair_max[pair] > 1e-3
+
+    def test_naive_cross_region_answer_fails(self, relu_api, relu_model, blobs3):
+        """A large-h naive interpretation is falsified — already at x0."""
+        failed_any = False
+        for i in range(6):
+            x0 = blobs3.X[i]
+            c = int(relu_model.predict(x0)[0])
+            interp = NaiveInterpreter(0.5, seed=i).interpret(relu_api, x0, c)
+            report = verify_interpretation(
+                relu_api, interp, edge=0.5, n_probes=16, seed=i
+            )
+            if not report.passed:
+                failed_any = True
+                # Subtlety: the determined system satisfies x0's own
+                # equation *exactly* (x0 is one of its d+1 equations), so a
+                # cross-region blend passes at x0 — it is the fresh probes,
+                # at every attempted edge, that falsify it.
+                assert report.error_at_x0 <= report.tolerance
+                assert report.max_error > report.tolerance
+                assert report.attempts > 1
+        assert failed_any
+
+    def test_wrong_model_behind_api_fails(self, relu_api, linear_api, blobs3):
+        """Interpretation of model A verified against model B's API fails."""
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, blobs3.X[0])
+        report = verify_interpretation(linear_api, interp, seed=1)
+        assert not report.passed
+
+
+class TestValidation:
+    def test_empty_pair_estimates_rejected(self, linear_api, blobs3):
+        bare = Interpretation(
+            x0=blobs3.X[0],
+            target_class=0,
+            decision_features=np.zeros(6),
+        )
+        with pytest.raises(ValidationError):
+            verify_interpretation(linear_api, bare)
+
+    def test_dimension_mismatch_rejected(self, linear_api):
+        interp = Interpretation(
+            x0=np.zeros(3),
+            target_class=0,
+            decision_features=np.zeros(3),
+            pair_estimates={
+                (0, 1): CoreParameterEstimate(
+                    c=0, c_prime=1, weights=np.zeros(3), intercept=0.0
+                )
+            },
+        )
+        with pytest.raises(ValidationError):
+            verify_interpretation(linear_api, interp)
+
+    def test_invalid_args_rejected(self, linear_api, blobs3):
+        interp = OpenAPIInterpreter(seed=0).interpret(linear_api, blobs3.X[0])
+        with pytest.raises(ValidationError):
+            verify_interpretation(linear_api, interp, n_probes=0)
+        with pytest.raises(ValidationError):
+            verify_interpretation(linear_api, interp, tolerance=0.0)
+        with pytest.raises(ValidationError):
+            verify_interpretation(linear_api, interp, edge=0.0)
+
+    def test_default_edge_for_handmade_interpretation(self, linear_model, blobs3):
+        """Hand-built interpretations (no final_edge) get the fallback."""
+        api = PredictionAPI(linear_model)
+        W, b = linear_model.weights, linear_model.bias
+        interp = Interpretation(
+            x0=blobs3.X[0],
+            target_class=0,
+            decision_features=np.zeros(6),
+            pair_estimates={
+                (0, 1): CoreParameterEstimate(
+                    c=0, c_prime=1,
+                    weights=W[:, 0] - W[:, 1],
+                    intercept=float(b[0] - b[1]),
+                )
+            },
+        )
+        report = verify_interpretation(api, interp, seed=0)
+        assert report.edge == 0.25
+        assert report.passed
