@@ -1,0 +1,84 @@
+"""Serving throughput: region-reuse cache on vs off under skewed traffic.
+
+The serving layer's claim: because one certified solve is exact for its
+whole activation region (Theorem 2), a Zipfian clustered workload — the
+shape of real interpretation traffic — is served mostly from cache, at
+one probe query per answer instead of a full Algorithm-1 run.  This bench
+replays the identical request stream through two identically-seeded
+services (cache enabled / disabled) and reports:
+
+* interpretations/sec and the speedup (acceptance: >= 5x at default scale);
+* API query and round-trip reduction;
+* the cache-hit-rate trajectory per workload decile;
+* an exactness audit: every answer against the OpenBox ground truth, and
+  every cache-served answer bitwise against the fresh certified solve
+  that populated its region entry.
+
+The model training, scale constants and acceptance gate live in
+:func:`repro.serving.run_standard_benchmark`, shared with the
+``python -m repro bench-serve`` subcommand.
+
+Run standalone (the CI smoke uses ``--tiny``)::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py --tiny
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py --requests 800
+
+or as a pytest bench: ``pytest benchmarks/bench_serving_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serving import run_standard_benchmark
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serving throughput: region cache on vs off"
+    )
+    parser.add_argument("--requests", type=int, default=400)
+    parser.add_argument("--clusters", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke scale (small model, 60 requests, no speedup gate)",
+    )
+    parser.add_argument("--output", default=None)
+    args = parser.parse_args(argv)
+
+    report, threshold = run_standard_benchmark(
+        n_requests=args.requests, n_clusters=args.clusters,
+        seed=args.seed, tiny=args.tiny,
+    )
+    text = report.as_text()
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\nreport written to {args.output}")
+
+    if not report.cache_bitwise_consistent:
+        print("FAIL: cache served a result not bitwise equal to a fresh solve",
+              file=sys.stderr)
+        return 1
+    if report.speedup < threshold:
+        print(f"FAIL: speedup {report.speedup:.1f}x below {threshold:.0f}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_serving_throughput(record_result):
+    """Pytest-harness entry (``pytest benchmarks/bench_serving_throughput.py``)."""
+    report, threshold = run_standard_benchmark()
+    record_result("serving_throughput", report.as_text())
+    assert report.cache_bitwise_consistent
+    assert report.cached.max_gt_l1_error < 1e-6
+    assert report.uncached.max_gt_l1_error < 1e-6
+    assert report.speedup >= threshold
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

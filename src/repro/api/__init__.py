@@ -5,9 +5,20 @@ receive class-probability vectors.  :class:`PredictionAPI` enforces that
 boundary — it wraps a model but exposes no parameters — and additionally
 meters queries and supports response transforms (probability rounding,
 noise) for the robustness ablations.
+
+The transport-style envelopes (:class:`InterpretRequest`,
+:class:`InterpretResponse`, :class:`ErrorEnvelope`) live here too: they are
+the wire format of the serving layer in :mod:`repro.serving`.
 """
 
 from repro.api.service import (
+    ERROR_BUDGET_EXHAUSTED,
+    ERROR_CERTIFICATE_FAILED,
+    ERROR_INTERNAL,
+    ERROR_INVALID_REQUEST,
+    ErrorEnvelope,
+    InterpretRequest,
+    InterpretResponse,
     PredictionAPI,
     ResponseTransform,
     RoundedResponse,
@@ -21,4 +32,11 @@ __all__ = [
     "RoundedResponse",
     "NoisyResponse",
     "TruncatedResponse",
+    "ErrorEnvelope",
+    "InterpretRequest",
+    "InterpretResponse",
+    "ERROR_BUDGET_EXHAUSTED",
+    "ERROR_CERTIFICATE_FAILED",
+    "ERROR_INVALID_REQUEST",
+    "ERROR_INTERNAL",
 ]

@@ -13,11 +13,20 @@ benchmarks: cloud APIs often round probabilities for display, truncate them
 to top-k, or add noise as a model-extraction defence.  The paper's theory
 assumes exact responses; the ablations quantify what each imperfection does
 to OpenAPI's certificate.
+
+This module also defines the transport-style request/response envelopes
+(:class:`InterpretRequest`, :class:`InterpretResponse`,
+:class:`ErrorEnvelope`) spoken by the serving layer
+(:mod:`repro.serving`): plain frozen dataclasses mirroring what a wire
+protocol would carry, so failures arrive as structured errors instead of
+exceptions crossing the service boundary.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -25,13 +34,133 @@ from repro.exceptions import APIBudgetExceededError, ValidationError
 from repro.models.base import PiecewiseLinearModel
 from repro.utils.rng import SeedLike, as_generator
 
+if TYPE_CHECKING:  # envelope payload type only — avoids an api<->core cycle
+    from repro.core.types import Interpretation
+
 __all__ = [
     "ResponseTransform",
     "RoundedResponse",
     "NoisyResponse",
     "TruncatedResponse",
     "PredictionAPI",
+    "ErrorEnvelope",
+    "InterpretRequest",
+    "InterpretResponse",
+    "ERROR_BUDGET_EXHAUSTED",
+    "ERROR_CERTIFICATE_FAILED",
+    "ERROR_INVALID_REQUEST",
+    "ERROR_INTERNAL",
 ]
+
+#: Error codes carried by :class:`ErrorEnvelope` (stable wire identifiers).
+ERROR_BUDGET_EXHAUSTED = "budget_exhausted"
+ERROR_CERTIFICATE_FAILED = "certificate_failed"
+ERROR_INVALID_REQUEST = "invalid_request"
+ERROR_INTERNAL = "internal_error"
+
+
+@dataclass(frozen=True)
+class ErrorEnvelope:
+    """Structured failure a service returns instead of raising.
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable identifier (one of the ``ERROR_*``
+        constants).
+    message:
+        Human-readable detail.
+    retryable:
+        Whether resubmitting the identical request can succeed (budget
+        refills, transient noise) — certificate failures on boundary
+        instances are not retryable with the same tolerance.
+    """
+
+    code: str
+    message: str
+    retryable: bool = False
+
+
+@dataclass(frozen=True)
+class InterpretRequest:
+    """One queued interpretation request.
+
+    Attributes
+    ----------
+    request_id:
+        Service-assigned monotone id; echoed back in the response.
+    x0:
+        The instance to interpret.
+    target_class:
+        Explicit class, or ``None`` for the API's prediction on ``x0``.
+    """
+
+    request_id: int
+    x0: np.ndarray
+    target_class: int | None = None
+
+    def __post_init__(self) -> None:
+        x0 = np.asarray(self.x0, dtype=np.float64)
+        if x0.ndim != 1:
+            raise ValidationError(f"x0 must be 1-D, got shape {x0.shape}")
+        object.__setattr__(self, "x0", x0)
+
+
+@dataclass(frozen=True)
+class InterpretResponse:
+    """Outcome of one :class:`InterpretRequest`.
+
+    Exactly one of ``interpretation`` / ``error`` is set (``ok`` tells
+    which).  ``n_queries`` is the request's sequential-equivalent query
+    cost — summing it across a micro-batch's responses reproduces the
+    API meter delta (see :mod:`repro.core.batch`).
+    """
+
+    request_id: int
+    ok: bool
+    interpretation: Interpretation | None = None
+    error: ErrorEnvelope | None = None
+    served_from_cache: bool = False
+    n_queries: int = 0
+    latency_s: float = float("nan")
+
+    @classmethod
+    def success(
+        cls,
+        request: "InterpretRequest",
+        interpretation: Interpretation,
+        *,
+        served_from_cache: bool = False,
+        n_queries: int = 0,
+        latency_s: float = float("nan"),
+    ) -> "InterpretResponse":
+        return cls(
+            request_id=request.request_id,
+            ok=True,
+            interpretation=interpretation,
+            served_from_cache=served_from_cache,
+            n_queries=n_queries,
+            latency_s=latency_s,
+        )
+
+    @classmethod
+    def failure(
+        cls,
+        request: "InterpretRequest",
+        code: str,
+        message: str,
+        *,
+        retryable: bool = False,
+        n_queries: int = 0,
+        latency_s: float = float("nan"),
+    ) -> "InterpretResponse":
+        return cls(
+            request_id=request.request_id,
+            ok=False,
+            error=ErrorEnvelope(code=code, message=message, retryable=retryable),
+            n_queries=n_queries,
+            latency_s=latency_s,
+        )
 
 
 @runtime_checkable

@@ -10,6 +10,13 @@ Commands
     verify the interpretation — the quickstart as a one-liner.
 ``list``
     Show available experiment ids, dataset names and scale presets.
+``serve``
+    Run the interpretation service over a demo model: replay a skewed
+    request workload through the region cache + micro-batching loop and
+    print the stats endpoint.
+``bench-serve``
+    The cache-on/off serving throughput comparison
+    (``benchmarks/bench_serving_throughput.py`` as a subcommand).
 
 Examples
 --------
@@ -19,6 +26,8 @@ Examples
     python -m repro run table1 fig7 --scale test
     python -m repro run all --scale bench --output report.txt
     python -m repro interpret --dataset credit-scoring --seed 3
+    python -m repro serve --dataset credit-scoring --requests 200
+    python -m repro bench-serve --tiny
 """
 
 from __future__ import annotations
@@ -79,6 +88,56 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="run the fast reproduction self-check scorecard"
     )
     check.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the interpretation service over a demo model and "
+        "replay a skewed workload",
+    )
+    serve.add_argument(
+        "--dataset", default="credit-scoring",
+        help=f"dataset name (one of: {', '.join(available_datasets())})",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--requests", type=int, default=200,
+        help="number of workload requests to replay (default: 200)",
+    )
+    serve.add_argument(
+        "--clusters", type=int, default=12,
+        help="distinct anchor instances in the workload (default: 12)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=32,
+        help="micro-batch cap (default: 32)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the region-reuse cache (fresh solve per request)",
+    )
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="serving throughput: region cache on vs off on a Zipfian "
+        "clustered workload",
+    )
+    bench_serve.add_argument("--seed", type=int, default=0)
+    bench_serve.add_argument(
+        "--requests", type=int, default=400,
+        help="workload size per arm (default: 400)",
+    )
+    bench_serve.add_argument(
+        "--clusters", type=int, default=12,
+        help="distinct anchor instances (default: 12)",
+    )
+    bench_serve.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke scale: small model, 60 requests",
+    )
+    bench_serve.add_argument(
+        "--output", default=None,
+        help="also write the report to this file",
+    )
     return parser
 
 
@@ -100,17 +159,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_interpret(args: argparse.Namespace) -> int:
-    data = load_dataset(args.dataset, 800, seed=args.seed)
-    train, test = train_test_split(data, test_fraction=0.25, seed=args.seed)
-    model = ReLUNetwork([data.n_features, 32, 16, data.n_classes], seed=args.seed)
-    training = train_network(
-        model, train.X, train.y,
-        TrainingConfig(epochs=120, learning_rate=3e-3, seed=args.seed),
-    )
+    data, test, model = _train_demo_model(args.dataset, args.seed)
     api = PredictionAPI(model)
     print(f"dataset: {data.name} (d={data.n_features}, C={data.n_classes})")
-    print(f"demo PLNN trained: accuracy {training.final_train_accuracy:.3f} "
-          f"(train) / {model.accuracy(test.X, test.y):.3f} (test)")
+    print(f"demo PLNN trained: test accuracy "
+          f"{model.accuracy(test.X, test.y):.3f}")
 
     if not 0 <= args.instance < test.n_samples:
         print(f"error: --instance must be in [0, {test.n_samples})",
@@ -148,6 +201,80 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _train_demo_model(dataset: str, seed: int, *, epochs: int = 120):
+    """Train the quickstart PLNN over a named dataset (shared by the
+    interactive and serving commands)."""
+    data = load_dataset(dataset, 800, seed=seed)
+    train, test = train_test_split(data, test_fraction=0.25, seed=seed)
+    model = ReLUNetwork([data.n_features, 32, 16, data.n_classes], seed=seed)
+    train_network(
+        model, train.X, train.y,
+        TrainingConfig(epochs=epochs, learning_rate=3e-3, seed=seed),
+    )
+    return data, test, model
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.exceptions import ValidationError
+    from repro.serving import InterpretationService, zipf_clustered_workload
+
+    if args.requests < 1 or args.clusters < 1 or args.batch_size < 1:
+        print("error: --requests, --clusters and --batch-size must be >= 1",
+              file=sys.stderr)
+        return 2
+    try:
+        data, test, model = _train_demo_model(args.dataset, args.seed)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    api = PredictionAPI(model)
+    anchors = test.X[: min(args.clusters, test.n_samples)]
+    requests = zipf_clustered_workload(
+        anchors, args.requests, seed=args.seed
+    )
+    print(f"dataset: {data.name} (d={data.n_features}, C={data.n_classes})")
+    print(f"serving {args.requests} requests over {anchors.shape[0]} "
+          f"anchor instances "
+          f"(region cache {'off' if args.no_cache else 'on'}, "
+          f"micro-batch <= {args.batch_size})\n")
+
+    service = InterpretationService(
+        api,
+        enable_cache=not args.no_cache,
+        max_batch_size=args.batch_size,
+        seed=args.seed,
+    )
+    with service:
+        responses = service.interpret_many(requests)
+    errors = [r for r in responses if not r.ok]
+    print(f"{len(responses) - len(errors)} interpretations served, "
+          f"{len(errors)} errors")
+    print("\n--- stats endpoint ---")
+    print(service.stats().as_text())
+    return 0 if not errors else 1
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serving import run_standard_benchmark
+
+    if args.requests < 1 or args.clusters < 1:
+        print("error: --requests and --clusters must be >= 1",
+              file=sys.stderr)
+        return 2
+    report, threshold = run_standard_benchmark(
+        n_requests=args.requests, n_clusters=args.clusters,
+        seed=args.seed, tiny=args.tiny,
+    )
+    text = report.as_text()
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\nreport written to {args.output}")
+    ok = report.cache_bitwise_consistent and report.speedup >= threshold
+    return 0 if ok else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.eval.check import run_reproduction_check
 
@@ -167,6 +294,8 @@ def main(argv: list[str] | None = None) -> int:
         "interpret": _cmd_interpret,
         "list": _cmd_list,
         "check": _cmd_check,
+        "serve": _cmd_serve,
+        "bench-serve": _cmd_bench_serve,
     }
     return handlers[args.command](args)
 

@@ -18,12 +18,16 @@ from repro.core.equations import (
     solve_all_pairs,
     PairSystemSolution,
 )
+from repro.core.rounds import SolveRound, build_interpretation, run_solve_round
 from repro.core.naive import NaiveInterpreter
 from repro.core.openapi import OpenAPIInterpreter
 from repro.core.batch import BatchOpenAPIInterpreter, BatchResult
 from repro.core.verification import VerificationReport, verify_interpretation
 
 __all__ = [
+    "SolveRound",
+    "run_solve_round",
+    "build_interpretation",
     "Attribution",
     "CoreParameterEstimate",
     "Interpretation",

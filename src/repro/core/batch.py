@@ -9,6 +9,25 @@ instance into **one** ``predict_proba`` call, then solves and certifies
 per instance.  Total round trips drop to ``1 + max_i T_i`` while query
 counts, certificates and exactness are identical to the sequential
 interpreter's.
+
+Round-trip accounting under micro-batching
+------------------------------------------
+The serving layer (:mod:`repro.serving`) coalesces concurrent
+single-instance requests into one lock-step run.  Its accounting builds on
+two contracts of :meth:`~BatchOpenAPIInterpreter.interpret_batch`:
+
+* When the caller already holds the ``x0`` probability rows (the service
+  scores every queued instance once up front — the same round trip feeds
+  the region-cache membership check), it passes them via ``y0`` and round
+  trip 0 is skipped entirely.  A micro-batch of ``k`` cache misses then
+  costs ``1 + max_i T_i`` trips total (1 probe round shared with the cache
+  check + the lock-step sample rounds), versus ``Σ_i (1 + T_i)`` for the
+  same instances served sequentially.
+* Per-instance ``Interpretation.n_queries`` is always the *sequential
+  equivalent* ``1 + T_i (d + 1)`` — including the single ``x0`` probe row
+  regardless of who paid for it — so summing ``n_queries`` over every
+  response of a micro-batch (cache hits count 1 each) exactly reproduces
+  the API's query-meter delta.  Tests pin this conservation law.
 """
 
 from __future__ import annotations
@@ -18,10 +37,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.api.service import PredictionAPI
-from repro.core.equations import DEFAULT_PROB_FLOOR, solve_all_pairs
+from repro.core.equations import DEFAULT_PROB_FLOOR
+from repro.core.rounds import build_interpretation, run_solve_round
 from repro.core.sampling import HypercubeSampler
-from repro.core.types import CoreParameterEstimate, Interpretation
-from repro.exceptions import ValidationError
+from repro.core.types import Interpretation
+from repro.exceptions import APIBudgetExceededError, ValidationError
 from repro.utils.linalg import DEFAULT_CERTIFICATE_ATOL, DEFAULT_CERTIFICATE_RTOL
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_in_range, check_positive
@@ -51,16 +71,21 @@ class BatchResult:
     interpretations:
         One entry per input instance: an :class:`Interpretation` on
         success, ``None`` where the iteration budget ran out (boundary
-        instances / non-PLM APIs).
+        instances / non-PLM APIs) or the API budget died first.
     rounds:
         Lock-step rounds executed (= API round trips after the first).
     n_queries:
         Total instances scored across all rounds (matches sequential).
+    budget_exhausted:
+        True when the run stopped early because the API's query budget
+        ran out (only possible with ``raise_on_budget=False``); the
+        still-unfinished instances are ``None``.
     """
 
     interpretations: list[Interpretation | None]
     rounds: int
     n_queries: int
+    budget_exhausted: bool = False
 
     @property
     def n_failed(self) -> int:
@@ -105,6 +130,9 @@ class BatchOpenAPIInterpreter:
         api: PredictionAPI,
         X: np.ndarray,
         classes: np.ndarray | list[int] | None = None,
+        *,
+        y0: np.ndarray | None = None,
+        raise_on_budget: bool = True,
     ) -> BatchResult:
         """Interpret every row of ``X`` (one lock-step Algorithm 1 run).
 
@@ -113,6 +141,19 @@ class BatchOpenAPIInterpreter:
         classes:
             Optional per-instance target classes; defaults to each
             instance's predicted class (from the same initial round trip).
+        y0:
+            Optional precomputed ``(n, C)`` probability rows for ``X``.
+            When given, round trip 0 is skipped — the serving layer uses
+            this to share one probe round between the region-cache
+            membership check and the lock-step seed.  Per-instance
+            ``n_queries`` still reports the sequential equivalent
+            ``1 + T_i (d + 1)`` (see module docstring), while
+            ``BatchResult.n_queries`` meters only what *this call* spent.
+        raise_on_budget:
+            When False, an :class:`APIBudgetExceededError` mid-run stops
+            the lock-step loop instead of propagating: instances already
+            certified keep their results, the rest stay ``None`` and the
+            result carries ``budget_exhausted=True``.
 
         Returns
         -------
@@ -136,8 +177,15 @@ class BatchOpenAPIInterpreter:
                 )
 
         queries_before = api.query_count
-        # Round trip 0: all the x0 predictions at once.
-        y0_all = api.predict_proba(X)
+        if y0 is None:
+            # Round trip 0: all the x0 predictions at once.
+            y0_all = api.predict_proba(X)
+        else:
+            y0_all = np.asarray(y0, dtype=np.float64)
+            if y0_all.shape != (n, api.n_classes):
+                raise ValidationError(
+                    f"y0 must be ({n}, {api.n_classes}), got {y0_all.shape}"
+                )
         states = []
         for i in range(n):
             c = int(classes[i]) if classes is not None else int(np.argmax(y0_all[i]))
@@ -153,17 +201,24 @@ class BatchOpenAPIInterpreter:
             )
 
         rounds = 0
+        budget_exhausted = False
         for _ in range(self.max_iterations):
             active = [s for s in states if not s.done]
             if not active:
                 break
-            rounds += 1
             # One round trip carries every active instance's sample set.
             sample_blocks = [
                 self._sampler.draw(s.x0, s.edge, d + 1) for s in active
             ]
             stacked = np.vstack(sample_blocks)
-            probs_stacked = api.predict_proba(stacked)
+            try:
+                probs_stacked = api.predict_proba(stacked)
+            except APIBudgetExceededError:
+                if raise_on_budget:
+                    raise
+                budget_exhausted = True
+                break
+            rounds += 1
 
             offset = 0
             for state, samples in zip(active, sample_blocks):
@@ -172,34 +227,18 @@ class BatchOpenAPIInterpreter:
                 state.iterations += 1
                 points = np.vstack([state.x0[None, :], samples])
                 probs = np.vstack([state.y0[None, :], block])
-                solutions = solve_all_pairs(
-                    points, probs, state.target_class,
+                round_ = run_solve_round(
+                    points, probs, samples, state.target_class,
                     center=state.x0,
                     rtol=self.rtol, atol=self.atol, floor=self.prob_floor,
                 )
-                if all(sol.certified for sol in solutions.values()):
-                    pair_estimates = {
-                        pair: CoreParameterEstimate(
-                            c=sol.c, c_prime=sol.c_prime,
-                            weights=sol.result.weights,
-                            intercept=sol.result.intercept,
-                            residual=sol.result.relative_residual,
-                            certified=True,
-                        )
-                        for pair, sol in solutions.items()
-                    }
-                    state.result = Interpretation(
-                        x0=state.x0,
-                        target_class=state.target_class,
-                        decision_features=np.mean(
-                            [e.weights for e in pair_estimates.values()], axis=0
-                        ),
-                        pair_estimates=pair_estimates,
+                if round_.certified:
+                    state.result = build_interpretation(
+                        round_,
                         method=self.method_name,
                         iterations=state.iterations,
                         final_edge=state.edge,
                         n_queries=1 + state.iterations * (d + 1),
-                        samples=samples,
                     )
                     state.done = True
                 else:
@@ -209,4 +248,5 @@ class BatchOpenAPIInterpreter:
             interpretations=[s.result for s in states],
             rounds=rounds,
             n_queries=api.query_count - queries_before,
+            budget_exhausted=budget_exhausted,
         )

@@ -28,9 +28,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.api.service import PredictionAPI
-from repro.core.equations import DEFAULT_PROB_FLOOR, solve_all_pairs
+from repro.core.equations import DEFAULT_PROB_FLOOR
+from repro.core.rounds import SolveRound, build_interpretation, run_solve_round
 from repro.core.sampling import HypercubeSampler
-from repro.core.types import CoreParameterEstimate, Interpretation
+from repro.core.types import Interpretation
 from repro.exceptions import CertificateError, ValidationError
 from repro.utils.linalg import DEFAULT_CERTIFICATE_ATOL, DEFAULT_CERTIFICATE_RTOL
 from repro.utils.rng import SeedLike
@@ -119,6 +120,9 @@ class OpenAPIInterpreter:
         self._sampler = HypercubeSampler(seed, clip_box=clip_box)
         #: Diagnostics of the most recent interpret() call.
         self.last_run_history_: list[IterationRecord] = []
+        # Certified round of the most recent interpret() call; retained so
+        # interpret_all_classes can re-solve the same sample set locally.
+        self._last_round_: SolveRound | None = None
 
     # ------------------------------------------------------------------ #
     def interpret(
@@ -162,59 +166,39 @@ class OpenAPIInterpreter:
             raise ValidationError(f"class index {c} out of range [0, {api.n_classes})")
 
         state = _RunState()
+        self._last_round_ = None
         edge = self.initial_edge
         for iteration in range(1, self.max_iterations + 1):
             samples = self._sampler.draw(x0, edge, d + 1)
             points = np.vstack([x0[None, :], samples])
             probs = np.vstack([y0[None, :], api.predict_proba(samples)])
 
-            solutions = solve_all_pairs(
-                points, probs, c,
+            round_ = run_solve_round(
+                points, probs, samples, c,
                 center=x0,
                 rtol=self.rtol,
                 atol=self.atol,
                 floor=self.prob_floor,
             )
-            n_certified = sum(sol.certified for sol in solutions.values())
-            worst = max(
-                sol.result.relative_residual for sol in solutions.values()
-            )
             state.history.append(
                 IterationRecord(
                     iteration=iteration,
                     edge=edge,
-                    n_certified=n_certified,
-                    n_pairs=len(solutions),
-                    worst_relative_residual=float(worst),
+                    n_certified=round_.n_certified,
+                    n_pairs=round_.n_pairs,
+                    worst_relative_residual=round_.worst_relative_residual,
                 )
             )
 
-            if n_certified == len(solutions):
+            if round_.certified:
                 self.last_run_history_ = state.history
-                pair_estimates = {
-                    pair: CoreParameterEstimate(
-                        c=sol.c,
-                        c_prime=sol.c_prime,
-                        weights=sol.result.weights,
-                        intercept=sol.result.intercept,
-                        residual=sol.result.relative_residual,
-                        certified=True,
-                    )
-                    for pair, sol in solutions.items()
-                }
-                decision_features = np.mean(
-                    [est.weights for est in pair_estimates.values()], axis=0
-                )
-                return Interpretation(
-                    x0=x0,
-                    target_class=c,
-                    decision_features=decision_features,
-                    pair_estimates=pair_estimates,
+                self._last_round_ = round_
+                return build_interpretation(
+                    round_,
                     method=self.method_name,
                     iterations=iteration,
                     final_edge=edge,
                     n_queries=api.query_count - queries_before,
-                    samples=samples,
                 )
             edge *= self.shrink
 
@@ -233,53 +217,49 @@ class OpenAPIInterpreter:
     ) -> list[Interpretation]:
         """Interpretations of every class, reusing one certified sample set.
 
-        Because all pairwise differences follow from the pairs of a single
-        base class (``D_{a,b} = D_{c,a->b}`` via
-        ``D_{a,b} = D_{c,b} - D_{c,a}``), this costs the same API queries
-        as a single :meth:`interpret` call.
+        A sample set whose equations are consistent for one base class is
+        consistent for *every* base class (all pairs live in the same
+        region), so the certified round of the ``c = 0`` solve can be
+        re-solved locally for each remaining class: every pair estimate —
+        weights, intercept *and* residual — comes from an actual
+        least-squares solve over the shared sample set, identical to what
+        a direct ``interpret(api, x0, c=c)`` on the same samples would
+        produce, at zero additional API queries.
+
+        Under imperfect APIs (rounding/noise transforms) a derived
+        class's certificate can fail even though the base class's passed
+        — the base certificate never checked the pairs not involving
+        class 0.  Such classes fall back to a direct :meth:`interpret`
+        call, whose extra queries are honestly metered in that
+        interpretation's ``n_queries`` (still zero for the classes the
+        shared sample set covered).
         """
         base = self.interpret(api, x0, c=0)
-        C = api.n_classes
-        d = api.n_features
-        # Assemble per-class rows relative to class 0.
-        rel_w = np.zeros((C, d))
-        rel_b = np.zeros(C)
-        for (c0, c_prime), est in base.pair_estimates.items():
-            # est: D_{0, c'} = W_0 - W_{c'}
-            rel_w[c_prime] = -est.weights
-            rel_b[c_prime] = -est.intercept
+        round0 = self._last_round_
+        assert round0 is not None  # interpret() either set it or raised
 
-        interpretations: list[Interpretation] = []
-        for c in range(C):
-            pair_estimates: dict[tuple[int, int], CoreParameterEstimate] = {}
-            diffs = []
-            for c_prime in range(C):
-                if c_prime == c:
-                    continue
-                weights = rel_w[c] - rel_w[c_prime]
-                intercept = float(rel_b[c] - rel_b[c_prime])
-                pair_estimates[(c, c_prime)] = CoreParameterEstimate(
-                    c=c,
-                    c_prime=c_prime,
-                    weights=weights,
-                    intercept=intercept,
-                    residual=base.pair_estimates[(0, c_prime if c_prime != 0 else c)].residual
-                    if (c_prime != 0 or c != 0)
-                    else float("nan"),
-                    certified=True,
-                )
-                diffs.append(weights)
-            interpretations.append(
-                Interpretation(
-                    x0=base.x0,
-                    target_class=c,
-                    decision_features=np.mean(diffs, axis=0),
-                    pair_estimates=pair_estimates,
-                    method=self.method_name,
-                    iterations=base.iterations,
-                    final_edge=base.final_edge,
-                    n_queries=base.n_queries if c == 0 else 0,
-                    samples=base.samples,
-                )
+        interpretations: list[Interpretation] = [base]
+        for c in range(1, api.n_classes):
+            round_c = run_solve_round(
+                round0.points,
+                round0.probs,
+                round0.samples,
+                c,
+                center=base.x0,
+                rtol=self.rtol,
+                atol=self.atol,
+                floor=self.prob_floor,
             )
+            if round_c.certified:
+                interpretations.append(
+                    build_interpretation(
+                        round_c,
+                        method=self.method_name,
+                        iterations=base.iterations,
+                        final_edge=base.final_edge,
+                        n_queries=0,
+                    )
+                )
+            else:
+                interpretations.append(self.interpret(api, x0, c=c))
         return interpretations

@@ -1,0 +1,170 @@
+"""One solve-and-certify round, shared by every Algorithm-1 driver.
+
+Algorithm 1 has exactly one compute-heavy step per shrink iteration: take
+the queried ``(points, probabilities)``, solve every class pair's linear
+system over them, and check all certificates.  Three callers need that
+step and must agree on it bit for bit:
+
+* :class:`~repro.core.openapi.OpenAPIInterpreter` — sequential shrinking;
+* :class:`~repro.core.batch.BatchOpenAPIInterpreter` — lock-step batches;
+* :meth:`~repro.core.openapi.OpenAPIInterpreter.interpret_all_classes` —
+  re-solving one certified sample set for every base class *without* new
+  API queries (the whole point of Theorem 2's region-wide validity).
+
+This module is that step.  :func:`run_solve_round` wraps
+:func:`~repro.core.equations.solve_all_pairs` into a :class:`SolveRound`
+that retains the inputs (so a certified round can be re-solved for another
+target class, or audited later), and :func:`build_interpretation` is the
+one place a certified round becomes an :class:`~repro.core.types.Interpretation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.equations import (
+    DEFAULT_PROB_FLOOR,
+    PairSystemSolution,
+    solve_all_pairs,
+)
+from repro.core.types import CoreParameterEstimate, Interpretation
+from repro.exceptions import ValidationError
+from repro.utils.linalg import DEFAULT_CERTIFICATE_ATOL, DEFAULT_CERTIFICATE_RTOL
+
+__all__ = ["SolveRound", "run_solve_round", "build_interpretation"]
+
+
+@dataclass(frozen=True)
+class SolveRound:
+    """Everything one solve-and-certify iteration produced.
+
+    Attributes
+    ----------
+    points:
+        The ``(d + 2, d)`` equation points: ``x0`` first, samples after.
+    probs:
+        The matching ``(d + 2, C)`` API probability rows.
+    samples:
+        The ``(d + 1, d)`` perturbed instances (``points`` minus ``x0``).
+    target_class:
+        The base class ``c`` the pairs were solved against.
+    solutions:
+        ``(c, c') -> PairSystemSolution`` for every pair.
+    """
+
+    points: np.ndarray
+    probs: np.ndarray
+    samples: np.ndarray
+    target_class: int
+    solutions: dict[tuple[int, int], PairSystemSolution]
+
+    @property
+    def certified(self) -> bool:
+        """True when every pair passed the consistency certificate."""
+        return self.n_certified == self.n_pairs
+
+    @property
+    def n_certified(self) -> int:
+        return sum(sol.certified for sol in self.solutions.values())
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.solutions)
+
+    @property
+    def worst_relative_residual(self) -> float:
+        """Largest relative residual across pairs (certificate input)."""
+        return float(
+            max(sol.result.relative_residual for sol in self.solutions.values())
+        )
+
+    def pair_estimates(self) -> dict[tuple[int, int], CoreParameterEstimate]:
+        """The solutions as result-layer core-parameter estimates."""
+        return {
+            pair: CoreParameterEstimate(
+                c=sol.c,
+                c_prime=sol.c_prime,
+                weights=sol.result.weights,
+                intercept=sol.result.intercept,
+                residual=sol.result.relative_residual,
+                certified=sol.certified,
+            )
+            for pair, sol in self.solutions.items()
+        }
+
+
+def run_solve_round(
+    points: np.ndarray,
+    probs: np.ndarray,
+    samples: np.ndarray,
+    target_class: int,
+    *,
+    center: np.ndarray | None = None,
+    rtol: float = DEFAULT_CERTIFICATE_RTOL,
+    atol: float = DEFAULT_CERTIFICATE_ATOL,
+    floor: float = DEFAULT_PROB_FLOOR,
+) -> SolveRound:
+    """Solve and certify all pairs of ``target_class`` over one sample set.
+
+    Pure local linear algebra — no API access.  Re-invoking on the same
+    ``(points, probs)`` with another ``target_class`` yields that class's
+    exact per-pair solves (and residuals) for free, which is how
+    ``interpret_all_classes`` prices ``C`` interpretations at one query
+    budget.
+    """
+    solutions = solve_all_pairs(
+        points,
+        probs,
+        target_class,
+        center=center,
+        rtol=rtol,
+        atol=atol,
+        floor=floor,
+    )
+    return SolveRound(
+        points=points,
+        probs=probs,
+        samples=samples,
+        target_class=target_class,
+        solutions=solutions,
+    )
+
+
+def build_interpretation(
+    round_: SolveRound,
+    *,
+    method: str,
+    iterations: int,
+    final_edge: float,
+    n_queries: int,
+) -> Interpretation:
+    """Turn a certified round into an :class:`Interpretation`.
+
+    Raises
+    ------
+    ValidationError
+        If the round is not fully certified — uncertified solves must
+        never silently become interpretations.
+    """
+    if not round_.certified:
+        raise ValidationError(
+            "cannot build an interpretation from an uncertified round "
+            f"({round_.n_certified}/{round_.n_pairs} pairs certified)"
+        )
+    pair_estimates = round_.pair_estimates()
+    decision_features = np.mean(
+        [est.weights for est in pair_estimates.values()], axis=0
+    )
+    return Interpretation(
+        x0=round_.points[0],
+        target_class=round_.target_class,
+        decision_features=decision_features,
+        pair_estimates=pair_estimates,
+        method=method,
+        iterations=iterations,
+        final_edge=final_edge,
+        n_queries=n_queries,
+        samples=round_.samples,
+    )

@@ -1,0 +1,49 @@
+"""The interpretation serving layer: throughput architecture over OpenAPI.
+
+The paper proves (Theorem 2) that one certified closed-form solve is exact
+for the *entire* convex region containing the queried instance.  This
+package converts that guarantee into serving machinery:
+
+* :class:`RegionCache` — certified core parameters reused across every
+  later query landing in the same activation region, verified by a cheap
+  log-odds membership check;
+* :class:`InterpretationService` — request queue + micro-batching loop
+  coalescing concurrent requests into lock-step batch round trips, with
+  structured error envelopes and full meter accounting;
+* :mod:`repro.serving.workload` — skewed (Zipfian, clustered) workload
+  generation and the cache-on/off throughput comparison.
+"""
+
+from repro.serving.cache import (
+    DEFAULT_MEMBERSHIP_TOL,
+    CacheStats,
+    RegionCache,
+    RegionCacheEntry,
+)
+from repro.serving.metrics import ServiceMetrics, ServiceStats
+from repro.serving.service import InterpretationService, PendingResponse
+from repro.serving.workload import (
+    DEFAULT_SPEEDUP_THRESHOLD,
+    ThroughputArm,
+    ThroughputReport,
+    run_standard_benchmark,
+    run_throughput_benchmark,
+    zipf_clustered_workload,
+)
+
+__all__ = [
+    "RegionCache",
+    "RegionCacheEntry",
+    "CacheStats",
+    "DEFAULT_MEMBERSHIP_TOL",
+    "ServiceMetrics",
+    "ServiceStats",
+    "InterpretationService",
+    "PendingResponse",
+    "ThroughputArm",
+    "ThroughputReport",
+    "run_throughput_benchmark",
+    "run_standard_benchmark",
+    "DEFAULT_SPEEDUP_THRESHOLD",
+    "zipf_clustered_workload",
+]

@@ -1,0 +1,291 @@
+"""Region-reuse cache: one certified solve serves a whole convex region.
+
+Theorem 2 says a certified closed-form solve recovers the *exact* core
+parameters of the entire convex activation region containing ``x0`` — not
+just of ``x0`` itself.  An interpretation computed once is therefore valid
+for every later query landing in the same region, and a serving layer that
+recognizes region membership can answer those queries with the cached
+parameters at the cost of a single probe query.
+
+Region membership is not directly observable through the API (the region
+polytope lives in the hidden model), but it is cheaply *testable*: inside
+the region the API's log-odds are affine with the cached ``(D, B)``, so
+
+.. math::
+
+    |D_{c,c'}^\\top x + B_{c,c'} - \\ln(y_c(x)/y_{c'}(x))| \\le \\tau
+    \\quad \\forall (c, c')
+
+at the new instance ``x`` (with the probe response ``y(x)`` the service
+needs anyway to know the predicted class) certifies the hit.  A foreign
+region's affine pieces differ, so its log-odds violate the identity — the
+same probability-1 separation argument behind the paper's consistency
+certificate.  False hits would require the new region's *every* pair
+hyperplane to agree at ``x`` to within ``τ``, which for continuous
+instance distributions is a measure-zero event.
+
+Entries are kept in LRU order; candidate entries are scanned nearest
+cached-instance first, because region reuse in real workloads is driven by
+locality (near-duplicate queries, per-user clusters).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.equations import DEFAULT_PROB_FLOOR, log_odds
+from repro.core.types import CoreParameterEstimate, Interpretation
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "RegionCacheEntry",
+    "RegionCache",
+    "CacheStats",
+    "DEFAULT_MEMBERSHIP_TOL",
+]
+
+#: Max absolute log-odds mismatch accepted by the membership check.  A
+#: genuine same-region instance matches at ~1e-12 (solve rounding error);
+#: a foreign region typically misses by orders of magnitude.
+DEFAULT_MEMBERSHIP_TOL: float = 1e-6
+
+
+@dataclass
+class RegionCacheEntry:
+    """One cached certified interpretation (a region's core parameters)."""
+
+    key: int
+    x0: np.ndarray
+    target_class: int
+    pair_estimates: dict[tuple[int, int], CoreParameterEstimate]
+    decision_features: np.ndarray
+    final_edge: float
+    hits: int = 0
+
+    def claim_errors(
+        self, x: np.ndarray, y: np.ndarray, *, floor: float
+    ) -> np.ndarray:
+        """|predicted - actual| log-odds per pair at instance ``x``."""
+        errors = np.empty(len(self.pair_estimates))
+        for i, ((c, c_prime), est) in enumerate(self.pair_estimates.items()):
+            actual = float(log_odds(y, c, c_prime, floor=floor))
+            predicted = float(est.weights @ x + est.intercept)
+            errors[i] = abs(predicted - actual)
+        return errors
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of a :class:`RegionCache` (monotone over its lifetime)."""
+
+    hits: int
+    misses: int
+    insertions: int
+    duplicates_skipped: int
+    evictions: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else float("nan")
+
+
+class RegionCache:
+    """LRU cache of certified interpretations keyed by activation region.
+
+    Parameters
+    ----------
+    max_entries:
+        Eviction threshold (least-recently-hit entry goes first).
+    tol:
+        Membership tolerance on absolute log-odds error (the certificate
+        tolerance of the serving contract).
+    max_candidates:
+        Cap on how many nearest entries are membership-checked per lookup
+        (``None`` scans all).  The check is pure local flops — ``C - 1``
+        dot products per candidate — so even full scans are cheap next to
+        one API query.
+    floor:
+        Probability clamp for the log-odds transform (must match the
+        interpreter's).
+
+    Examples
+    --------
+    >>> from repro.data import make_blobs
+    >>> from repro.models import SoftmaxRegression
+    >>> from repro.api import PredictionAPI
+    >>> from repro.core import OpenAPIInterpreter
+    >>> ds = make_blobs(50, n_features=4, n_classes=3, seed=0)
+    >>> api = PredictionAPI(SoftmaxRegression(seed=0).fit(ds.X, ds.y))
+    >>> interp = OpenAPIInterpreter(seed=0).interpret(api, ds.X[0])
+    >>> cache = RegionCache()
+    >>> cache.insert(interp)
+    True
+    >>> y = api.predict_proba(ds.X[0])
+    >>> hit = cache.lookup(ds.X[0], y, interp.target_class)
+    >>> bool(np.array_equal(hit.decision_features, interp.decision_features))
+    True
+    """
+
+    #: ``method`` tag carried by cache-served interpretations.
+    served_method = "openapi+cache"
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = 512,
+        tol: float = DEFAULT_MEMBERSHIP_TOL,
+        max_candidates: int | None = None,
+        floor: float = DEFAULT_PROB_FLOOR,
+    ):
+        if max_entries < 1:
+            raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
+        if max_candidates is not None and max_candidates < 1:
+            raise ValidationError(
+                f"max_candidates must be >= 1 or None, got {max_candidates}"
+            )
+        self.max_entries = int(max_entries)
+        self.tol = check_positive(tol, name="tol")
+        self.max_candidates = max_candidates
+        self.floor = check_positive(floor, name="floor")
+        self._entries: OrderedDict[int, RegionCacheEntry] = OrderedDict()
+        self._keys = itertools.count()
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._duplicates = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self, x0: np.ndarray, y0: np.ndarray, target_class: int
+    ) -> Interpretation | None:
+        """Serve ``x0`` from a cached region, or ``None`` on a miss.
+
+        Parameters
+        ----------
+        x0:
+            The queried instance.
+        y0:
+            The API's probability row for ``x0`` (the probe the service
+            performs anyway); used for the membership check only — no API
+            access happens here.
+        target_class:
+            The class the caller wants interpreted; only entries solved
+            for the same class are candidates.
+
+        Returns
+        -------
+        A rebased :class:`Interpretation` sharing the cached arrays
+        bitwise (``n_queries=1`` for the probe, ``iterations=0``), or
+        ``None``.
+        """
+        x0 = np.asarray(x0, dtype=np.float64)
+        y0 = np.asarray(y0, dtype=np.float64)
+        candidates = [
+            e for e in self._entries.values() if e.target_class == target_class
+        ]
+        candidates.sort(key=lambda e: float(np.sum((e.x0 - x0) ** 2)))
+        if self.max_candidates is not None:
+            candidates = candidates[: self.max_candidates]
+        for entry in candidates:
+            if entry.claim_errors(x0, y0, floor=self.floor).max() <= self.tol:
+                entry.hits += 1
+                self._hits += 1
+                self._entries.move_to_end(entry.key)
+                return self._rebase(entry, x0)
+        self._misses += 1
+        return None
+
+    def insert(self, interpretation: Interpretation) -> bool:
+        """Cache a certified interpretation; returns False for duplicates.
+
+        Only fully certified interpretations are accepted — the cache's
+        contract is Theorem 2's region-wide exactness, which uncertified
+        estimates do not carry.  An interpretation whose own affine claim
+        is already reproduced by a cached entry (same region, same class)
+        refreshes that entry instead of duplicating it.
+        """
+        if not interpretation.all_certified:
+            raise ValidationError(
+                "only certified interpretations can enter the region cache"
+            )
+        x0 = interpretation.x0
+        # Same-region duplicate detection: compare the *claims* of the new
+        # and cached hyperplanes at the new x0 (both exact in-region).
+        for entry in self._entries.values():
+            if entry.target_class != interpretation.target_class:
+                continue
+            agree = True
+            for pair, est in interpretation.pair_estimates.items():
+                cached = entry.pair_estimates.get(pair)
+                if cached is None:
+                    agree = False
+                    break
+                new_claim = float(est.weights @ x0 + est.intercept)
+                old_claim = float(cached.weights @ x0 + cached.intercept)
+                if abs(new_claim - old_claim) > self.tol:
+                    agree = False
+                    break
+            if agree:
+                self._duplicates += 1
+                self._entries.move_to_end(entry.key)
+                return False
+
+        key = next(self._keys)
+        self._entries[key] = RegionCacheEntry(
+            key=key,
+            x0=x0,
+            target_class=interpretation.target_class,
+            pair_estimates=dict(interpretation.pair_estimates),
+            decision_features=interpretation.decision_features,
+            final_edge=interpretation.final_edge,
+        )
+        self._insertions += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            insertions=self._insertions,
+            duplicates_skipped=self._duplicates,
+            evictions=self._evictions,
+            size=len(self._entries),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _rebase(self, entry: RegionCacheEntry, x0: np.ndarray) -> Interpretation:
+        """The cached region parameters, re-anchored at the new instance.
+
+        The arrays are shared with the cache entry on purpose: a cache-hit
+        response is *bitwise* the certified solve that populated the entry
+        (Interpretation treats them as immutable).
+        """
+        return Interpretation(
+            x0=x0,
+            target_class=entry.target_class,
+            decision_features=entry.decision_features,
+            pair_estimates=entry.pair_estimates,
+            method=self.served_method,
+            iterations=0,
+            final_edge=entry.final_edge,
+            n_queries=1,
+            samples=None,
+        )

@@ -1,0 +1,316 @@
+"""Serving workloads and the cache-on/cache-off throughput comparison.
+
+Real interpretation traffic is skewed: a fraud-review queue re-examines
+the same few customer profiles, a credit-decisioning UI re-renders the
+same application while an analyst tweaks inputs.  Region reuse is
+precisely the exploitation of that skew, so the benchmark drives the
+service with a **Zipfian clustered workload**: requests pick one of ``k``
+anchor instances with Zipf-distributed popularity and perturb it by a
+small jitter — repeats land in the anchor's activation region, distinct
+anchors exercise distinct regions.
+
+:func:`run_throughput_benchmark` replays the same workload through two
+identically-configured services — region cache enabled vs. disabled —
+and reports interpretations/sec, the cache-hit trajectory, and an
+exactness audit (cache-served answers must be bitwise the certified solve
+of their region, and every answer must match the OpenBox ground truth).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.service import PredictionAPI
+from repro.exceptions import ValidationError
+from repro.models.base import PiecewiseLinearModel
+from repro.models.openbox import ground_truth_decision_features
+from repro.serving.cache import RegionCache
+from repro.serving.service import InterpretationService
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "zipf_clustered_workload",
+    "ThroughputArm",
+    "ThroughputReport",
+    "run_throughput_benchmark",
+    "run_standard_benchmark",
+    "DEFAULT_SPEEDUP_THRESHOLD",
+]
+
+#: Acceptance gate at default scale; the ``--tiny`` CI smoke only gates
+#: correctness (bitwise consistency), not throughput.
+DEFAULT_SPEEDUP_THRESHOLD: float = 5.0
+
+
+def zipf_clustered_workload(
+    anchors: np.ndarray,
+    n_requests: int,
+    *,
+    exponent: float = 1.1,
+    jitter: float = 0.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Draw a skewed request stream over a set of anchor instances.
+
+    Parameters
+    ----------
+    anchors:
+        ``(k, d)`` anchor instances (e.g. rows of a test set); anchor
+        ``i`` receives traffic proportional to ``1 / (i + 1) ** exponent``.
+    n_requests:
+        Number of requests to draw.
+    exponent:
+        Zipf skew (1.0–1.3 are typical web-traffic fits; higher = more
+        concentrated).
+    jitter:
+        Std-dev of Gaussian perturbation applied per request — small
+        values keep requests inside the anchor's region while making
+        every instance distinct (exercising the membership check rather
+        than trivial equality).
+
+    Returns
+    -------
+    ``(n_requests, d)`` request instances.
+    """
+    anchors = np.asarray(anchors, dtype=np.float64)
+    if anchors.ndim != 2 or anchors.shape[0] < 1:
+        raise ValidationError(
+            f"anchors must be a non-empty (k, d) matrix, got {anchors.shape}"
+        )
+    if n_requests < 1:
+        raise ValidationError(f"n_requests must be >= 1, got {n_requests}")
+    if exponent <= 0:
+        raise ValidationError(f"exponent must be > 0, got {exponent}")
+    if jitter < 0:
+        raise ValidationError(f"jitter must be >= 0, got {jitter}")
+    rng = as_generator(seed)
+    k = anchors.shape[0]
+    weights = 1.0 / np.arange(1, k + 1, dtype=np.float64) ** exponent
+    weights /= weights.sum()
+    choice = rng.choice(k, size=n_requests, p=weights)
+    requests = anchors[choice]
+    if jitter > 0:
+        requests = requests + rng.normal(0.0, jitter, size=requests.shape)
+    return requests
+
+
+@dataclass(frozen=True)
+class ThroughputArm:
+    """One side of the comparison (cache enabled or disabled)."""
+
+    label: str
+    n_requests: int
+    n_ok: int
+    elapsed_s: float
+    interpretations_per_s: float
+    n_queries: int
+    round_trips: int
+    hit_rate: float
+    hit_trajectory: tuple[float, ...]
+    max_gt_l1_error: float
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """The two arms plus the derived speedup and the exactness audit."""
+
+    cached: ThroughputArm
+    uncached: ThroughputArm
+    speedup: float
+    query_reduction: float
+    cache_bitwise_consistent: bool
+
+    def as_text(self) -> str:
+        lines = [
+            "serving throughput: region cache on vs off "
+            "(Zipfian clustered workload)",
+            "",
+            f"{'arm':<10} {'req':>5} {'ok':>5} {'sec':>8} "
+            f"{'interp/s':>10} {'queries':>9} {'trips':>7} {'hit%':>6} "
+            f"{'max GT err':>11}",
+        ]
+        for arm in (self.cached, self.uncached):
+            hit = f"{100 * arm.hit_rate:.1f}" if np.isfinite(arm.hit_rate) else "-"
+            lines.append(
+                f"{arm.label:<10} {arm.n_requests:>5} {arm.n_ok:>5} "
+                f"{arm.elapsed_s:>8.3f} {arm.interpretations_per_s:>10.1f} "
+                f"{arm.n_queries:>9} {arm.round_trips:>7} {hit:>6} "
+                f"{arm.max_gt_l1_error:>11.2e}"
+            )
+        trajectory = "  ".join(
+            f"{100 * r:.0f}%" for r in self.cached.hit_trajectory
+        )
+        lines += [
+            "",
+            f"speedup (interp/s, cached / uncached): {self.speedup:.1f}x",
+            f"query reduction (uncached / cached):   {self.query_reduction:.1f}x",
+            f"cache-hit trajectory (per decile):     {trajectory}",
+            f"cache-served bitwise == region solve:  "
+            f"{self.cache_bitwise_consistent}",
+        ]
+        return "\n".join(lines)
+
+
+def _run_arm(
+    model: PiecewiseLinearModel,
+    requests: np.ndarray,
+    *,
+    label: str,
+    enable_cache: bool,
+    seed: SeedLike,
+    max_batch_size: int,
+    n_checkpoints: int = 10,
+) -> tuple[ThroughputArm, bool]:
+    """Replay the workload through one service; audit every answer."""
+    api = PredictionAPI(model)
+    service = InterpretationService(
+        api,
+        enable_cache=enable_cache,
+        cache=RegionCache(max_entries=4096) if enable_cache else None,
+        max_batch_size=max_batch_size,
+        seed=seed,
+    )
+    n = requests.shape[0]
+    checkpoints = np.linspace(n / n_checkpoints, n, n_checkpoints).astype(int)
+    trajectory: list[float] = []
+    responses = []
+    served = 0
+    start = time.perf_counter()
+    for bound in checkpoints:
+        chunk = requests[served:bound]
+        if chunk.shape[0]:
+            responses.extend(service.interpret_many(chunk))
+        served = int(bound)
+        stats = service.stats()
+        trajectory.append(
+            stats.cache_hits / stats.n_requests if stats.n_requests else 0.0
+        )
+    elapsed = time.perf_counter() - start
+
+    # Exactness audit — every served answer against the OpenBox ground
+    # truth, and cache hits bitwise against the solve that seeded them.
+    max_err = 0.0
+    bitwise_ok = True
+    region_solves: dict[bytes, np.ndarray] = {}
+    for x0, response in zip(requests, responses):
+        if not response.ok:
+            continue
+        interp = response.interpretation
+        gt = ground_truth_decision_features(model, x0, interp.target_class)
+        max_err = max(max_err, float(np.abs(interp.decision_features - gt).max()))
+        key = interp.decision_features.tobytes()
+        if response.served_from_cache:
+            # The identical array object must have been produced by some
+            # fresh solve earlier in the run.
+            bitwise_ok = bitwise_ok and key in region_solves
+        else:
+            region_solves[key] = interp.decision_features
+
+    stats = service.stats()
+    arm = ThroughputArm(
+        label=label,
+        n_requests=n,
+        n_ok=stats.n_ok,
+        elapsed_s=elapsed,
+        interpretations_per_s=stats.n_ok / elapsed if elapsed > 0 else float("inf"),
+        n_queries=stats.n_queries,
+        round_trips=stats.round_trips,
+        hit_rate=stats.hit_rate,
+        hit_trajectory=tuple(trajectory),
+        max_gt_l1_error=max_err,
+    )
+    return arm, bitwise_ok
+
+
+def run_throughput_benchmark(
+    model: PiecewiseLinearModel,
+    anchors: np.ndarray,
+    *,
+    n_requests: int = 400,
+    exponent: float = 1.1,
+    jitter: float = 0.0,
+    seed: SeedLike = 0,
+    max_batch_size: int = 32,
+) -> ThroughputReport:
+    """Replay one Zipfian workload with the region cache on and off.
+
+    Both arms see the identical request stream and an identically seeded
+    interpreter; only ``enable_cache`` differs.
+    """
+    requests = zipf_clustered_workload(
+        anchors, n_requests, exponent=exponent, jitter=jitter, seed=seed
+    )
+    cached, bitwise_ok = _run_arm(
+        model, requests,
+        label="cached", enable_cache=True, seed=seed,
+        max_batch_size=max_batch_size,
+    )
+    uncached, _ = _run_arm(
+        model, requests,
+        label="uncached", enable_cache=False, seed=seed,
+        max_batch_size=max_batch_size,
+    )
+    speedup = (
+        cached.interpretations_per_s / uncached.interpretations_per_s
+        if uncached.interpretations_per_s > 0
+        else float("inf")
+    )
+    query_reduction = (
+        uncached.n_queries / cached.n_queries
+        if cached.n_queries > 0
+        else float("inf")
+    )
+    return ThroughputReport(
+        cached=cached,
+        uncached=uncached,
+        speedup=speedup,
+        query_reduction=query_reduction,
+        cache_bitwise_consistent=bitwise_ok,
+    )
+
+
+def run_standard_benchmark(
+    *,
+    n_requests: int = 400,
+    n_clusters: int = 12,
+    seed: int = 0,
+    tiny: bool = False,
+) -> tuple[ThroughputReport, float]:
+    """The canonical serving benchmark: train the workload PLNN and run
+    the cache-on/off comparison at the standard (or ``tiny`` CI-smoke)
+    scale.
+
+    This is the single source of truth shared by the CLI ``bench-serve``
+    subcommand and ``benchmarks/bench_serving_throughput.py``, so scale
+    constants and the acceptance gate cannot drift apart.
+
+    Returns
+    -------
+    (report, speedup_threshold):
+        The comparison plus the gate the caller should enforce
+        (:data:`DEFAULT_SPEEDUP_THRESHOLD` at standard scale, 1.0 for
+        ``tiny`` where only correctness is gated).
+    """
+    from repro.data import make_blobs
+    from repro.models import ReLUNetwork, TrainingConfig, train_network
+
+    if tiny:
+        n_requests, n_clusters = 60, min(n_clusters, 8)
+        n_features, epochs, threshold = 5, 40, 1.0
+    else:
+        n_features, epochs, threshold = 8, 80, DEFAULT_SPEEDUP_THRESHOLD
+    ds = make_blobs(
+        400, n_features=n_features, n_classes=3, separation=4.0, seed=seed
+    )
+    model = ReLUNetwork([n_features, 16, 8, 3], seed=seed)
+    train_network(
+        model, ds.X, ds.y,
+        TrainingConfig(epochs=epochs, learning_rate=3e-3, seed=seed),
+    )
+    report = run_throughput_benchmark(
+        model, ds.X[:n_clusters], n_requests=n_requests, seed=seed
+    )
+    return report, threshold

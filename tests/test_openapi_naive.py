@@ -182,6 +182,77 @@ class TestInterpretAllClasses:
         assert interpretations[0].n_queries == api.query_count
         assert all(i.n_queries == 0 for i in interpretations[1:])
 
+    def test_pair_residuals_match_direct_interpret(self, relu_model, blobs3):
+        """Regression: derived per-pair residuals must equal what a direct
+        ``interpret(api, x0, c=c)`` over the same sample set reports.
+
+        The pre-fix code labelled the derived pair ``(c, c')`` with the
+        residual of the base pair ``(0, c')``, mislabelling every pair of
+        the non-base classes (and pairs involving class 0 got a residual
+        belonging to a different solve).  Now each derived pair is an
+        actual least-squares solve of the shared certified sample set, so
+        a fresh interpreter with the same seed — which draws the identical
+        samples — must report the identical residuals.
+        """
+        x0 = blobs3.X[4]
+        api = PredictionAPI(relu_model)
+        interpretations = OpenAPIInterpreter(seed=21).interpret_all_classes(
+            api, x0
+        )
+        for interp in interpretations:
+            c = interp.target_class
+            direct = OpenAPIInterpreter(seed=21).interpret(api, x0, c=c)
+            if direct.iterations != interp.iterations:
+                continue  # different sample set; residuals not comparable
+            assert set(interp.pair_estimates) == set(direct.pair_estimates)
+            for pair, est in interp.pair_estimates.items():
+                ref = direct.pair_estimates[pair]
+                assert est.residual == pytest.approx(ref.residual, rel=1e-9, abs=0)
+                np.testing.assert_allclose(est.weights, ref.weights, rtol=1e-12)
+                assert est.intercept == pytest.approx(ref.intercept, rel=1e-9)
+
+    def test_derived_certificate_failure_falls_back_to_direct(
+        self, relu_model, blobs3
+    ):
+        """Under an imperfect API a derived class's re-solve can fail the
+        certificate even though class 0 passed (the base certificate never
+        checked pairs without class 0).  Regression: this must fall back
+        to a direct solve — with its extra queries metered — instead of
+        raising an undocumented ValidationError."""
+        from repro.api import RoundedResponse
+
+        api = PredictionAPI(relu_model, transform=RoundedResponse(5))
+        interpreter = OpenAPIInterpreter(seed=0, rtol=1e-4, max_iterations=30)
+        # Instance 13 deterministically certifies class 0 while the local
+        # re-solve of class 1 fails its certificate (found by sweep).
+        interpretations = interpreter.interpret_all_classes(api, blobs3.X[13])
+        assert len(interpretations) == 3
+        assert [i.target_class for i in interpretations] == [0, 1, 2]
+        assert all(i.all_certified for i in interpretations)
+        # At least one derived class took the fallback path and metered
+        # its own queries; classes served from the shared set cost 0.
+        fallback_queries = [i.n_queries for i in interpretations[1:]]
+        assert any(q > 0 for q in fallback_queries)
+
+    def test_pair_residuals_are_own_solve_residuals(self, relu_api, blobs3):
+        """Each derived pair's residual is finite, certified, and *not*
+        simply copied from the base class's pair list (the old bug)."""
+        interpretations = OpenAPIInterpreter(seed=22).interpret_all_classes(
+            relu_api, blobs3.X[2]
+        )
+        base = interpretations[0]
+        for interp in interpretations[1:]:
+            c = interp.target_class
+            for (a, b), est in interp.pair_estimates.items():
+                assert a == c and b != c
+                assert np.isfinite(est.residual)
+                assert est.certified
+            # The pair (c, 0) mirrors base pair (0, c): same system up to
+            # sign, so its residual must match the base solve's.
+            assert interp.pair_estimates[(c, 0)].residual == pytest.approx(
+                base.pair_estimates[(0, c)].residual, rel=1e-6, abs=1e-12
+            )
+
 
 class TestNaiveMethod:
     def test_exact_in_ideal_case(self, linear_api, linear_model, blobs3):

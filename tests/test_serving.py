@@ -1,0 +1,318 @@
+"""Unit tests for the serving layer: cache, service, metrics, envelopes."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ERROR_CERTIFICATE_FAILED,
+    ErrorEnvelope,
+    InterpretRequest,
+    InterpretResponse,
+    PredictionAPI,
+)
+from repro.core import OpenAPIInterpreter, verify_interpretation
+from repro.exceptions import ValidationError
+from repro.serving import (
+    InterpretationService,
+    RegionCache,
+    ServiceMetrics,
+    zipf_clustered_workload,
+)
+
+
+class TestRegionCache:
+    def test_hit_after_insert(self, relu_api, blobs3):
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, blobs3.X[0])
+        cache = RegionCache()
+        assert cache.insert(interp)
+        y0 = relu_api.predict_proba(blobs3.X[0])
+        hit = cache.lookup(blobs3.X[0], y0, interp.target_class)
+        assert hit is not None
+        assert np.array_equal(hit.decision_features, interp.decision_features)
+        assert hit.n_queries == 1 and hit.iterations == 0
+
+    def test_miss_for_other_region(self, relu_api, relu_model, blobs3):
+        """An instance of a different class region must not match."""
+        x0 = blobs3.X[0]
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, x0)
+        cache = RegionCache()
+        cache.insert(interp)
+        # Find an instance whose log-odds differ from the cached claim.
+        other = next(
+            x for x in blobs3.X[1:]
+            if int(np.argmax(relu_api.predict_proba(x))) == interp.target_class
+            and cache.lookup(
+                x, relu_api.predict_proba(x), interp.target_class
+            ) is None
+        )
+        assert other is not None  # at least one same-class other-region point
+        assert cache.stats().misses >= 1
+
+    def test_miss_for_other_target_class(self, relu_api, blobs3):
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, blobs3.X[0])
+        cache = RegionCache()
+        cache.insert(interp)
+        y0 = relu_api.predict_proba(blobs3.X[0])
+        wrong_class = (interp.target_class + 1) % relu_api.n_classes
+        assert cache.lookup(blobs3.X[0], y0, wrong_class) is None
+
+    def test_rejects_uncertified(self, linear_api, blobs3):
+        from repro.core import NaiveInterpreter
+
+        interp = NaiveInterpreter(0.1, seed=0).interpret(linear_api, blobs3.X[0])
+        with pytest.raises(ValidationError):
+            RegionCache().insert(interp)
+
+    def test_duplicate_insert_skipped(self, relu_api, blobs3):
+        cache = RegionCache()
+        a = OpenAPIInterpreter(seed=0).interpret(relu_api, blobs3.X[0])
+        b = OpenAPIInterpreter(seed=1).interpret(relu_api, blobs3.X[0])
+        assert cache.insert(a)
+        assert not cache.insert(b)  # same region, same class -> refreshed
+        assert len(cache) == 1
+        assert cache.stats().duplicates_skipped == 1
+
+    def test_lru_eviction(self, relu_api, blobs3):
+        interpreter = OpenAPIInterpreter(seed=0)
+        cache = RegionCache(max_entries=2)
+        inserted = 0
+        for x in blobs3.X:
+            interp = interpreter.interpret(relu_api, x)
+            inserted += cache.insert(interp)
+            if cache.stats().evictions >= 1:
+                break
+        assert inserted >= 3
+        assert len(cache) == 2
+        assert cache.stats().evictions >= 1
+
+    def test_cache_served_passes_verification(self, relu_api, blobs3):
+        """A cache-served interpretation is a falsifiable claim at the NEW
+        instance — and a genuine one passes fresh-probe verification."""
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, blobs3.X[0])
+        cache = RegionCache()
+        cache.insert(interp)
+        x = blobs3.X[0] + 1e-6
+        y = relu_api.predict_proba(x)
+        served = cache.lookup(x, y, interp.target_class)
+        assert served is not None
+        report = verify_interpretation(relu_api, served, seed=0)
+        assert report.passed
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RegionCache(max_entries=0)
+        with pytest.raises(ValidationError):
+            RegionCache(tol=0.0)
+        with pytest.raises(ValidationError):
+            RegionCache(max_candidates=0)
+
+
+class TestEnvelopes:
+    def test_request_validates_shape(self):
+        with pytest.raises(ValidationError):
+            InterpretRequest(request_id=0, x0=np.ones((2, 2)))
+
+    def test_success_and_failure_constructors(self, relu_api, blobs3):
+        request = InterpretRequest(request_id=7, x0=blobs3.X[0])
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, blobs3.X[0])
+        ok = InterpretResponse.success(request, interp, n_queries=3)
+        assert ok.ok and ok.request_id == 7 and ok.error is None
+        bad = InterpretResponse.failure(
+            request, ERROR_CERTIFICATE_FAILED, "boom", retryable=True
+        )
+        assert not bad.ok and bad.interpretation is None
+        assert bad.error == ErrorEnvelope(
+            code=ERROR_CERTIFICATE_FAILED, message="boom", retryable=True
+        )
+
+
+class TestServiceBasics:
+    def test_inline_interpret_and_stats(self, relu_api_fresh, blobs3):
+        service = InterpretationService(relu_api_fresh, seed=0)
+        r1 = service.interpret(blobs3.X[0])
+        r2 = service.interpret(blobs3.X[0])
+        assert r1.ok and not r1.served_from_cache
+        assert r2.ok and r2.served_from_cache
+        stats = service.stats()
+        assert stats.n_requests == 2 and stats.cache_hits == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert stats.n_queries == relu_api_fresh.query_count
+        assert "cache hits" in stats.as_text()
+        assert stats.as_dict()["cache_hits"] == 1
+
+    def test_explicit_target_class(self, relu_api_fresh, blobs3):
+        service = InterpretationService(relu_api_fresh, seed=0)
+        response = service.interpret(blobs3.X[0], target_class=1)
+        assert response.ok
+        assert response.interpretation.target_class == 1
+
+    def test_submit_validation(self, relu_api_fresh):
+        service = InterpretationService(relu_api_fresh, seed=0)
+        with pytest.raises(ValidationError):
+            service.submit(np.ones(3))
+        with pytest.raises(ValidationError):
+            service.submit(np.ones(relu_api_fresh.n_features), target_class=99)
+
+    def test_request_ids_monotone(self, relu_api_fresh, blobs3):
+        service = InterpretationService(relu_api_fresh, seed=0)
+        responses = service.interpret_many(blobs3.X[:3])
+        assert [r.request_id for r in responses] == [0, 1, 2]
+
+    def test_duplicate_requests_coalesced_in_one_batch(
+        self, relu_api_fresh, blobs3
+    ):
+        """Identical queued instances ride one solve."""
+        service = InterpretationService(relu_api_fresh, seed=0)
+        X = np.vstack([blobs3.X[0]] * 4)
+        responses = service.interpret_many(X)
+        assert all(r.ok for r in responses)
+        assert sum(r.served_from_cache for r in responses) == 3
+        assert sum(r.n_queries for r in responses) == relu_api_fresh.query_count
+        # Savings accounting: sequentially this costs (1 + T) trips for
+        # the representative plus 1 per duplicate (each would hit the
+        # just-cached entry); actual is 1 probe + T lock-step rounds.
+        T = responses[0].interpretation.iterations
+        stats = service.stats()
+        assert stats.round_trips == 1 + T
+        assert stats.round_trips_saved == (1 + T + 3) - (1 + T)
+
+    def test_nan_request_rejected_at_submit(self, relu_api_fresh):
+        x0 = np.zeros(relu_api_fresh.n_features)
+        x0[0] = np.nan
+        service = InterpretationService(relu_api_fresh, seed=0)
+        with pytest.raises(ValidationError):
+            service.submit(x0)
+
+    def test_internal_failure_becomes_envelope_and_worker_survives(
+        self, relu_model, blobs3
+    ):
+        """An unexpected solver exception must not kill the background
+        loop or hang pendings: it becomes an internal_error envelope and
+        the next request is served normally."""
+        from repro.api import ERROR_INTERNAL
+
+        api = PredictionAPI(relu_model)
+        service = InterpretationService(api, seed=0, max_wait_s=0.005)
+
+        real = service.interpreter.interpret_batch
+        blown = {"done": False}
+
+        def explode(*args, **kwargs):
+            if not blown["done"]:
+                blown["done"] = True
+                raise RuntimeError("solver blew up")
+            return real(*args, **kwargs)
+
+        service.interpreter.interpret_batch = explode
+        with service:
+            poisoned = service.interpret(blobs3.X[0], timeout=30.0)
+            assert not poisoned.ok
+            assert poisoned.error.code == ERROR_INTERNAL
+            assert "solver blew up" in poisoned.error.message
+            healthy = service.interpret(blobs3.X[1], timeout=30.0)
+            assert healthy.ok
+        stats = service.stats()
+        assert stats.n_errors == 1 and stats.n_ok == 1
+        assert stats.n_queries == api.query_count  # aborted flush metered
+
+    def test_background_loop_concurrent_submits(self, relu_model, blobs3):
+        api = PredictionAPI(relu_model)
+        service = InterpretationService(
+            api, seed=0, max_batch_size=16, max_wait_s=0.01
+        )
+        results: dict[int, bool] = {}
+
+        def client(i: int) -> None:
+            response = service.interpret(blobs3.X[i % 4], timeout=30.0)
+            results[i] = response.ok
+
+        with service:
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(12)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(results) == 12 and all(results.values())
+        stats = service.stats()
+        assert stats.n_requests == 12
+        assert stats.n_queries == api.query_count
+        assert stats.round_trips == api.request_count
+
+    def test_stop_drains_queue(self, relu_model, blobs3):
+        api = PredictionAPI(relu_model)
+        service = InterpretationService(api, seed=0)
+        service.start()
+        pendings = [service.submit(x) for x in blobs3.X[:4]]
+        service.stop()
+        assert all(p.result(timeout=5.0).ok for p in pendings)
+
+    def test_validation(self, relu_api_fresh):
+        with pytest.raises(ValidationError):
+            InterpretationService(relu_api_fresh, max_batch_size=0)
+        with pytest.raises(ValidationError):
+            InterpretationService(relu_api_fresh, max_wait_s=-1.0)
+
+
+class TestServiceMetrics:
+    def test_empty_snapshot(self):
+        stats = ServiceMetrics().snapshot()
+        assert stats.n_requests == 0
+        assert np.isnan(stats.hit_rate)
+        assert np.isnan(stats.p50_latency_s)
+        assert "n/a" in stats.as_text()
+
+    def test_round_trip_savings_accounting(self):
+        metrics = ServiceMetrics()
+        metrics.record_flush(
+            queries_spent=40, round_trips=3, round_trips_sequential=11
+        )
+        stats = metrics.snapshot()
+        assert stats.n_queries == 40
+        assert stats.round_trips == 3
+        assert stats.round_trips_saved == 8
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ServiceMetrics(latency_window=0)
+
+
+class TestWorkload:
+    def test_shapes_and_skew(self, blobs3):
+        anchors = blobs3.X[:10]
+        requests = zipf_clustered_workload(anchors, 500, seed=0)
+        assert requests.shape == (500, blobs3.n_features)
+        # Zipf skew: the most popular anchor dominates.
+        counts = np.array([
+            np.sum(np.all(requests == a, axis=1)) for a in anchors
+        ])
+        assert counts[0] == counts.max()
+        assert counts[0] > 500 / 10
+
+    def test_jitter_perturbs(self, blobs3):
+        anchors = blobs3.X[:5]
+        requests = zipf_clustered_workload(anchors, 50, jitter=1e-4, seed=1)
+        assert not any(
+            np.all(requests[0] == a) for a in anchors
+        )
+
+    def test_validation(self, blobs3):
+        with pytest.raises(ValidationError):
+            zipf_clustered_workload(blobs3.X[:3], 0)
+        with pytest.raises(ValidationError):
+            zipf_clustered_workload(blobs3.X[:3], 10, exponent=0.0)
+        with pytest.raises(ValidationError):
+            zipf_clustered_workload(blobs3.X[:3], 10, jitter=-1.0)
+        with pytest.raises(ValidationError):
+            zipf_clustered_workload(np.ones(3), 10)
+
+
+@pytest.fixture()
+def relu_api_fresh(relu_model):
+    """Function-scoped API so query meters start at zero per test."""
+    return PredictionAPI(relu_model)
