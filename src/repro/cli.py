@@ -17,6 +17,9 @@ Commands
 ``bench-serve``
     The cache-on/off serving throughput comparison
     (``benchmarks/bench_serving_throughput.py`` as a subcommand).
+``bench-engine``
+    The fused batched solve engine vs the per-instance reference loop
+    (``benchmarks/bench_solve_engine.py`` as a subcommand).
 
 Examples
 --------
@@ -28,6 +31,7 @@ Examples
     python -m repro interpret --dataset credit-scoring --seed 3
     python -m repro serve --dataset credit-scoring --requests 200
     python -m repro bench-serve --tiny
+    python -m repro bench-engine --tiny
 """
 
 from __future__ import annotations
@@ -137,6 +141,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument(
         "--output", default=None,
         help="also write the report to this file",
+    )
+
+    bench_engine = sub.add_parser(
+        "bench-engine",
+        help="solve engine throughput: fused batched solve vs the "
+        "per-instance reference loop",
+    )
+    bench_engine.add_argument("--seed", type=int, default=0)
+    bench_engine.add_argument(
+        "--repeats", type=int, default=20,
+        help="timed repetitions per configuration (default: 20)",
+    )
+    bench_engine.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke scale: small shapes, no speedup gate",
+    )
+    bench_engine.add_argument(
+        "--output", default=None,
+        help="also write the rows as a JSON artifact",
     )
     return parser
 
@@ -275,6 +298,32 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_bench_engine(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.engine import (
+        benchmark_gate_failures,
+        run_standard_engine_benchmark,
+    )
+
+    if args.repeats < 1:
+        print("error: --repeats must be >= 1", file=sys.stderr)
+        return 2
+    report, threshold = run_standard_engine_benchmark(
+        tiny=args.tiny, repeats=args.repeats, seed=args.seed
+    )
+    print(report.as_text())
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"\nJSON artifact written to {args.output}")
+    failures = benchmark_gate_failures(report, threshold)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.eval.check import run_reproduction_check
 
@@ -296,6 +345,7 @@ def main(argv: list[str] | None = None) -> int:
         "check": _cmd_check,
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
+        "bench-engine": _cmd_bench_engine,
     }
     return handlers[args.command](args)
 

@@ -18,7 +18,19 @@ from repro.core.equations import (
     solve_all_pairs,
     PairSystemSolution,
 )
-from repro.core.rounds import SolveRound, build_interpretation, run_solve_round
+from repro.core.engine import (
+    EngineBenchReport,
+    EngineBenchRow,
+    reference_solve_all_pairs,
+    run_engine_benchmark,
+    solve_pair_systems_stacked,
+)
+from repro.core.rounds import (
+    SolveRound,
+    build_interpretation,
+    run_solve_round,
+    run_solve_rounds_batched,
+)
 from repro.core.naive import NaiveInterpreter
 from repro.core.openapi import OpenAPIInterpreter
 from repro.core.batch import BatchOpenAPIInterpreter, BatchResult
@@ -27,7 +39,13 @@ from repro.core.verification import VerificationReport, verify_interpretation
 __all__ = [
     "SolveRound",
     "run_solve_round",
+    "run_solve_rounds_batched",
     "build_interpretation",
+    "solve_pair_systems_stacked",
+    "reference_solve_all_pairs",
+    "run_engine_benchmark",
+    "EngineBenchReport",
+    "EngineBenchRow",
     "Attribution",
     "CoreParameterEstimate",
     "Interpretation",

@@ -6,9 +6,13 @@ instances, so the dominant latency cost is *round trips*, not scored rows.
 :class:`BatchOpenAPIInterpreter` runs Algorithm 1 for all instances in
 lock-step: each round gathers the next sample set of every still-active
 instance into **one** ``predict_proba`` call, then solves and certifies
-per instance.  Total round trips drop to ``1 + max_i T_i`` while query
-counts, certificates and exactness are identical to the sequential
-interpreter's.
+all of them in **one** fused engine pass
+(:func:`repro.core.rounds.run_solve_rounds_batched` — stacked designs,
+batched normal equations; see :mod:`repro.core.engine`).  Total round
+trips drop to ``1 + max_i T_i`` and the local compute per round is a
+handful of batched LAPACK sweeps instead of a Python loop of solver
+calls, while query counts, certificates and exactness are identical to
+the sequential interpreter's.
 
 Round-trip accounting under micro-batching
 ------------------------------------------
@@ -38,7 +42,7 @@ import numpy as np
 
 from repro.api.service import PredictionAPI
 from repro.core.equations import DEFAULT_PROB_FLOOR
-from repro.core.rounds import build_interpretation, run_solve_round
+from repro.core.rounds import build_interpretation, run_solve_rounds_batched
 from repro.core.sampling import HypercubeSampler
 from repro.core.types import Interpretation
 from repro.exceptions import APIBudgetExceededError, ValidationError
@@ -161,6 +165,12 @@ class BatchOpenAPIInterpreter:
             Per-instance interpretations (``None`` for the probability-0
             budget exhaustion case) plus round-trip accounting.
         """
+        if api.n_classes < 2:
+            raise ValidationError(
+                f"interpretation requires an API with at least 2 classes, "
+                f"got n_classes={api.n_classes} (no class pairs exist to "
+                "solve)"
+            )
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != api.n_features:
             raise ValidationError(
@@ -220,18 +230,29 @@ class BatchOpenAPIInterpreter:
                 break
             rounds += 1
 
-            offset = 0
-            for state, samples in zip(active, sample_blocks):
-                block = probs_stacked[offset : offset + d + 1]
-                offset += d + 1
+            # One fused engine pass solves and certifies every active
+            # instance: stack the (x0 | samples) design blocks and the
+            # matching probability rows into 3-D tensors.
+            k = len(active)
+            x0s = np.stack([s.x0 for s in active])
+            y0s = np.stack([s.y0 for s in active])
+            samples_stack = np.stack(sample_blocks)
+            points_stack = np.concatenate(
+                [x0s[:, None, :], samples_stack], axis=1
+            )
+            probs_stack = np.concatenate(
+                [y0s[:, None, :], probs_stacked.reshape(k, d + 1, -1)], axis=1
+            )
+            classes_stack = np.fromiter(
+                (s.target_class for s in active), dtype=np.intp, count=k
+            )
+            solve_rounds = run_solve_rounds_batched(
+                points_stack, probs_stack, samples_stack, classes_stack,
+                centers=x0s,
+                rtol=self.rtol, atol=self.atol, floor=self.prob_floor,
+            )
+            for state, round_ in zip(active, solve_rounds):
                 state.iterations += 1
-                points = np.vstack([state.x0[None, :], samples])
-                probs = np.vstack([state.y0[None, :], block])
-                round_ = run_solve_round(
-                    points, probs, samples, state.target_class,
-                    center=state.x0,
-                    rtol=self.rtol, atol=self.atol, floor=self.prob_floor,
-                )
                 if round_.certified:
                     state.result = build_interpretation(
                         round_,

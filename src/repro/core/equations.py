@@ -7,12 +7,16 @@ Inside one locally linear region the softmax log-odds are affine:
     \\ln(y_c / y_{c'}) = D_{c,c'}^\\top x + B_{c,c'}.
 
 Each queried instance therefore contributes one linear equation per class
-pair.  This module turns ``(points, probabilities)`` into those systems and
-solves all ``C-1`` pairs sharing one sample set in a single factorization:
-the design matrix ``[1 | X]`` is identical across pairs, only the
-right-hand sides differ, so a multi-RHS least-squares solve does the work
-of ``C-1`` solves for the price of one — the reason OpenAPI's complexity is
-:math:`O(T \\cdot C (d+2)^3)` with a tiny constant.
+pair.  This module turns ``(points, probabilities)`` into those systems;
+the actual solves are delegated to the fused batched engine
+(:mod:`repro.core.engine`): the design matrix ``[1 | X]`` is identical
+across pairs, only the right-hand sides differ, so one normal-equations
+factorization — :math:`O((d+2)^3)` — covers all ``C-1`` right-hand sides
+at :math:`O((d+2)^2)` each, making a shrink iteration
+:math:`O((d+2)^3 + C (d+2)^2)` per instance rather than the naive
+:math:`O(C (d+2)^3)`; the engine additionally stacks ``k`` instances into
+one batched pass so a lock-step round costs ``k`` of those in fused
+LAPACK sweeps instead of ``k`` Python-level solver calls.
 
 Softmax saturation
 ------------------
@@ -35,7 +39,6 @@ from repro.utils.linalg import (
     DEFAULT_CERTIFICATE_ATOL,
     DEFAULT_CERTIFICATE_RTOL,
     AffineLeastSquaresResult,
-    consistency_certificate,
 )
 
 __all__ = [
@@ -158,75 +161,52 @@ def solve_all_pairs(
 ) -> dict[tuple[int, int], PairSystemSolution]:
     """Solve every pair ``(c, c')`` over one shared sample set.
 
-    Builds the design matrix once (centered on ``center``, scaled — see
-    :mod:`repro.utils.linalg`) and solves all ``C-1`` right-hand sides with
-    one LAPACK call.  When ``check_certificate`` is true and the system is
-    overdetermined, each pair's residual is tested against the consistency
-    certificate; determined systems (the naive method) skip the test and
-    report ``certified=False``.
+    A thin single-instance entry into the fused batched engine
+    (:func:`repro.core.engine.solve_pair_systems_stacked`): the design is
+    built once (centered on ``center``, scaled — see
+    :mod:`repro.utils.linalg`) and all ``C-1`` right-hand sides share one
+    normal-equations factorization, with an SVD ``lstsq`` fallback for
+    degenerate sample sets.  When ``check_certificate`` is true and the
+    system is overdetermined, each pair's residual is tested against the
+    consistency certificate; determined systems (the naive method) skip
+    the test and report ``certified=False``.
 
     Returns
     -------
     dict mapping ``(c, c')`` to :class:`PairSystemSolution`.
     """
+    from repro.core.engine import solve_pair_systems_stacked
+
     points = np.asarray(points, dtype=np.float64)
     probs = np.asarray(probs, dtype=np.float64)
     if points.ndim != 2:
         raise ValidationError(f"points must be 2-D, got shape {points.shape}")
     n, d = points.shape
-    if probs.shape[0] != n:
+    if probs.ndim != 2 or probs.shape[0] != n:
         raise ValidationError(f"probs must have {n} rows, got {probs.shape[0]}")
     if n < d + 1:
         raise ValidationError(f"need at least d+1={d + 1} equations, got {n}")
+    C = probs.shape[1]
+    if not 0 <= c < C:
+        raise ValidationError(f"class index {c} out of range [0, {C})")
 
-    targets, pairs = pairwise_log_odds_targets(probs, c, floor=floor)
-
-    # Shared centered/scaled design (same math as solve_affine_least_squares,
-    # vectorized over right-hand sides).
     if center is None:
-        center_vec = points.mean(axis=0)
+        centers = None
     else:
         center_vec = np.asarray(center, dtype=np.float64)
         if center_vec.shape != (d,):
             raise ValidationError(
                 f"center must have shape ({d},), got {center_vec.shape}"
             )
-    offsets = points - center_vec
-    scale = float(np.max(np.abs(offsets)))
-    if scale == 0.0 or not np.isfinite(scale):
-        scale = 1.0
-    design = np.hstack([np.ones((n, 1)), offsets / scale])
+        centers = center_vec[None, :]
 
-    betas, _, rank, sv = np.linalg.lstsq(design, targets, rcond=None)
-    residuals = design @ betas - targets
-    overdetermined = n > d + 1
-
-    solutions: dict[tuple[int, int], PairSystemSolution] = {}
-    for col, pair in enumerate(pairs):
-        beta = betas[:, col]
-        res_norm = float(np.linalg.norm(residuals[:, col]))
-        # Centered target norm — see repro.utils.linalg module docs for why
-        # the certificate must scale with the weight-determining signal.
-        denom = float(np.linalg.norm(targets[:, col] - targets[:, col].mean()))
-        relative = res_norm / denom if denom > 0 else res_norm
-        weights = beta[1:] / scale
-        intercept = float(beta[0] - weights @ center_vec)
-        result = AffineLeastSquaresResult(
-            weights=weights,
-            intercept=intercept,
-            residual_norm=res_norm,
-            relative_residual=float(relative),
-            rank=int(rank),
-            n_equations=n,
-            n_unknowns=d + 1,
-            singular_values=np.asarray(sv, dtype=np.float64),
-        )
-        certified = bool(
-            overdetermined
-            and check_certificate
-            and consistency_certificate(result, rtol=rtol, atol=atol)
-        )
-        solutions[pair] = PairSystemSolution(
-            c=pair[0], c_prime=pair[1], result=result, certified=certified
-        )
-    return solutions
+    return solve_pair_systems_stacked(
+        points[None, :, :],
+        probs[None, :, :],
+        np.asarray([c]),
+        centers=centers,
+        rtol=rtol,
+        atol=atol,
+        floor=floor,
+        check_certificate=check_certificate,
+    )[0]

@@ -16,9 +16,12 @@ The consistency check is the paper's "has a solution" test realized in
 floating point as a relative-residual certificate
 (:func:`repro.utils.linalg.consistency_certificate`).
 
-Complexity: :math:`O(T \\cdot C (d+2)^3)` for ``T`` shrink iterations — and
-because all ``C-1`` pairs share one sample set, the implementation performs
-one multi-RHS factorization per iteration, not ``C-1``.
+Complexity: :math:`O(T \\cdot ((d+2)^3 + C (d+2)^2))` for ``T`` shrink
+iterations — all ``C-1`` pairs share one sample set, so every iteration
+performs a single normal-equations factorization (:math:`O((d+2)^3)`)
+whose ``C-1`` right-hand sides cost :math:`O((d+2)^2)` each, via the
+fused batched engine (:mod:`repro.core.engine`) shared with the
+lock-step batch interpreter.
 """
 
 from __future__ import annotations
@@ -146,11 +149,20 @@ class OpenAPIInterpreter:
 
         Raises
         ------
+        ValidationError
+            If the API exposes fewer than 2 classes — no class pairs
+            exist, so no interpretation is defined.
         CertificateError
             If no consistent system is found within ``max_iterations``
             (probability 0 for instances off region boundaries; can also
             indicate a non-PLM model or a noisy API).
         """
+        if api.n_classes < 2:
+            raise ValidationError(
+                f"interpretation requires an API with at least 2 classes, "
+                f"got n_classes={api.n_classes} (no class pairs exist to "
+                "solve)"
+            )
         x0 = np.asarray(x0, dtype=np.float64)
         if x0.ndim != 1 or x0.shape[0] != api.n_features:
             raise ValidationError(

@@ -14,8 +14,12 @@ step and must agree on it bit for bit:
 This module is that step.  :func:`run_solve_round` wraps
 :func:`~repro.core.equations.solve_all_pairs` into a :class:`SolveRound`
 that retains the inputs (so a certified round can be re-solved for another
-target class, or audited later), and :func:`build_interpretation` is the
-one place a certified round becomes an :class:`~repro.core.types.Interpretation`.
+target class, or audited later); :func:`run_solve_rounds_batched` does the
+same for a whole stack of instances through one fused engine pass
+(:func:`repro.core.engine.solve_pair_systems_stacked`) — the lock-step
+batch interpreter's hot path; and :func:`build_interpretation` is the one
+place a certified round becomes an
+:class:`~repro.core.types.Interpretation`.
 """
 
 from __future__ import annotations
@@ -33,7 +37,12 @@ from repro.core.types import CoreParameterEstimate, Interpretation
 from repro.exceptions import ValidationError
 from repro.utils.linalg import DEFAULT_CERTIFICATE_ATOL, DEFAULT_CERTIFICATE_RTOL
 
-__all__ = ["SolveRound", "run_solve_round", "build_interpretation"]
+__all__ = [
+    "SolveRound",
+    "run_solve_round",
+    "run_solve_rounds_batched",
+    "build_interpretation",
+]
 
 
 @dataclass(frozen=True)
@@ -75,7 +84,15 @@ class SolveRound:
 
     @property
     def worst_relative_residual(self) -> float:
-        """Largest relative residual across pairs (certificate input)."""
+        """Largest relative residual across pairs (certificate input).
+
+        0.0 when the round has no pairs (a single-class API reaches here
+        only through defensive paths — the interpreters reject
+        ``n_classes < 2`` at entry — but ``max()`` over an empty sequence
+        must never crash a diagnostics read).
+        """
+        if not self.solutions:
+            return 0.0
         return float(
             max(sol.result.relative_residual for sol in self.solutions.values())
         )
@@ -130,6 +147,62 @@ def run_solve_round(
         target_class=target_class,
         solutions=solutions,
     )
+
+
+def run_solve_rounds_batched(
+    points: np.ndarray,
+    probs: np.ndarray,
+    samples: np.ndarray,
+    target_classes: np.ndarray,
+    *,
+    centers: np.ndarray | None = None,
+    rtol: float = DEFAULT_CERTIFICATE_RTOL,
+    atol: float = DEFAULT_CERTIFICATE_ATOL,
+    floor: float = DEFAULT_PROB_FLOOR,
+) -> list[SolveRound]:
+    """Solve and certify a whole stack of instances in one engine pass.
+
+    Parameters
+    ----------
+    points:
+        ``(k, n, d)`` equation points, one block per instance (``x0``
+        first, samples after).
+    probs:
+        ``(k, n, C)`` matching API probability rows.
+    samples:
+        ``(k, n - 1, d)`` perturbed instances per block.
+    target_classes:
+        ``(k,)`` base class per instance.
+    centers:
+        ``(k, d)`` centering points (normally the interpreted instances).
+
+    Returns
+    -------
+    One :class:`SolveRound` per instance, in input order — element ``i``
+    equals ``run_solve_round(points[i], probs[i], ...)`` (the two paths
+    share the engine).
+    """
+    from repro.core.engine import solve_pair_systems_stacked
+
+    solutions_per_instance = solve_pair_systems_stacked(
+        points,
+        probs,
+        target_classes,
+        centers=centers,
+        rtol=rtol,
+        atol=atol,
+        floor=floor,
+    )
+    return [
+        SolveRound(
+            points=points[i],
+            probs=probs[i],
+            samples=samples[i],
+            target_class=int(target_classes[i]),
+            solutions=solutions,
+        )
+        for i, solutions in enumerate(solutions_per_instance)
+    ]
 
 
 def build_interpretation(

@@ -24,9 +24,15 @@ certificate.  False hits would require the new region's *every* pair
 hyperplane to agree at ``x`` to within ``τ``, which for continuous
 instance distributions is a measure-zero event.
 
-Entries are kept in LRU order; candidate entries are scanned nearest
-cached-instance first, because region reuse in real workloads is driven by
-locality (near-duplicate queries, per-user clusters).
+The membership scan is fully vectorized: at insert time every entry's
+per-pair ``(D, B)`` is packed into contiguous stacked matrices (grouped
+by target class and pair set), so one lookup evaluates *all* candidate
+claims with a single matmul and all candidate distances with one
+broadcast subtraction.  ``max_candidates`` windows the scan to the
+nearest entries via ``argpartition`` — an O(m) selection, not a full
+O(m log m) sort — because region reuse in real workloads is driven by
+locality (near-duplicate queries, per-user clusters).  Entries are kept
+in LRU order for eviction.
 """
 
 from __future__ import annotations
@@ -70,13 +76,74 @@ class RegionCacheEntry:
     def claim_errors(
         self, x: np.ndarray, y: np.ndarray, *, floor: float
     ) -> np.ndarray:
-        """|predicted - actual| log-odds per pair at instance ``x``."""
+        """|predicted - actual| log-odds per pair at instance ``x``.
+
+        The scalar reference for the packed vectorized scan (used by the
+        audit tests); production lookups never call this per entry.
+        """
         errors = np.empty(len(self.pair_estimates))
         for i, ((c, c_prime), est) in enumerate(self.pair_estimates.items()):
             actual = float(log_odds(y, c, c_prime, floor=floor))
             predicted = float(est.weights @ x + est.intercept)
             errors[i] = abs(predicted - actual)
         return errors
+
+
+class _PackedGroup:
+    """Contiguous ``(D, B)`` stacks for one (target class, pair set) bucket.
+
+    Holds, for ``m`` member entries over ``P`` pairs in ``d`` dimensions:
+    ``W`` of shape ``(m, P, d)``, ``b`` of shape ``(m, P)`` and anchors
+    ``X0`` of shape ``(m, d)``.  Rows are packed when an entry is added;
+    the stacked views are rebuilt lazily after mutations (insertions and
+    evictions are rare next to lookups).
+    """
+
+    __slots__ = ("pairs", "cs", "cps", "keys", "_w", "_b", "_x0", "_stacks")
+
+    def __init__(self, pairs: tuple[tuple[int, int], ...]):
+        self.pairs = pairs
+        self.cs = np.asarray([c for c, _ in pairs], dtype=np.intp)
+        self.cps = np.asarray([cp for _, cp in pairs], dtype=np.intp)
+        self.keys: list[int] = []
+        self._w: list[np.ndarray] = []
+        self._b: list[np.ndarray] = []
+        self._x0: list[np.ndarray] = []
+        self._stacks: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def add(self, entry: RegionCacheEntry) -> None:
+        self.keys.append(entry.key)
+        self._w.append(
+            np.stack([entry.pair_estimates[p].weights for p in self.pairs])
+        )
+        self._b.append(
+            np.asarray(
+                [entry.pair_estimates[p].intercept for p in self.pairs]
+            )
+        )
+        self._x0.append(entry.x0)
+        self._stacks = None
+
+    def remove(self, key: int) -> None:
+        i = self.keys.index(key)
+        del self.keys[i], self._w[i], self._b[i], self._x0[i]
+        self._stacks = None
+
+    def stacked(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._stacks is None:
+            self._stacks = (
+                np.stack(self._w), np.stack(self._b), np.stack(self._x0)
+            )
+        return self._stacks
+
+    def claims_at(self, x0: np.ndarray) -> np.ndarray:
+        """Every member's per-pair affine claim at ``x0`` — one matmul."""
+        W, b, _ = self.stacked()
+        m, P, d = W.shape
+        return (W.reshape(m * P, d) @ x0).reshape(m, P) + b
 
 
 @dataclass(frozen=True)
@@ -92,8 +159,10 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
+        """``hits / (hits + misses)``; 0.0 before any lookup (never NaN,
+        so stats snapshots stay JSON-safe)."""
         total = self.hits + self.misses
-        return self.hits / total if total else float("nan")
+        return self.hits / total if total else 0.0
 
 
 class RegionCache:
@@ -108,9 +177,9 @@ class RegionCache:
         tolerance of the serving contract).
     max_candidates:
         Cap on how many nearest entries are membership-checked per lookup
-        (``None`` scans all).  The check is pure local flops — ``C - 1``
-        dot products per candidate — so even full scans are cheap next to
-        one API query.
+        (``None`` scans all).  The scan is one matmul over the packed
+        candidate stacks either way; the window is selected with an O(m)
+        ``argpartition`` over squared distances.
     floor:
         Probability clamp for the log-odds transform (must match the
         interpreter's).
@@ -155,6 +224,12 @@ class RegionCache:
         self.max_candidates = max_candidates
         self.floor = check_positive(floor, name="floor")
         self._entries: OrderedDict[int, RegionCacheEntry] = OrderedDict()
+        self._groups: dict[
+            tuple[int, tuple[tuple[int, int], ...]], _PackedGroup
+        ] = {}
+        self._group_of: dict[int, tuple[int, tuple[tuple[int, int], ...]]] = {}
+        self._dim: int | None = None
+        self._min_classes: int | None = None
         self._keys = itertools.count()
         self._hits = 0
         self._misses = 0
@@ -166,6 +241,23 @@ class RegionCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _check_lookup_shapes(self, x0: np.ndarray, y0: np.ndarray) -> None:
+        """Reject dimension mismatches before they hit the packed matmul."""
+        if x0.ndim != 1:
+            raise ValidationError(f"x0 must be 1-D, got shape {x0.shape}")
+        if y0.ndim != 1:
+            raise ValidationError(f"y0 must be 1-D, got shape {y0.shape}")
+        if self._dim is not None and x0.shape[0] != self._dim:
+            raise ValidationError(
+                f"x0 has dimensionality {x0.shape[0]} but cached entries "
+                f"have dimensionality {self._dim}"
+            )
+        if self._min_classes is not None and y0.shape[0] < self._min_classes:
+            raise ValidationError(
+                f"y0 has {y0.shape[0]} classes but cached entries reference "
+                f"class indices up to {self._min_classes - 1}"
+            )
+
     def lookup(
         self, x0: np.ndarray, y0: np.ndarray, target_class: int
     ) -> Interpretation | None:
@@ -174,7 +266,9 @@ class RegionCache:
         Parameters
         ----------
         x0:
-            The queried instance.
+            The queried instance.  Must match the dimensionality of the
+            cached entries (:class:`~repro.exceptions.ValidationError`
+            naming both otherwise).
         y0:
             The API's probability row for ``x0`` (the probe the service
             performs anyway); used for the membership check only — no API
@@ -191,20 +285,44 @@ class RegionCache:
         """
         x0 = np.asarray(x0, dtype=np.float64)
         y0 = np.asarray(y0, dtype=np.float64)
-        candidates = [
-            e for e in self._entries.values() if e.target_class == target_class
+        self._check_lookup_shapes(x0, y0)
+
+        groups = [
+            g for (tc, _), g in self._groups.items()
+            if tc == target_class and len(g)
         ]
-        candidates.sort(key=lambda e: float(np.sum((e.x0 - x0) ** 2)))
-        if self.max_candidates is not None:
-            candidates = candidates[: self.max_candidates]
-        for entry in candidates:
-            if entry.claim_errors(x0, y0, floor=self.floor).max() <= self.tol:
-                entry.hits += 1
-                self._hits += 1
-                self._entries.move_to_end(entry.key)
-                return self._rebase(entry, x0)
-        self._misses += 1
-        return None
+        if not groups:
+            self._misses += 1
+            return None
+
+        log_y = np.log(np.clip(y0, self.floor, None))
+        errors_parts, dists_parts, keys = [], [], []
+        for group in groups:
+            actual = log_y[group.cs] - log_y[group.cps]      # (P,)
+            claims = group.claims_at(x0)                     # (m, P)
+            errors_parts.append(np.abs(claims - actual).max(axis=1))
+            _, _, X0 = group.stacked()
+            dists_parts.append(((X0 - x0) ** 2).sum(axis=1))
+            keys.extend(group.keys)
+        errors = np.concatenate(errors_parts)
+        dists = np.concatenate(dists_parts)
+
+        if self.max_candidates is not None and dists.size > self.max_candidates:
+            window = np.argpartition(dists, self.max_candidates - 1)[
+                : self.max_candidates
+            ]
+        else:
+            window = np.arange(dists.size)
+        passing = window[errors[window] <= self.tol]
+        if passing.size == 0:
+            self._misses += 1
+            return None
+        best = int(passing[np.argmin(dists[passing])])
+        entry = self._entries[keys[best]]
+        entry.hits += 1
+        self._hits += 1
+        self._entries.move_to_end(entry.key)
+        return self._rebase(entry, x0)
 
     def insert(self, interpretation: Interpretation) -> bool:
         """Cache a certified interpretation; returns False for duplicates.
@@ -212,37 +330,52 @@ class RegionCache:
         Only fully certified interpretations are accepted — the cache's
         contract is Theorem 2's region-wide exactness, which uncertified
         estimates do not carry.  An interpretation whose own affine claim
-        is already reproduced by a cached entry (same region, same class)
-        refreshes that entry instead of duplicating it.
+        is already reproduced by a cached entry (same region, same class,
+        same pair set) refreshes that entry instead of duplicating it —
+        detected with one matmul over the packed candidate stacks.
         """
         if not interpretation.all_certified:
             raise ValidationError(
                 "only certified interpretations can enter the region cache"
             )
         x0 = interpretation.x0
+        if self._dim is not None and x0.shape[0] != self._dim:
+            raise ValidationError(
+                f"interpretation x0 has dimensionality {x0.shape[0]} but "
+                f"cached entries have dimensionality {self._dim}"
+            )
+        pairs = tuple(sorted(interpretation.pair_estimates))
+        for pair in pairs:
+            w = interpretation.pair_estimates[pair].weights
+            if w.shape != x0.shape:
+                raise ValidationError(
+                    f"pair {pair} weights have shape {w.shape} but x0 has "
+                    f"shape {x0.shape}"
+                )
+        group_key = (interpretation.target_class, pairs)
+
         # Same-region duplicate detection: compare the *claims* of the new
         # and cached hyperplanes at the new x0 (both exact in-region).
-        for entry in self._entries.values():
-            if entry.target_class != interpretation.target_class:
-                continue
-            agree = True
-            for pair, est in interpretation.pair_estimates.items():
-                cached = entry.pair_estimates.get(pair)
-                if cached is None:
-                    agree = False
-                    break
-                new_claim = float(est.weights @ x0 + est.intercept)
-                old_claim = float(cached.weights @ x0 + cached.intercept)
-                if abs(new_claim - old_claim) > self.tol:
-                    agree = False
-                    break
-            if agree:
+        group = self._groups.get(group_key)
+        if group is not None and len(group):
+            new_claims = np.asarray(
+                [
+                    interpretation.pair_estimates[p].weights @ x0
+                    + interpretation.pair_estimates[p].intercept
+                    for p in pairs
+                ]
+            )
+            agree = (
+                np.abs(group.claims_at(x0) - new_claims).max(axis=1)
+                <= self.tol
+            )
+            if agree.any():
                 self._duplicates += 1
-                self._entries.move_to_end(entry.key)
+                self._entries.move_to_end(group.keys[int(np.argmax(agree))])
                 return False
 
         key = next(self._keys)
-        self._entries[key] = RegionCacheEntry(
+        entry = RegionCacheEntry(
             key=key,
             x0=x0,
             target_class=interpretation.target_class,
@@ -250,15 +383,28 @@ class RegionCache:
             decision_features=interpretation.decision_features,
             final_edge=interpretation.final_edge,
         )
+        self._entries[key] = entry
+        if group is None:
+            group = self._groups.setdefault(group_key, _PackedGroup(pairs))
+        group.add(entry)
+        self._group_of[key] = group_key
+        self._dim = x0.shape[0]
+        max_class = max((max(c, cp) for c, cp in pairs), default=-1)
+        self._min_classes = max(self._min_classes or 0, max_class + 1)
         self._insertions += 1
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
+            self._groups[self._group_of.pop(evicted_key)].remove(evicted_key)
             self._evictions += 1
         return True
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         self._entries.clear()
+        self._groups.clear()
+        self._group_of.clear()
+        self._dim = None
+        self._min_classes = None
 
     def stats(self) -> CacheStats:
         return CacheStats(

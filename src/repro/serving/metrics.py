@@ -39,19 +39,23 @@ class ServiceStats:
     cache_hits, cache_misses:
         Requests served from the region cache vs. sent to the solver.
     hit_rate:
-        ``cache_hits / n_requests`` (NaN before the first request).
+        ``cache_hits / n_requests``; 0.0 before the first request — never
+        NaN, so JSON consumers of the stats endpoint always receive a
+        valid number.
     n_queries:
         API instance queries spent by the service in total.
     queries_per_interpretation:
         ``n_queries / n_ok`` — the amortized per-answer query cost; the
-        headline number region reuse drives toward 1.
+        headline number region reuse drives toward 1.  0.0 before the
+        first successful interpretation (never NaN).
     round_trips:
         Actual ``predict_proba`` round trips performed.
     round_trips_saved:
         Sequential-equivalent trips minus actual trips.
     p50_latency_s, p95_latency_s:
         Request latency quantiles over a bounded recent window (NaN when
-        no latencies were recorded).
+        no latencies were recorded; rendered as ``n/a`` in text and
+        ``None`` in :meth:`as_dict` so serialized output stays JSON-safe).
     """
 
     n_requests: int
@@ -67,20 +71,27 @@ class ServiceStats:
     p50_latency_s: float
     p95_latency_s: float
 
-    def as_dict(self) -> dict[str, float | int]:
+    def as_dict(self) -> dict[str, float | int | None]:
+        """JSON-safe rendering: non-finite values become ``None``, never
+        NaN (``json.dumps`` would otherwise emit invalid-JSON ``NaN``
+        literals downstream consumers choke on)."""
+
+        def _safe(value: float) -> float | None:
+            return float(value) if np.isfinite(value) else None
+
         return {
             "n_requests": self.n_requests,
             "n_ok": self.n_ok,
             "n_errors": self.n_errors,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
-            "hit_rate": self.hit_rate,
+            "hit_rate": _safe(self.hit_rate),
             "n_queries": self.n_queries,
-            "queries_per_interpretation": self.queries_per_interpretation,
+            "queries_per_interpretation": _safe(self.queries_per_interpretation),
             "round_trips": self.round_trips,
             "round_trips_saved": self.round_trips_saved,
-            "p50_latency_s": self.p50_latency_s,
-            "p95_latency_s": self.p95_latency_s,
+            "p50_latency_s": _safe(self.p50_latency_s),
+            "p95_latency_s": _safe(self.p95_latency_s),
         }
 
     def as_text(self) -> str:
@@ -185,10 +196,10 @@ class ServiceMetrics:
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
             hit_rate=(self.cache_hits / self.n_requests
-                      if self.n_requests else float("nan")),
+                      if self.n_requests else 0.0),
             n_queries=self.n_queries,
             queries_per_interpretation=(self.n_queries / self.n_ok
-                                        if self.n_ok else float("nan")),
+                                        if self.n_ok else 0.0),
             round_trips=self.round_trips,
             round_trips_saved=self.round_trips_saved,
             p50_latency_s=(float(np.percentile(latencies, 50))

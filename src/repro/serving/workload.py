@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.api.service import PredictionAPI
+from repro.core.engine import EngineBenchRow, run_engine_benchmark
 from repro.exceptions import ValidationError
 from repro.models.base import PiecewiseLinearModel
 from repro.models.openbox import ground_truth_decision_features
@@ -115,13 +116,20 @@ class ThroughputArm:
 
 @dataclass(frozen=True)
 class ThroughputReport:
-    """The two arms plus the derived speedup and the exactness audit."""
+    """The two arms plus the derived speedup and the exactness audit.
+
+    ``engine_row`` surfaces the solve-engine throughput at the workload's
+    shape (one lock-step micro-batch worth of instances), so the serving
+    bench tracks the fused batched solver alongside end-to-end serving
+    numbers; see :func:`repro.core.engine.run_engine_benchmark`.
+    """
 
     cached: ThroughputArm
     uncached: ThroughputArm
     speedup: float
     query_reduction: float
     cache_bitwise_consistent: bool
+    engine_row: "EngineBenchRow | None" = None
 
     def as_text(self) -> str:
         lines = [
@@ -151,6 +159,13 @@ class ThroughputReport:
             f"cache-served bitwise == region solve:  "
             f"{self.cache_bitwise_consistent}",
         ]
+        if self.engine_row is not None:
+            row = self.engine_row
+            lines.append(
+                f"solve engine (k={row.n_instances}, d={row.d}, "
+                f"C={row.C}):       {row.engine_solves_per_s:.0f} solves/s "
+                f"({row.speedup:.1f}x vs reference loop)"
+            )
         return "\n".join(lines)
 
 
@@ -263,12 +278,19 @@ def run_throughput_benchmark(
         if cached.n_queries > 0
         else float("inf")
     )
+    # Engine throughput at this workload's shape: one micro-batch worth of
+    # instances over the model's (d, C) geometry.
+    engine_row = run_engine_benchmark(
+        [(max_batch_size, anchors.shape[1], model.n_classes)],
+        repeats=5,
+    ).rows[0]
     return ThroughputReport(
         cached=cached,
         uncached=uncached,
         speedup=speedup,
         query_reduction=query_reduction,
         cache_bitwise_consistent=bitwise_ok,
+        engine_row=engine_row,
     )
 
 

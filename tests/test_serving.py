@@ -111,6 +111,163 @@ class TestRegionCache:
             RegionCache(max_candidates=0)
 
 
+def _affine_interp(x0, W, b):
+    """A hand-built certified interpretation claiming log-odds W @ x + b
+    for pairs ``(0, j+1)`` — full geometric control for cache tests."""
+    from repro.core import CoreParameterEstimate, Interpretation
+
+    pairs = {
+        (0, j + 1): CoreParameterEstimate(
+            c=0, c_prime=j + 1, weights=W[j], intercept=float(b[j]),
+            certified=True,
+        )
+        for j in range(W.shape[0])
+    }
+    return Interpretation(
+        x0=x0, target_class=0, decision_features=W.mean(axis=0),
+        pair_estimates=pairs, method="test", final_edge=1.0,
+    )
+
+
+def _probs_for_claims(t):
+    """A probability row whose log-odds ``ln(y_0 / y_j)`` equal ``t[j-1]``."""
+    logits = np.concatenate([[0.0], -np.asarray(t, dtype=np.float64)])
+    z = np.exp(logits - logits.max())
+    return z / z.sum()
+
+
+class TestRegionCacheVectorized:
+    """The packed membership scan: validation and loop-equivalence."""
+
+    def _filled_cache(self, rng, n_entries=8, d=5, n_pairs=2, **kwargs):
+        cache = RegionCache(**kwargs)
+        entries = []
+        for _ in range(n_entries):
+            x0 = rng.normal(size=d)
+            W = rng.normal(size=(n_pairs, d))
+            b = rng.normal(size=n_pairs)
+            interp = _affine_interp(x0, W, b)
+            assert cache.insert(interp)
+            entries.append((x0, W, b, interp))
+        return cache, entries
+
+    def test_lookup_dim_mismatch_raises(self):
+        rng = np.random.default_rng(0)
+        cache, _ = self._filled_cache(rng, d=5)
+        with pytest.raises(ValidationError, match=r"\b3\b.*\b5\b"):
+            cache.lookup(np.zeros(3), _probs_for_claims([0.0, 0.0]), 0)
+
+    def test_insert_dim_mismatch_raises(self):
+        rng = np.random.default_rng(1)
+        cache, _ = self._filled_cache(rng, d=5)
+        bad = _affine_interp(
+            np.zeros(4), rng.normal(size=(2, 4)), rng.normal(size=2)
+        )
+        with pytest.raises(ValidationError, match=r"\b4\b.*\b5\b"):
+            cache.insert(bad)
+
+    def test_lookup_y0_too_short_raises(self):
+        rng = np.random.default_rng(2)
+        cache, _ = self._filled_cache(rng, d=5, n_pairs=2)  # classes 0..2
+        with pytest.raises(ValidationError, match="class"):
+            cache.lookup(np.zeros(5), np.array([0.5, 0.5]), 0)
+
+    def test_empty_cache_lookup_is_miss_any_dim(self):
+        cache = RegionCache()
+        assert cache.lookup(np.zeros(7), np.array([0.5, 0.5]), 0) is None
+        assert cache.stats().misses == 1
+
+    def test_scan_matches_per_entry_reference(self):
+        """One-matmul membership scan == the per-entry claim_errors loop."""
+        rng = np.random.default_rng(3)
+        for max_candidates in (None, 3):
+            cache, entries = self._filled_cache(
+                rng, n_entries=10, d=4, max_candidates=max_candidates
+            )
+            probes = [e[0] + rng.normal(scale=0.05, size=4) for e in entries]
+            probes += [rng.normal(size=4) for _ in range(5)]
+            for x in probes:
+                # Claims of a random entry at x — a hit for that entry
+                # (and only entries agreeing at x), plus pure-noise rows.
+                x0, W, b, _ = entries[rng.integers(len(entries))]
+                y = _probs_for_claims(W @ x + b)
+
+                candidates = sorted(
+                    cache._entries.values(),
+                    key=lambda e: float(np.sum((e.x0 - x) ** 2)),
+                )
+                if max_candidates is not None:
+                    candidates = candidates[:max_candidates]
+                expected = next(
+                    (
+                        e for e in candidates
+                        if e.claim_errors(x, y, floor=cache.floor).max()
+                        <= cache.tol
+                    ),
+                    None,
+                )
+                served = cache.lookup(x, y, 0)
+                if expected is None:
+                    assert served is None
+                else:
+                    assert served is not None
+                    assert np.array_equal(
+                        served.decision_features, expected.decision_features
+                    )
+
+    def test_max_candidates_windows_nearest(self):
+        """An entry outside the nearest-k window must not hit even if its
+        claims match (locality contract of the windowed scan)."""
+        rng = np.random.default_rng(4)
+        d = 4
+        W_far = rng.normal(size=(2, d))
+        b_far = rng.normal(size=2)
+        far = _affine_interp(np.full(d, 5.0), W_far, b_far)
+        near = _affine_interp(
+            np.zeros(d), rng.normal(size=(2, d)), rng.normal(size=2)
+        )
+        x = np.full(d, 4.0)  # nearer to `far` (dist 2) than `near` (dist 8)
+        y = _probs_for_claims(W_far @ x + b_far)
+
+        windowed = RegionCache(max_candidates=1)
+        windowed.insert(far)
+        windowed.insert(near)
+        assert windowed.lookup(x, y, 0) is not None  # far is the nearest
+
+        x_near_miss = np.full(d, 0.5)  # nearest is `near`, whose claims differ
+        y2 = _probs_for_claims(W_far @ x_near_miss + b_far)
+        assert windowed.lookup(x_near_miss, y2, 0) is None
+        unwindowed = RegionCache(max_candidates=None)
+        unwindowed.insert(far)
+        unwindowed.insert(near)
+        assert unwindowed.lookup(x_near_miss, y2, 0) is not None
+
+    def test_eviction_keeps_packed_stacks_consistent(self):
+        rng = np.random.default_rng(5)
+        cache, entries = self._filled_cache(rng, n_entries=6, d=3,
+                                            max_entries=4)
+        assert len(cache) == 4
+        assert cache.stats().evictions == 2
+        # Only the 4 newest entries remain servable.
+        for i, (x0, W, b, _) in enumerate(entries):
+            y = _probs_for_claims(W @ x0 + b)
+            hit = cache.lookup(x0, y, 0)
+            assert (hit is not None) == (i >= 2)
+
+    def test_clear_resets_dimensionality(self):
+        rng = np.random.default_rng(6)
+        cache, _ = self._filled_cache(rng, d=5)
+        cache.clear()
+        other = _affine_interp(
+            np.zeros(3), rng.normal(size=(2, 3)), rng.normal(size=2)
+        )
+        assert cache.insert(other)
+
+    def test_fresh_cache_hit_rate_is_zero_not_nan(self):
+        stats = RegionCache().stats()
+        assert stats.hit_rate == 0.0
+
+
 class TestEnvelopes:
     def test_request_validates_shape(self):
         with pytest.raises(ValidationError):
@@ -263,9 +420,20 @@ class TestServiceMetrics:
     def test_empty_snapshot(self):
         stats = ServiceMetrics().snapshot()
         assert stats.n_requests == 0
-        assert np.isnan(stats.hit_rate)
+        # JSON-safe no-traffic snapshot: rates report 0.0, never NaN.
+        assert stats.hit_rate == 0.0
+        assert stats.queries_per_interpretation == 0.0
         assert np.isnan(stats.p50_latency_s)
         assert "n/a" in stats.as_text()
+
+    def test_empty_snapshot_as_dict_is_json_safe(self):
+        import json
+
+        payload = ServiceMetrics().snapshot().as_dict()
+        assert payload["hit_rate"] == 0.0
+        assert payload["p50_latency_s"] is None
+        assert payload["p95_latency_s"] is None
+        assert "NaN" not in json.dumps(payload)
 
     def test_round_trip_savings_accounting(self):
         metrics = ServiceMetrics()
