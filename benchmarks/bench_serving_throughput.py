@@ -45,18 +45,21 @@ def main(argv: list[str] | None = None) -> int:
         "--tiny", action="store_true",
         help="CI smoke scale (small model, 60 requests, no speedup gate)",
     )
-    parser.add_argument("--output", default=None)
+    parser.add_argument(
+        "--output", default=None,
+        help="write the report here (JSON for .json paths, text otherwise)",
+    )
     args = parser.parse_args(argv)
 
     report, threshold = run_standard_benchmark(
         n_requests=args.requests, n_clusters=args.clusters,
         seed=args.seed, tiny=args.tiny,
     )
-    text = report.as_text()
-    print(text)
+    print(report.as_text())
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text + "\n")
+        from repro.io import write_report
+
+        write_report(args.output, report)
         print(f"\nreport written to {args.output}")
 
     if not report.cache_bitwise_consistent:

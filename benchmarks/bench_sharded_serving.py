@@ -1,0 +1,96 @@
+"""Sharded serving tier: bounded-memory hit retention + scan scaling.
+
+The sharded tier's claim: a production region inventory is large but
+traffic over it is skewed (drifting-Zipf — the hot set moves), so a
+cache bounded to a fraction of the inventory, with LRU/TTL eviction and
+hash-sharded packed stacks, keeps nearly all of the unbounded cache's
+benefit at a fraction of the memory and per-shard scan cost.  This bench
+replays one drifting-Zipf stream through three arms and gates:
+
+* **hit-rate retention** — the bounded sharded cache (25% of the
+  unbounded arm's resident entries, 4 shards) must retain >= 90% of the
+  unbounded hit rate at default scale;
+* **scan scaling** — the slowest shard's packed membership scan must be
+  sub-linear vs. the monolithic scan at equal inventory (<= 0.75x,
+  typically ~0.3x with 4 shards);
+* **bitwise transparency, always** (``--tiny`` included) — cache-served
+  answers bitwise equal a fresh certified solve, through eviction, the
+  multi-worker replay, and a snapshot save -> load -> warm-start replay.
+
+The workload, scale constants and gates live in
+:func:`repro.serving.run_sharded_benchmark`, shared with the
+``python -m repro bench-shard`` subcommand.
+
+Run standalone (the CI smoke uses ``--tiny``)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_serving.py --tiny
+    PYTHONPATH=src python benchmarks/bench_sharded_serving.py \\
+        --output BENCH_sharded_serving.json
+
+or as a pytest bench: ``pytest benchmarks/bench_sharded_serving.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.io import write_report
+from repro.serving import run_sharded_benchmark, sharded_gate_failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sharded serving tier: bounded-memory hit retention "
+        "and per-shard scan scaling"
+    )
+    parser.add_argument("--requests", type=int, default=600)
+    parser.add_argument("--anchors", type=int, default=48)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--eviction", default="lru", choices=("lru", "ttl"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke scale (small model, 120 requests, correctness "
+        "gates only)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="write the report here (JSON for .json paths, text otherwise)",
+    )
+    args = parser.parse_args(argv)
+
+    report, (min_ratio, max_scan) = run_sharded_benchmark(
+        n_requests=args.requests, n_anchors=args.anchors,
+        n_shards=args.shards, n_workers=args.workers,
+        eviction=args.eviction, seed=args.seed, tiny=args.tiny,
+    )
+    print(report.as_text())
+    if args.output:
+        write_report(args.output, report)
+        print(f"\nreport written to {args.output}")
+
+    failures = sharded_gate_failures(
+        report, min_hit_rate_ratio=min_ratio, max_scan_ratio=max_scan
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_sharded_serving(record_result):
+    """Pytest-harness entry (``pytest benchmarks/bench_sharded_serving.py``)."""
+    report, (min_ratio, max_scan) = run_sharded_benchmark()
+    record_result("sharded_serving", report.as_text())
+    failures = sharded_gate_failures(
+        report, min_hit_rate_ratio=min_ratio, max_scan_ratio=max_scan
+    )
+    assert not failures, failures
+    assert report.bounded.max_gt_l1_error < 1e-6
+    assert report.unbounded.max_gt_l1_error < 1e-6
+    assert report.multiworker.max_gt_l1_error < 1e-6
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,14 +12,22 @@ Commands
     Show available experiment ids, dataset names and scale presets.
 ``serve``
     Run the interpretation service over a demo model: replay a skewed
-    request workload through the region cache + micro-batching loop and
-    print the stats endpoint.
+    request workload (Zipf, drifting-Zipf, multi-tenant or churn)
+    through the region cache + micro-batching loop — optionally sharded
+    (``--shards``/``--workers``), bounded (``--max-entries``,
+    ``--eviction``) and snapshot-persistent
+    (``--snapshot``/``--warm-start``) — and print the stats endpoint.
 ``bench-serve``
     The cache-on/off serving throughput comparison
     (``benchmarks/bench_serving_throughput.py`` as a subcommand).
+``bench-shard``
+    The bounded-memory sharded serving tier gates
+    (``benchmarks/bench_sharded_serving.py`` as a subcommand).
 ``bench-engine``
     The fused batched solve engine vs the per-instance reference loop
     (``benchmarks/bench_solve_engine.py`` as a subcommand).
+
+See ``docs/serving.md`` for the operator guide to the serving commands.
 
 Examples
 --------
@@ -30,7 +38,10 @@ Examples
     python -m repro run all --scale bench --output report.txt
     python -m repro interpret --dataset credit-scoring --seed 3
     python -m repro serve --dataset credit-scoring --requests 200
-    python -m repro bench-serve --tiny
+    python -m repro serve --shards 4 --workers 2 --snapshot regions.npz
+    python -m repro serve --warm-start regions.npz --workload drifting
+    python -m repro bench-serve --tiny --output BENCH_serving.json
+    python -m repro bench-shard --tiny --output BENCH_sharded_serving.json
     python -m repro bench-engine --tiny
 """
 
@@ -119,6 +130,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the region-reuse cache (fresh solve per request)",
     )
+    serve.add_argument(
+        "--workload", default="zipf",
+        choices=("zipf", "drifting", "tenant", "churn"),
+        help="request-stream shape (default: zipf; see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="region-cache shards; > 1 selects the sharded serving tier "
+        "(default: 1, monolithic)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent flush workers for the sharded tier (default: 1)",
+    )
+    serve.add_argument(
+        "--max-entries", type=int, default=512,
+        help="resident-entry bound of the region cache (default: 512)",
+    )
+    serve.add_argument(
+        "--eviction", default="lru", choices=("lru", "ttl"),
+        help="cache eviction policy (default: lru)",
+    )
+    serve.add_argument(
+        "--ttl-s", type=float, default=None,
+        help="entry lifetime in seconds (required with --eviction ttl)",
+    )
+    serve.add_argument(
+        "--warm-start", default=None, metavar="PATH",
+        help="load a region-cache snapshot (.npz) before serving",
+    )
+    serve.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="save the region cache to this .npz after serving",
+    )
 
     bench_serve = sub.add_parser(
         "bench-serve",
@@ -140,7 +185,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_serve.add_argument(
         "--output", default=None,
-        help="also write the report to this file",
+        help="also write the report to this file (JSON when the path "
+        "ends in .json, rendered text otherwise)",
+    )
+
+    bench_shard = sub.add_parser(
+        "bench-shard",
+        help="bounded-memory sharded serving tier: hit-rate retention "
+        "under eviction + per-shard scan scaling on a drifting-Zipf "
+        "workload",
+    )
+    bench_shard.add_argument("--seed", type=int, default=0)
+    bench_shard.add_argument(
+        "--requests", type=int, default=600,
+        help="workload size per arm (default: 600)",
+    )
+    bench_shard.add_argument(
+        "--anchors", type=int, default=48,
+        help="distinct anchor instances (default: 48)",
+    )
+    bench_shard.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count of the bounded arm (default: 4)",
+    )
+    bench_shard.add_argument(
+        "--workers", type=int, default=2,
+        help="flush workers of the multi-worker arm (default: 2)",
+    )
+    bench_shard.add_argument(
+        "--eviction", default="lru", choices=("lru", "ttl"),
+        help="eviction policy of the bounded arm (default: lru)",
+    )
+    bench_shard.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke scale: small model, 120 requests, correctness "
+        "gates only",
+    )
+    bench_shard.add_argument(
+        "--output", default=None,
+        help="also write the report to this file (JSON when the path "
+        "ends in .json, rendered text otherwise)",
     )
 
     bench_engine = sub.add_parser(
@@ -237,13 +321,34 @@ def _train_demo_model(dataset: str, seed: int, *, epochs: int = 120):
     return data, test, model
 
 
+_WORKLOADS = {
+    "zipf": "zipf_clustered_workload",
+    "drifting": "drifting_zipf_workload",
+    "tenant": "multi_tenant_workload",
+    "churn": "churn_workload",
+}
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import serving
     from repro.exceptions import ValidationError
-    from repro.serving import InterpretationService, zipf_clustered_workload
+    from repro.serving import (
+        InterpretationService,
+        RegionCache,
+        ShardedInterpretationService,
+        ShardedRegionCache,
+    )
 
     if args.requests < 1 or args.clusters < 1 or args.batch_size < 1:
         print("error: --requests, --clusters and --batch-size must be >= 1",
               file=sys.stderr)
+        return 2
+    if args.shards < 1 or args.workers < 1:
+        print("error: --shards and --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.no_cache and (args.snapshot or args.warm_start):
+        print("error: --snapshot/--warm-start require the cache enabled "
+              "(drop --no-cache)", file=sys.stderr)
         return 2
     try:
         data, test, model = _train_demo_model(args.dataset, args.seed)
@@ -252,21 +357,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     api = PredictionAPI(model)
     anchors = test.X[: min(args.clusters, test.n_samples)]
-    requests = zipf_clustered_workload(
-        anchors, args.requests, seed=args.seed
+    workload_fn = getattr(serving, _WORKLOADS[args.workload])
+    requests = workload_fn(anchors, args.requests, seed=args.seed)
+    sharded = args.shards > 1 or args.workers > 1
+    tier = (
+        f"{args.shards} shards / {args.workers} workers" if sharded
+        else "monolithic"
     )
     print(f"dataset: {data.name} (d={data.n_features}, C={data.n_classes})")
-    print(f"serving {args.requests} requests over {anchors.shape[0]} "
-          f"anchor instances "
-          f"(region cache {'off' if args.no_cache else 'on'}, "
+    print(f"serving {args.requests} {args.workload} requests over "
+          f"{anchors.shape[0]} anchor instances "
+          f"(region cache {'off' if args.no_cache else 'on'}, {tier}, "
+          f"{args.eviction} eviction <= {args.max_entries} entries, "
           f"micro-batch <= {args.batch_size})\n")
 
-    service = InterpretationService(
-        api,
-        enable_cache=not args.no_cache,
-        max_batch_size=args.batch_size,
-        seed=args.seed,
-    )
+    try:
+        cache_kwargs = dict(
+            max_entries=args.max_entries,
+            eviction=args.eviction,
+            ttl_s=args.ttl_s,
+        )
+        if sharded:
+            service: InterpretationService = ShardedInterpretationService(
+                api,
+                n_workers=args.workers,
+                cache=(
+                    None if args.no_cache
+                    else ShardedRegionCache(n_shards=args.shards, **cache_kwargs)
+                ),
+                enable_cache=not args.no_cache,
+                max_batch_size=args.batch_size,
+                seed=args.seed,
+            )
+        else:
+            service = InterpretationService(
+                api,
+                cache=None if args.no_cache else RegionCache(**cache_kwargs),
+                enable_cache=not args.no_cache,
+                max_batch_size=args.batch_size,
+                seed=args.seed,
+            )
+        if args.warm_start:
+            loaded = service.cache.load(args.warm_start)
+            print(f"warm start: {loaded} region entries loaded from "
+                  f"{args.warm_start}\n")
+    except (ValidationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     with service:
         responses = service.interpret_many(requests)
     errors = [r for r in responses if not r.ok]
@@ -274,7 +412,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{len(errors)} errors")
     print("\n--- stats endpoint ---")
     print(service.stats().as_text())
+    if service.cache is not None:
+        cache_stats = service.cache.stats()
+        print("\n--- region cache ---")
+        width = max(len(k) for k in cache_stats.as_dict())
+        for key, value in cache_stats.as_dict().items():
+            print(f"{key:<{width}}  {value}")
+        if args.snapshot:
+            saved = service.cache.save(args.snapshot)
+            print(f"\nsnapshot: {saved} region entries saved to "
+                  f"{args.snapshot}")
     return 0 if not errors else 1
+
+
+def _write_report(output: str, report) -> None:
+    from repro.io import write_report
+
+    write_report(output, report)
+    print(f"\nreport written to {output}")
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
@@ -288,14 +443,37 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         n_requests=args.requests, n_clusters=args.clusters,
         seed=args.seed, tiny=args.tiny,
     )
-    text = report.as_text()
-    print(text)
+    print(report.as_text())
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text + "\n")
-        print(f"\nreport written to {args.output}")
+        _write_report(args.output, report)
     ok = report.cache_bitwise_consistent and report.speedup >= threshold
     return 0 if ok else 1
+
+
+def _cmd_bench_shard(args: argparse.Namespace) -> int:
+    from repro.serving import run_sharded_benchmark, sharded_gate_failures
+
+    if args.requests < 1 or args.anchors < 1:
+        print("error: --requests and --anchors must be >= 1",
+              file=sys.stderr)
+        return 2
+    if args.shards < 1 or args.workers < 1:
+        print("error: --shards and --workers must be >= 1", file=sys.stderr)
+        return 2
+    report, (min_ratio, max_scan) = run_sharded_benchmark(
+        n_requests=args.requests, n_anchors=args.anchors,
+        n_shards=args.shards, n_workers=args.workers,
+        eviction=args.eviction, seed=args.seed, tiny=args.tiny,
+    )
+    print(report.as_text())
+    if args.output:
+        _write_report(args.output, report)
+    failures = sharded_gate_failures(
+        report, min_hit_rate_ratio=min_ratio, max_scan_ratio=max_scan
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_bench_engine(args: argparse.Namespace) -> int:
@@ -345,6 +523,7 @@ def main(argv: list[str] | None = None) -> int:
         "check": _cmd_check,
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
+        "bench-shard": _cmd_bench_shard,
         "bench-engine": _cmd_bench_engine,
     }
     return handlers[args.command](args)

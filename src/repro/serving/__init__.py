@@ -6,28 +6,55 @@ package converts that guarantee into serving machinery:
 
 * :class:`RegionCache` — certified core parameters reused across every
   later query landing in the same activation region, verified by a cheap
-  log-odds membership check;
+  log-odds membership check, bounded by LRU or TTL eviction and
+  persistable to warm-start snapshots;
+* :class:`ShardedRegionCache` / :class:`ShardedInterpretationService`
+  (:mod:`repro.serving.shard`) — the bounded-memory sharded tier:
+  entries hash-routed across shards by region signature, multiple flush
+  workers over a backpressured queue;
 * :class:`InterpretationService` — request queue + micro-batching loop
   coalescing concurrent requests into lock-step batch round trips, with
   structured error envelopes and full meter accounting;
-* :mod:`repro.serving.workload` — skewed (Zipfian, clustered) workload
-  generation and the cache-on/off throughput comparison.
+* :mod:`repro.serving.workload` — skewed workload generation (Zipf,
+  drifting Zipf, multi-tenant, churn) and the serving benchmarks.
+
+See ``docs/architecture.md`` for the end-to-end data flow and
+``docs/serving.md`` for the operator guide.
 """
 
 from repro.serving.cache import (
     DEFAULT_MEMBERSHIP_TOL,
+    EVICTION_POLICIES,
     CacheStats,
     RegionCache,
     RegionCacheEntry,
 )
 from repro.serving.metrics import ServiceMetrics, ServiceStats
 from repro.serving.service import InterpretationService, PendingResponse
+from repro.serving.shard import (
+    ShardedCacheStats,
+    ShardedInterpretationService,
+    ShardedRegionCache,
+    region_signature,
+    signature_of,
+)
 from repro.serving.workload import (
+    BOUNDED_RESIDENT_FRACTION,
     DEFAULT_SPEEDUP_THRESHOLD,
+    SHARDED_HIT_RATE_RATIO_THRESHOLD,
+    SHARDED_SCAN_RATIO_THRESHOLD,
+    ScanScalingRow,
+    ShardedServingReport,
     ThroughputArm,
     ThroughputReport,
+    churn_workload,
+    drifting_zipf_workload,
+    measure_scan_scaling,
+    multi_tenant_workload,
+    run_sharded_benchmark,
     run_standard_benchmark,
     run_throughput_benchmark,
+    sharded_gate_failures,
     zipf_clustered_workload,
 )
 
@@ -36,14 +63,31 @@ __all__ = [
     "RegionCacheEntry",
     "CacheStats",
     "DEFAULT_MEMBERSHIP_TOL",
+    "EVICTION_POLICIES",
+    "ShardedRegionCache",
+    "ShardedCacheStats",
+    "ShardedInterpretationService",
+    "region_signature",
+    "signature_of",
     "ServiceMetrics",
     "ServiceStats",
     "InterpretationService",
     "PendingResponse",
     "ThroughputArm",
     "ThroughputReport",
+    "ScanScalingRow",
+    "ShardedServingReport",
     "run_throughput_benchmark",
     "run_standard_benchmark",
+    "run_sharded_benchmark",
+    "sharded_gate_failures",
+    "measure_scan_scaling",
     "DEFAULT_SPEEDUP_THRESHOLD",
+    "SHARDED_HIT_RATE_RATIO_THRESHOLD",
+    "SHARDED_SCAN_RATIO_THRESHOLD",
+    "BOUNDED_RESIDENT_FRACTION",
     "zipf_clustered_workload",
+    "drifting_zipf_workload",
+    "multi_tenant_workload",
+    "churn_workload",
 ]

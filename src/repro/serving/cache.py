@@ -31,15 +31,32 @@ claims with a single matmul and all candidate distances with one
 broadcast subtraction.  ``max_candidates`` windows the scan to the
 nearest entries via ``argpartition`` — an O(m) selection, not a full
 O(m log m) sort — because region reuse in real workloads is driven by
-locality (near-duplicate queries, per-user clusters).  Entries are kept
-in LRU order for eviction.
+locality (near-duplicate queries, per-user clusters).
+
+**Bounded memory.** The region inventory of a production model is large
+but traffic over it is skewed, so the cache enforces a resident bound
+with a configurable eviction policy: ``"lru"`` (least-recently-served
+entry evicted first, the default) or ``"ttl"`` (entries expire a fixed
+number of seconds after they were last inserted or served; expiry is
+applied lazily at lookup/insert time).  :class:`CacheStats` reports
+evictions and approximate resident bytes so operators can size
+``max_entries`` against a memory budget (see ``docs/serving.md``).
+
+**Snapshots.** :meth:`RegionCache.save` / :meth:`RegionCache.load`
+persist the packed region arrays to a single ``.npz`` so a service can
+warm-start from a prior run's regions — the arrays round-trip bitwise,
+preserving the cache's exactness contract across restarts.  The format is
+shared with :class:`repro.serving.shard.ShardedRegionCache`, which
+re-routes each entry by its region signature at load time.
 """
 
 from __future__ import annotations
 
 import itertools
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Callable
 
 import numpy as np
 
@@ -53,6 +70,8 @@ __all__ = [
     "RegionCache",
     "CacheStats",
     "DEFAULT_MEMBERSHIP_TOL",
+    "EVICTION_POLICIES",
+    "SNAPSHOT_VERSION",
 ]
 
 #: Max absolute log-odds mismatch accepted by the membership check.  A
@@ -60,10 +79,41 @@ __all__ = [
 #: a foreign region typically misses by orders of magnitude.
 DEFAULT_MEMBERSHIP_TOL: float = 1e-6
 
+#: Supported eviction policies: ``"lru"`` evicts the least-recently-served
+#: entry once ``max_entries`` is exceeded; ``"ttl"`` additionally expires
+#: entries ``ttl_s`` seconds after their last touch (insert or hit).
+EVICTION_POLICIES: tuple[str, ...] = ("lru", "ttl")
+
+#: On-disk snapshot format version (bumped on incompatible changes; load
+#: rejects snapshots written by a different version).
+SNAPSHOT_VERSION: int = 1
+
 
 @dataclass
 class RegionCacheEntry:
-    """One cached certified interpretation (a region's core parameters)."""
+    """One cached certified interpretation (a region's core parameters).
+
+    Attributes
+    ----------
+    key:
+        Cache-internal monotone id (doubles as insertion order).
+    x0:
+        The anchor instance whose certified solve populated the entry.
+    target_class:
+        The class the region's parameters were solved for.
+    pair_estimates:
+        ``(c, c') -> CoreParameterEstimate`` — the region's exact
+        ``(D, B)`` per class pair (Theorem 2 payload).
+    decision_features:
+        The region's decision features ``D_c`` (Equation 1).
+    final_edge:
+        Hypercube edge of the solve that certified the region.
+    hits:
+        How many lookups this entry has served.
+    last_touch:
+        Eviction clock reading of the last insert/serve (drives the
+        ``"ttl"`` policy; also maintained under ``"lru"``).
+    """
 
     key: int
     x0: np.ndarray
@@ -72,6 +122,7 @@ class RegionCacheEntry:
     decision_features: np.ndarray
     final_edge: float
     hits: int = 0
+    last_touch: float = 0.0
 
     def claim_errors(
         self, x: np.ndarray, y: np.ndarray, *, floor: float
@@ -87,6 +138,19 @@ class RegionCacheEntry:
             predicted = float(est.weights @ x + est.intercept)
             errors[i] = abs(predicted - actual)
         return errors
+
+    @property
+    def resident_bytes(self) -> int:
+        """Approximate bytes this entry keeps resident.
+
+        Counts the entry's own arrays *and* their packed-scan copies
+        (each entry's ``(D, B)`` and anchor are duplicated into the
+        contiguous group stacks); Python object overhead is excluded.
+        """
+        pair_bytes = sum(
+            est.weights.nbytes + 8 for est in self.pair_estimates.values()
+        )
+        return 2 * (self.x0.nbytes + pair_bytes) + self.decision_features.nbytes
 
 
 class _PackedGroup:
@@ -148,7 +212,34 @@ class _PackedGroup:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Counters of a :class:`RegionCache` (monotone over its lifetime)."""
+    """Point-in-time snapshot of a :class:`RegionCache`'s meters.
+
+    The counters (``hits`` … ``evictions``) are monotone over the cache's
+    lifetime; ``size`` and ``resident_bytes`` describe the current
+    resident set.  Field names are pinned one-to-one to the keys of
+    :meth:`as_dict` (and to the glossary in ``docs/serving.md``) by
+    ``tests/test_stats_schema.py``.
+
+    Attributes
+    ----------
+    hits:
+        Lookups served from a cached region.
+    misses:
+        Lookups that found no matching region (the caller solves fresh).
+    insertions:
+        Certified interpretations accepted into the cache.
+    duplicates_skipped:
+        Insert attempts whose region was already cached (the existing
+        entry was refreshed instead).
+    evictions:
+        Entries removed by the eviction policy (LRU capacity or TTL
+        expiry).
+    size:
+        Entries currently resident.
+    resident_bytes:
+        Approximate bytes of resident region payload — entry arrays plus
+        their packed scan copies; Python object overhead excluded.
+    """
 
     hits: int
     misses: int
@@ -156,6 +247,7 @@ class CacheStats:
     duplicates_skipped: int
     evictions: int
     size: int
+    resident_bytes: int
 
     @property
     def hit_rate(self) -> float:
@@ -164,14 +256,63 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-safe rendering: every dataclass field plus ``hit_rate``.
+
+        The key set is pinned against the field names by
+        ``tests/test_stats_schema.py`` so the JSON emitted by the serving
+        benchmarks cannot drift from this class's documentation.
+        """
+        payload: dict[str, float | int] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        payload["hit_rate"] = float(self.hit_rate)
+        return payload
+
+
+def check_lookup_shapes(
+    x0: np.ndarray,
+    y0: np.ndarray,
+    *,
+    dim: int | None,
+    min_classes: int | None,
+) -> None:
+    """Reject dimension mismatches before they hit the packed matmul.
+
+    Shared by :class:`RegionCache` and the sharded tier (whose empty
+    shards could not otherwise enforce a consistent dimensionality).
+
+    Raises
+    ------
+    ValidationError
+        If ``x0``/``y0`` are not 1-D, if ``x0``'s dimensionality differs
+        from the cached entries' (both named in the message), or if
+        ``y0`` has fewer classes than the cached pair estimates index.
+    """
+    if x0.ndim != 1:
+        raise ValidationError(f"x0 must be 1-D, got shape {x0.shape}")
+    if y0.ndim != 1:
+        raise ValidationError(f"y0 must be 1-D, got shape {y0.shape}")
+    if dim is not None and x0.shape[0] != dim:
+        raise ValidationError(
+            f"x0 has dimensionality {x0.shape[0]} but cached entries "
+            f"have dimensionality {dim}"
+        )
+    if min_classes is not None and y0.shape[0] < min_classes:
+        raise ValidationError(
+            f"y0 has {y0.shape[0]} classes but cached entries reference "
+            f"class indices up to {min_classes - 1}"
+        )
+
 
 class RegionCache:
-    """LRU cache of certified interpretations keyed by activation region.
+    """Bounded cache of certified interpretations keyed by activation region.
 
     Parameters
     ----------
     max_entries:
-        Eviction threshold (least-recently-hit entry goes first).
+        Resident-entry bound (the least-recently-served entry is evicted
+        first once exceeded).
     tol:
         Membership tolerance on absolute log-odds error (the certificate
         tolerance of the serving contract).
@@ -183,6 +324,23 @@ class RegionCache:
     floor:
         Probability clamp for the log-odds transform (must match the
         interpreter's).
+    eviction:
+        ``"lru"`` (default) or ``"ttl"`` — see :data:`EVICTION_POLICIES`.
+        Both respect ``max_entries``; ``"ttl"`` additionally expires
+        entries by age.
+    ttl_s:
+        Entry lifetime in seconds for the ``"ttl"`` policy, measured from
+        the entry's last touch (insert or serve).  Required iff
+        ``eviction="ttl"``.
+    clock:
+        Monotonic time source for TTL bookkeeping (injectable for
+        deterministic tests); defaults to :func:`time.monotonic`.
+
+    Raises
+    ------
+    ValidationError
+        For non-positive bounds/tolerances, an unknown eviction policy,
+        or an inconsistent ``eviction``/``ttl_s`` combination.
 
     Examples
     --------
@@ -212,6 +370,9 @@ class RegionCache:
         tol: float = DEFAULT_MEMBERSHIP_TOL,
         max_candidates: int | None = None,
         floor: float = DEFAULT_PROB_FLOOR,
+        eviction: str = "lru",
+        ttl_s: float | None = None,
+        clock: Callable[[], float] | None = None,
     ):
         if max_entries < 1:
             raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
@@ -219,10 +380,26 @@ class RegionCache:
             raise ValidationError(
                 f"max_candidates must be >= 1 or None, got {max_candidates}"
             )
+        if eviction not in EVICTION_POLICIES:
+            raise ValidationError(
+                f"eviction must be one of {EVICTION_POLICIES}, got {eviction!r}"
+            )
+        if eviction == "ttl":
+            if ttl_s is None:
+                raise ValidationError("eviction='ttl' requires ttl_s")
+            self.ttl_s: float | None = check_positive(ttl_s, name="ttl_s")
+        else:
+            if ttl_s is not None:
+                raise ValidationError(
+                    "ttl_s is only meaningful with eviction='ttl'"
+                )
+            self.ttl_s = None
+        self.eviction = eviction
         self.max_entries = int(max_entries)
         self.tol = check_positive(tol, name="tol")
         self.max_candidates = max_candidates
         self.floor = check_positive(floor, name="floor")
+        self._clock = clock if clock is not None else time.monotonic
         self._entries: OrderedDict[int, RegionCacheEntry] = OrderedDict()
         self._groups: dict[
             tuple[int, tuple[tuple[int, int], ...]], _PackedGroup
@@ -236,32 +413,26 @@ class RegionCache:
         self._insertions = 0
         self._duplicates = 0
         self._evictions = 0
+        self._resident_bytes = 0
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
         return len(self._entries)
 
     def _check_lookup_shapes(self, x0: np.ndarray, y0: np.ndarray) -> None:
-        """Reject dimension mismatches before they hit the packed matmul."""
-        if x0.ndim != 1:
-            raise ValidationError(f"x0 must be 1-D, got shape {x0.shape}")
-        if y0.ndim != 1:
-            raise ValidationError(f"y0 must be 1-D, got shape {y0.shape}")
-        if self._dim is not None and x0.shape[0] != self._dim:
-            raise ValidationError(
-                f"x0 has dimensionality {x0.shape[0]} but cached entries "
-                f"have dimensionality {self._dim}"
-            )
-        if self._min_classes is not None and y0.shape[0] < self._min_classes:
-            raise ValidationError(
-                f"y0 has {y0.shape[0]} classes but cached entries reference "
-                f"class indices up to {self._min_classes - 1}"
-            )
+        check_lookup_shapes(
+            x0, y0, dim=self._dim, min_classes=self._min_classes
+        )
 
     def lookup(
         self, x0: np.ndarray, y0: np.ndarray, target_class: int
     ) -> Interpretation | None:
         """Serve ``x0`` from a cached region, or ``None`` on a miss.
+
+        Complexity: one ``(m·P, d)`` matmul over the packed candidate
+        stacks plus an O(m) distance pass — :math:`O(m P d)` for ``m``
+        resident candidates of the target class (``max_candidates``
+        windows the membership comparison, not the matmul).
 
         Parameters
         ----------
@@ -282,17 +453,41 @@ class RegionCache:
         A rebased :class:`Interpretation` sharing the cached arrays
         bitwise (``n_queries=1`` for the probe, ``iterations=0``), or
         ``None``.
+
+        Raises
+        ------
+        ValidationError
+            On shape/dimensionality mismatches (see
+            :func:`check_lookup_shapes`).
         """
         x0 = np.asarray(x0, dtype=np.float64)
         y0 = np.asarray(y0, dtype=np.float64)
         self._check_lookup_shapes(x0, y0)
+        self._purge_expired()
+        scored = self._scan(x0, y0, target_class)
+        if scored is None:
+            self._misses += 1
+            return None
+        served = self._serve(scored[0], x0)
+        if served is None:  # pragma: no cover — single-threaded lookups
+            self._misses += 1  # cannot race between scan and serve
+        return served
 
+    def _scan(
+        self, x0: np.ndarray, y0: np.ndarray, target_class: int
+    ) -> tuple[int, float] | None:
+        """The pure membership scan: ``(entry key, squared distance)`` of
+        the nearest passing candidate, or ``None``.
+
+        Mutates nothing — counters, LRU order and TTL leases are the
+        caller's job (:meth:`lookup` here; the sharded tier runs this per
+        shard and serves only the global winner).
+        """
         groups = [
             g for (tc, _), g in self._groups.items()
             if tc == target_class and len(g)
         ]
         if not groups:
-            self._misses += 1
             return None
 
         log_y = np.log(np.clip(y0, self.floor, None))
@@ -315,13 +510,20 @@ class RegionCache:
             window = np.arange(dists.size)
         passing = window[errors[window] <= self.tol]
         if passing.size == 0:
-            self._misses += 1
             return None
         best = int(passing[np.argmin(dists[passing])])
-        entry = self._entries[keys[best]]
+        return keys[best], float(dists[best])
+
+    def _serve(self, key: int, x0: np.ndarray) -> Interpretation | None:
+        """Count and serve a scan winner (``None`` if it was evicted
+        between scan and serve — only possible in the sharded tier, where
+        the shard lock is released between the two steps)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
         entry.hits += 1
         self._hits += 1
-        self._entries.move_to_end(entry.key)
+        self._touch(entry)
         return self._rebase(entry, x0)
 
     def insert(self, interpretation: Interpretation) -> bool:
@@ -333,6 +535,16 @@ class RegionCache:
         is already reproduced by a cached entry (same region, same class,
         same pair set) refreshes that entry instead of duplicating it —
         detected with one matmul over the packed candidate stacks.
+
+        Complexity: :math:`O(m P d)` for the duplicate scan over the
+        ``m`` same-group entries, plus O(P d) packing of the new rows
+        (the stacked views are rebuilt lazily on the next scan).
+
+        Raises
+        ------
+        ValidationError
+            If the interpretation is not fully certified, or its
+            dimensionality disagrees with the cached entries.
         """
         if not interpretation.all_certified:
             raise ValidationError(
@@ -352,6 +564,7 @@ class RegionCache:
                     f"pair {pair} weights have shape {w.shape} but x0 has "
                     f"shape {x0.shape}"
                 )
+        self._purge_expired()
         group_key = (interpretation.target_class, pairs)
 
         # Same-region duplicate detection: compare the *claims* of the new
@@ -371,32 +584,71 @@ class RegionCache:
             )
             if agree.any():
                 self._duplicates += 1
-                self._entries.move_to_end(group.keys[int(np.argmax(agree))])
+                refreshed = self._entries[group.keys[int(np.argmax(agree))]]
+                self._touch(refreshed)
                 return False
 
-        key = next(self._keys)
         entry = RegionCacheEntry(
-            key=key,
+            key=next(self._keys),
             x0=x0,
             target_class=interpretation.target_class,
             pair_estimates=dict(interpretation.pair_estimates),
             decision_features=interpretation.decision_features,
             final_edge=interpretation.final_edge,
         )
-        self._entries[key] = entry
-        if group is None:
-            group = self._groups.setdefault(group_key, _PackedGroup(pairs))
+        self._install(entry, pairs)
+        self._insertions += 1
+        return True
+
+    def _install(
+        self, entry: RegionCacheEntry, pairs: tuple[tuple[int, int], ...]
+    ) -> None:
+        """Add a pre-validated entry (shared by :meth:`insert` and
+        :meth:`load`): packs the stacks, updates dimensionality/bytes and
+        enforces the resident bound."""
+        if self._dim is not None and entry.x0.shape[0] != self._dim:
+            raise ValidationError(
+                f"entry x0 has dimensionality {entry.x0.shape[0]} but "
+                f"cached entries have dimensionality {self._dim}"
+            )
+        group_key = (entry.target_class, pairs)
+        self._entries[entry.key] = entry
+        group = self._groups.setdefault(group_key, _PackedGroup(pairs))
         group.add(entry)
-        self._group_of[key] = group_key
-        self._dim = x0.shape[0]
+        self._group_of[entry.key] = group_key
+        self._dim = entry.x0.shape[0]
         max_class = max((max(c, cp) for c, cp in pairs), default=-1)
         self._min_classes = max(self._min_classes or 0, max_class + 1)
-        self._insertions += 1
+        self._resident_bytes += entry.resident_bytes
+        entry.last_touch = self._clock()
         while len(self._entries) > self.max_entries:
-            evicted_key, _ = self._entries.popitem(last=False)
-            self._groups[self._group_of.pop(evicted_key)].remove(evicted_key)
-            self._evictions += 1
-        return True
+            self._evict(next(iter(self._entries)))
+
+    def _touch(self, entry: RegionCacheEntry) -> None:
+        """Refresh recency (LRU position) and the TTL lease of an entry."""
+        self._entries.move_to_end(entry.key)
+        entry.last_touch = self._clock()
+
+    def _evict(self, key: int) -> None:
+        entry = self._entries.pop(key)
+        self._groups[self._group_of.pop(key)].remove(key)
+        self._resident_bytes -= entry.resident_bytes
+        self._evictions += 1
+
+    def _purge_expired(self) -> None:
+        """Drop entries past their TTL lease (no-op under ``"lru"``).
+
+        Entries are kept in recency order, so expiry only ever needs to
+        pop from the least-recently-touched end — O(expired), not
+        O(size)."""
+        if self.ttl_s is None:
+            return
+        now = self._clock()
+        while self._entries:
+            oldest = next(iter(self._entries.values()))
+            if now - oldest.last_touch < self.ttl_s:
+                break
+            self._evict(oldest.key)
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
@@ -405,8 +657,10 @@ class RegionCache:
         self._group_of.clear()
         self._dim = None
         self._min_classes = None
+        self._resident_bytes = 0
 
     def stats(self) -> CacheStats:
+        """An immutable counter snapshot (see :class:`CacheStats`)."""
         return CacheStats(
             hits=self._hits,
             misses=self._misses,
@@ -414,7 +668,63 @@ class RegionCache:
             duplicates_skipped=self._duplicates,
             evictions=self._evictions,
             size=len(self._entries),
+            resident_bytes=self._resident_bytes,
         )
+
+    # ------------------------------------------------------------------ #
+    # Snapshot persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> int:
+        """Persist the resident entries to ``path`` as a single ``.npz``.
+
+        The packed per-group arrays (``W``, ``B``, anchors, decision
+        features, hypercube edges) are written losslessly, so entries
+        served after a :meth:`load` are bitwise the entries saved.
+        Counters, TTL leases and solve diagnostics are *not* persisted —
+        a snapshot is a warm-start payload, not a full process image.
+
+        Returns the number of entries written.
+        """
+        entries = list(self._entries.values())
+        np.savez_compressed(
+            path, **pack_snapshot(entries, pairs_of=self._pairs_of)
+        )
+        return len(entries)
+
+    def _pairs_of(self, entry: RegionCacheEntry) -> tuple[tuple[int, int], ...]:
+        return self._group_of[entry.key][1]
+
+    def load(self, path) -> int:
+        """Warm-start from a snapshot written by :meth:`save`.
+
+        Entries are installed in their saved recency order (oldest
+        first), so if the snapshot exceeds ``max_entries`` the *stalest*
+        entries are the ones dropped.  Every installed entry receives a
+        fresh TTL lease.  Loads do not count as insertions — the
+        ``insertions`` counter keeps meaning "certified solves accepted
+        from the interpreter".
+
+        Returns the number of entries installed (before any capacity
+        evictions).
+
+        Raises
+        ------
+        ValidationError
+            If the cache is not empty, the snapshot version is
+            unsupported, or the snapshot's dimensionality is internally
+            inconsistent.
+        """
+        if self._entries:
+            raise ValidationError(
+                "load requires an empty cache (call clear() first)"
+            )
+        records = unpack_snapshot(np.load(path))
+        for target_class, pairs, W, b, x0, feats, edge in records:
+            entry = _entry_from_record(
+                next(self._keys), target_class, pairs, W, b, x0, feats, edge
+            )
+            self._install(entry, pairs)
+        return len(records)
 
     # ------------------------------------------------------------------ #
     def _rebase(self, entry: RegionCacheEntry, x0: np.ndarray) -> Interpretation:
@@ -435,3 +745,145 @@ class RegionCache:
             n_queries=1,
             samples=None,
         )
+
+
+# --------------------------------------------------------------------- #
+# Snapshot format (shared with the sharded tier)
+# --------------------------------------------------------------------- #
+def pack_snapshot(
+    entries: list[RegionCacheEntry],
+    *,
+    pairs_of: Callable[[RegionCacheEntry], tuple[tuple[int, int], ...]],
+) -> dict[str, np.ndarray]:
+    """Serialize entries (in recency order, oldest first) to npz arrays.
+
+    Per (target class, pair set) group ``gi`` the snapshot holds
+    ``g{gi}_target`` (scalar), ``g{gi}_pairs`` ``(P, 2)``, ``g{gi}_rank``
+    ``(m,)`` global recency ranks, ``g{gi}_w`` ``(m, P, d)``, ``g{gi}_b``
+    ``(m, P)``, ``g{gi}_x0`` ``(m, d)``, ``g{gi}_feats`` ``(m, d)`` and
+    ``g{gi}_edge`` ``(m,)`` — all float64, round-tripping bitwise.
+    """
+    grouped: dict[
+        tuple[int, tuple[tuple[int, int], ...]],
+        list[tuple[int, RegionCacheEntry]],
+    ] = {}
+    for rank, entry in enumerate(entries):
+        key = (entry.target_class, pairs_of(entry))
+        grouped.setdefault(key, []).append((rank, entry))
+    arrays: dict[str, np.ndarray] = {
+        "version": np.asarray(SNAPSHOT_VERSION, dtype=np.int64),
+        "n_groups": np.asarray(len(grouped), dtype=np.int64),
+    }
+    for gi, ((target, pairs), members) in enumerate(grouped.items()):
+        arrays[f"g{gi}_target"] = np.asarray(target, dtype=np.int64)
+        arrays[f"g{gi}_pairs"] = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        arrays[f"g{gi}_rank"] = np.asarray(
+            [rank for rank, _ in members], dtype=np.int64
+        )
+        arrays[f"g{gi}_w"] = np.stack(
+            [
+                np.stack([e.pair_estimates[p].weights for p in pairs])
+                for _, e in members
+            ]
+        )
+        arrays[f"g{gi}_b"] = np.asarray(
+            [
+                [e.pair_estimates[p].intercept for p in pairs]
+                for _, e in members
+            ],
+            dtype=np.float64,
+        )
+        arrays[f"g{gi}_x0"] = np.stack([e.x0 for _, e in members])
+        arrays[f"g{gi}_feats"] = np.stack(
+            [e.decision_features for _, e in members]
+        )
+        arrays[f"g{gi}_edge"] = np.asarray(
+            [e.final_edge for _, e in members], dtype=np.float64
+        )
+    return arrays
+
+
+_SnapshotRecord = tuple[
+    int,                              # target class
+    tuple[tuple[int, int], ...],      # pair set
+    np.ndarray,                       # W (P, d)
+    np.ndarray,                       # b (P,)
+    np.ndarray,                       # x0 (d,)
+    np.ndarray,                       # decision features (d,)
+    float,                            # final edge
+]
+
+
+def unpack_snapshot(data) -> list[_SnapshotRecord]:
+    """Deserialize :func:`pack_snapshot` arrays back to per-entry records,
+    sorted by their saved recency rank (oldest first).
+
+    Raises
+    ------
+    ValidationError
+        On a missing/unsupported snapshot version.
+    """
+    if "version" not in data:
+        raise ValidationError("not a region-cache snapshot (missing version)")
+    version = int(data["version"])
+    if version != SNAPSHOT_VERSION:
+        raise ValidationError(
+            f"unsupported snapshot version {version} "
+            f"(this build reads {SNAPSHOT_VERSION})"
+        )
+    records: list[tuple[int, _SnapshotRecord]] = []
+    for gi in range(int(data["n_groups"])):
+        target = int(data[f"g{gi}_target"])
+        pairs = tuple(
+            (int(c), int(cp)) for c, cp in data[f"g{gi}_pairs"]
+        )
+        ranks = data[f"g{gi}_rank"]
+        W, b = data[f"g{gi}_w"], data[f"g{gi}_b"]
+        X0, feats = data[f"g{gi}_x0"], data[f"g{gi}_feats"]
+        edges = data[f"g{gi}_edge"]
+        for i in range(len(ranks)):
+            records.append(
+                (
+                    int(ranks[i]),
+                    (target, pairs, W[i], b[i], X0[i], feats[i],
+                     float(edges[i])),
+                )
+            )
+    records.sort(key=lambda item: item[0])
+    return [record for _, record in records]
+
+
+def _entry_from_record(
+    key: int,
+    target_class: int,
+    pairs: tuple[tuple[int, int], ...],
+    W: np.ndarray,
+    b: np.ndarray,
+    x0: np.ndarray,
+    feats: np.ndarray,
+    edge: float,
+) -> RegionCacheEntry:
+    """Rebuild a cache entry from one snapshot record.
+
+    The reconstructed estimates are marked certified (only certified
+    interpretations can enter a cache, so only certified ones are ever
+    saved); the solve residual is not persisted and reads as NaN.
+    """
+    estimates = {
+        pair: CoreParameterEstimate(
+            c=pair[0],
+            c_prime=pair[1],
+            weights=W[i],
+            intercept=float(b[i]),
+            certified=True,
+        )
+        for i, pair in enumerate(pairs)
+    }
+    return RegionCacheEntry(
+        key=key,
+        x0=np.asarray(x0, dtype=np.float64),
+        target_class=target_class,
+        pair_estimates=estimates,
+        decision_features=np.asarray(feats, dtype=np.float64),
+        final_edge=edge,
+    )

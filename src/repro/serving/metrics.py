@@ -32,6 +32,11 @@ __all__ = ["ServiceMetrics", "ServiceStats"]
 class ServiceStats:
     """Point-in-time snapshot of a service's meters.
 
+    Field names are pinned one-to-one to the keys of :meth:`as_dict`
+    (and to the glossary in ``docs/serving.md``) by
+    ``tests/test_stats_schema.py``, so the JSON emitted by the serving
+    benchmarks cannot drift from this documentation.
+
     Attributes
     ----------
     n_requests, n_ok, n_errors:

@@ -24,6 +24,14 @@ Two usage styles:
 * pipelined: ``service.start()``, then ``submit()`` from any thread —
   a background loop gathers requests for up to ``max_wait_s`` (or until
   ``max_batch_size``) and flushes them together.
+
+The class is written so the sharded tier
+(:class:`repro.serving.shard.ShardedInterpretationService`) can run
+*several* flush workers concurrently: batch processing is parameterized
+on the interpreter, meter accounting happens under a dedicated lock
+using API-meter deltas (globally exact regardless of flush
+interleaving), and :meth:`submit` consults a capacity hook so subclasses
+can apply backpressure.
 """
 
 from __future__ import annotations
@@ -91,15 +99,22 @@ class InterpretationService:
         :class:`BatchOpenAPIInterpreter` is built from ``seed`` and
         ``interpreter_kwargs`` when omitted.
     cache:
-        A pre-configured :class:`RegionCache`, or ``None`` for a default
-        one.  Pass ``enable_cache=False`` to disable region reuse
-        entirely (every request solves fresh — the baseline the
-        throughput benchmark compares against).
+        A pre-configured :class:`RegionCache` (or any object with the
+        same ``lookup``/``insert``/``stats`` surface, e.g. the sharded
+        cache), or ``None`` for a default one.  Pass
+        ``enable_cache=False`` to disable region reuse entirely (every
+        request solves fresh — the baseline the throughput benchmark
+        compares against).
     max_batch_size:
         Micro-batch cap for the background loop.
     max_wait_s:
         How long the background loop waits to coalesce more requests
         after the first one arrives.
+
+    Raises
+    ------
+    ValidationError
+        For a non-positive ``max_batch_size`` or negative ``max_wait_s``.
 
     Examples
     --------
@@ -137,8 +152,13 @@ class InterpretationService:
         self.interpreter = interpreter or BatchOpenAPIInterpreter(
             seed=seed, **interpreter_kwargs
         )
+        # `cache if cache is not None` — NOT `cache or ...`: caches define
+        # __len__, so a freshly configured (empty) cache is falsy and
+        # `or` would silently swap it for a default-configured one.
         self.cache: RegionCache | None = (
-            (cache or RegionCache()) if enable_cache else None
+            (cache if cache is not None else RegionCache())
+            if enable_cache
+            else None
         )
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_s)
@@ -147,8 +167,15 @@ class InterpretationService:
         self._queue: deque[PendingResponse] = deque()
         self._cv = threading.Condition()
         self._flush_lock = threading.Lock()
+        # Meter accounting is delta-based against these high-water marks,
+        # under its own lock: totals stay exact even when several workers
+        # flush concurrently (the sharded tier), because every spent query
+        # is counted by exactly one _account call.
+        self._metrics_lock = threading.Lock()
+        self._metered_queries = api.query_count
+        self._metered_trips = api.request_count
         self._next_id = 0
-        self._worker: threading.Thread | None = None
+        self._workers: list[threading.Thread] = []
         self._stopping = False
 
     # ------------------------------------------------------------------ #
@@ -157,7 +184,14 @@ class InterpretationService:
     def submit(
         self, x0: np.ndarray, target_class: int | None = None
     ) -> PendingResponse:
-        """Queue one request; resolve via :meth:`flush` or the loop."""
+        """Queue one request; resolve via :meth:`flush` or the loop.
+
+        Raises
+        ------
+        ValidationError
+            For a mis-shaped/non-finite ``x0`` or an out-of-range
+            ``target_class``.
+        """
         x0 = np.asarray(x0, dtype=np.float64)
         if x0.ndim != 1 or x0.shape[0] != self.api.n_features:
             raise ValidationError(
@@ -171,6 +205,7 @@ class InterpretationService:
                 f"[0, {self.api.n_classes})"
             )
         with self._cv:
+            self._wait_for_capacity()
             request = InterpretRequest(
                 request_id=self._next_id, x0=x0, target_class=target_class
             )
@@ -179,6 +214,13 @@ class InterpretationService:
             self._queue.append(pending)
             self._cv.notify_all()
         return pending
+
+    def _wait_for_capacity(self) -> None:
+        """Backpressure hook (called under ``_cv``); unbounded here.
+
+        The sharded tier overrides this to block producers while the
+        queue is at its bound and the worker loop is draining it.
+        """
 
     def interpret(
         self,
@@ -193,7 +235,7 @@ class InterpretationService:
         micro-batch; otherwise it is flushed inline.
         """
         pending = self.submit(x0, target_class)
-        if self._worker is None:
+        if not self._workers:
             self.flush()
         return pending.result(timeout)
 
@@ -216,7 +258,7 @@ class InterpretationService:
             self.submit(x0, None if classes is None else int(classes[i]))
             for i, x0 in enumerate(X)
         ]
-        if self._worker is None:
+        if not self._workers:
             while any(not p.done() for p in pendings):
                 if not self.flush():
                     break
@@ -226,32 +268,46 @@ class InterpretationService:
     # Micro-batch processing
     # ------------------------------------------------------------------ #
     def flush(self) -> list[InterpretResponse]:
-        """Process up to ``max_batch_size`` queued requests as one batch."""
+        """Process up to ``max_batch_size`` queued requests as one batch.
+
+        Serialized by the flush lock — one micro-batch in flight at a
+        time (the sharded tier's workers bypass this entry point to run
+        several batches concurrently, each with its own interpreter).
+        """
         with self._flush_lock:
-            with self._cv:
-                batch = [
-                    self._queue.popleft()
-                    for _ in range(min(len(self._queue), self.max_batch_size))
-                ]
+            batch = self._pop_batch()
             if not batch:
                 return []
-            return self._process(batch)
+            return self._process(batch, self.interpreter)
 
-    def _process(self, batch: list[PendingResponse]) -> list[InterpretResponse]:
+    def _pop_batch(self) -> list[PendingResponse]:
+        """Dequeue up to ``max_batch_size`` requests and wake any
+        backpressured producers."""
+        with self._cv:
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(len(self._queue), self.max_batch_size))
+            ]
+            if batch:
+                self._cv.notify_all()
+        return batch
+
+    def _process(
+        self,
+        batch: list[PendingResponse],
+        interpreter: BatchOpenAPIInterpreter,
+    ) -> list[InterpretResponse]:
         """Serve one micro-batch; never lets an exception escape.
 
-        The worker thread runs this, so any exception leaking out would
+        A worker thread runs this, so any exception leaking out would
         kill the loop and wedge every pending request.  Unexpected
         failures therefore become structured envelopes
         (``invalid_request`` for validation issues, ``internal_error``
         otherwise) and the meters still record whatever the aborted
         flush spent.
         """
-        api = self.api
-        queries_before = api.query_count
-        trips_before = api.request_count
         try:
-            return self._process_batch(batch, queries_before, trips_before)
+            return self._process_batch(batch, interpreter)
         except Exception as exc:  # noqa: BLE001 — service boundary
             code = (
                 ERROR_INVALID_REQUEST
@@ -265,23 +321,29 @@ class InterpretationService:
                 response = self._fail(
                     pending, code, f"{type(exc).__name__}: {exc}"
                 )
-                self.metrics.record_response(response)
-                pending._resolve(response)
                 responses.append(response)
-            actual_trips = api.request_count - trips_before
-            self.metrics.record_flush(
-                queries_spent=api.query_count - queries_before,
-                round_trips=actual_trips,
-                round_trips_sequential=actual_trips,
-            )
+            self._account(responses)
+            for pending, response in zip(
+                [p for p in batch if not p.done()], responses
+            ):
+                pending._resolve(response)
             return responses
 
     def _process_batch(
         self,
         batch: list[PendingResponse],
-        queries_before: int,
-        trips_before: int,
+        interpreter: BatchOpenAPIInterpreter,
     ) -> list[InterpretResponse]:
+        """One probe trip + cache scan + lock-step solve of the misses.
+
+        Complexity per flush of ``B`` requests with ``M`` misses over a
+        ``d``-dimensional, ``C``-class model: one probe round trip
+        scoring all ``B`` instances, one cache scan per request
+        (:math:`O(m P d)` each over ``m`` resident same-class
+        candidates), and ``T`` lock-step rounds of the fused engine for
+        the misses — :math:`O(T (M (d+2)^3 + M C (d+2)^2))` via
+        :func:`repro.core.engine.solve_pair_systems_stacked`.
+        """
         api = self.api
         X = np.vstack([p.request.x0 for p in batch])
 
@@ -295,9 +357,7 @@ class InterpretationService:
                 self._fail(p, ERROR_BUDGET_EXHAUSTED, str(exc), retryable=True)
                 for p in batch
             ]
-            self._account(
-                api, queries_before, trips_before, responses, rounds=0
-            )
+            self._account(responses)
             for pending, response in zip(batch, responses):
                 pending._resolve(response)
             return responses
@@ -349,7 +409,7 @@ class InterpretationService:
         else:
             solve_slots = misses
         if solve_slots:
-            result = self.interpreter.interpret_batch(
+            result = interpreter.interpret_batch(
                 api,
                 X[solve_slots],
                 [targets[i] for i in solve_slots],
@@ -411,38 +471,42 @@ class InterpretationService:
 
         final = [r for r in responses if r is not None]
         assert len(final) == len(batch)
-        self._account(
-            api,
-            queries_before,
-            trips_before,
-            final,
-            rounds=rounds,
-            sequential_trips=sequential_trips,
-        )
+        self._account(final, sequential_trips=sequential_trips)
         for pending, response in zip(batch, final):
             pending._resolve(response)
         return final
 
     def _account(
         self,
-        api: PredictionAPI,
-        queries_before: int,
-        trips_before: int,
         responses: list[InterpretResponse],
         *,
-        rounds: int,
         sequential_trips: int | None = None,
     ) -> None:
-        actual_trips = api.request_count - trips_before
-        if sequential_trips is None:
-            sequential_trips = actual_trips
-        for response in responses:
-            self.metrics.record_response(response)
-        self.metrics.record_flush(
-            queries_spent=api.query_count - queries_before,
-            round_trips=actual_trips,
-            round_trips_sequential=sequential_trips,
-        )
+        """Fold one flush into the meters.
+
+        Query/trip spend is measured as the API-meter delta since the
+        last ``_account`` call (the high-water marks live under
+        ``_metrics_lock``), so lifetime totals match the API meters
+        exactly even when multiple workers flush concurrently —
+        per-flush attribution is approximate under concurrency, the
+        totals are not.
+        """
+        with self._metrics_lock:
+            q_now = self.api.query_count
+            t_now = self.api.request_count
+            queries = q_now - self._metered_queries
+            trips = t_now - self._metered_trips
+            self._metered_queries = q_now
+            self._metered_trips = t_now
+            if sequential_trips is None:
+                sequential_trips = trips
+            for response in responses:
+                self.metrics.record_response(response)
+            self.metrics.record_flush(
+                queries_spent=queries,
+                round_trips=trips,
+                round_trips_sequential=sequential_trips,
+            )
 
     def _fail(
         self,
@@ -466,26 +530,35 @@ class InterpretationService:
     # ------------------------------------------------------------------ #
     # Background micro-batching loop
     # ------------------------------------------------------------------ #
+    def _n_workers(self) -> int:
+        """How many flush workers :meth:`start` spawns (1 here)."""
+        return 1
+
     def start(self) -> None:
-        """Start the background loop (idempotent)."""
-        if self._worker is not None:
+        """Start the background worker loop(s) (idempotent)."""
+        if self._workers:
             return
         self._stopping = False
-        self._worker = threading.Thread(
-            target=self._loop, name="interpretation-service", daemon=True
-        )
-        self._worker.start()
+        for idx in range(self._n_workers()):
+            worker = threading.Thread(
+                target=self._loop,
+                args=(idx,),
+                name=f"interpretation-service-{idx}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
 
     def stop(self, *, drain: bool = True) -> None:
-        """Stop the loop; by default flush whatever is still queued."""
-        worker = self._worker
-        if worker is None:
+        """Stop the loop(s); by default flush whatever is still queued."""
+        if not self._workers:
             return
         with self._cv:
             self._stopping = True
             self._cv.notify_all()
-        worker.join()
-        self._worker = None
+        for worker in self._workers:
+            worker.join()
+        self._workers = []
         if drain:
             while self.flush():
                 pass
@@ -497,7 +570,7 @@ class InterpretationService:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
-    def _loop(self) -> None:
+    def _loop(self, worker_idx: int) -> None:
         while True:
             with self._cv:
                 while not self._queue and not self._stopping:
@@ -513,12 +586,18 @@ class InterpretationService:
                         break
                     self._cv.wait(timeout=remaining)
             try:
-                while self.flush():
+                while self._flush_worker(worker_idx):
                     pass
             except Exception:  # noqa: BLE001 — _process already envelopes
                 # Defense in depth: the worker must outlive any surprise,
                 # or every pending request would hang forever.
                 continue
+
+    def _flush_worker(self, worker_idx: int) -> list[InterpretResponse]:
+        """One worker-loop flush; the base service has a single worker,
+        so this is plain :meth:`flush` (the sharded tier overrides it to
+        flush without the global lock, on a per-worker interpreter)."""
+        return self.flush()
 
     # ------------------------------------------------------------------ #
     # Observability

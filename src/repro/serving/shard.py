@@ -1,0 +1,573 @@
+"""Sharded, bounded-memory serving tier: hash-routed region shards.
+
+The monolithic :class:`~repro.serving.cache.RegionCache` keeps every
+region in one packed stack behind one caller; at the ROADMAP's
+"millions of users" scale both become bottlenecks — the stack because
+scan cost grows linearly with the resident inventory, the caller because
+a single flush worker serializes every micro-batch.  This module splits
+both axes:
+
+* :class:`ShardedRegionCache` partitions entries across ``n_shards``
+  independent :class:`RegionCache` shards by
+  ``region_signature(...) % n_shards``.  Each shard keeps its own packed
+  ``(D, B)`` matmul stacks, so the one-matmul membership scan of PR 2 is
+  preserved *per shard* at 1/``n_shards`` the size — the per-shard scan
+  cost shrinks proportionally (the sub-linearity
+  ``benchmarks/bench_sharded_serving.py`` gates on), and per-shard locks
+  let concurrent workers scan and insert without serializing on one
+  structure.
+* :class:`ShardedInterpretationService` runs ``n_workers`` flush workers
+  over one bounded request queue (submit blocks at ``max_queue`` —
+  backpressure instead of unbounded growth), each worker owning its own
+  lock-step interpreter while all share the PR 2 batched solve engine
+  and the sharded cache.
+
+**Routing.** A lookup cannot know its region up front (the polytope
+lives in the hidden model), so lookups scatter the pure membership scan
+across all shards and serve the globally nearest passing candidate —
+each shard's scan is small, and only the winning shard is mutated.
+Inserts *do* know their region: the certified ``(D, B)`` stack *is* the
+region's identity, so :func:`region_signature` quantizes it to a stable
+64-bit-free CRC and routes the entry to exactly one shard.  The same
+signature re-routes entries at snapshot load time, which makes snapshots
+portable across shard counts (save with 4 shards, warm-start with 8).
+
+Distributed piecewise-linear serving precedents (Asahara & Fujimaki,
+arXiv:1711.02368) motivate the shard-by-hash design; see
+``docs/architecture.md`` for the end-to-end routing narrative.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.service import PredictionAPI
+from repro.core.batch import BatchOpenAPIInterpreter
+from repro.core.equations import DEFAULT_PROB_FLOOR
+from repro.core.types import Interpretation
+from repro.exceptions import ValidationError
+from repro.serving.cache import (
+    DEFAULT_MEMBERSHIP_TOL,
+    CacheStats,
+    RegionCache,
+    RegionCacheEntry,
+    check_lookup_shapes,
+    pack_snapshot,
+    unpack_snapshot,
+    _entry_from_record,
+)
+from repro.serving.service import InterpretationService, InterpretResponse
+from repro.utils.rng import SeedLike, spawn_generators
+
+__all__ = [
+    "region_signature",
+    "signature_of",
+    "ShardedRegionCache",
+    "ShardedCacheStats",
+    "ShardedInterpretationService",
+    "SIGNATURE_DECIMALS",
+]
+
+#: Quantization applied to ``(D, B)`` before hashing: two certified
+#: solves of the same region agree to solver rounding error (~1e-12), so
+#: rounding to 6 decimals collapses them to one signature while distinct
+#: regions (whose hyperplanes differ at O(1)) keep distinct signatures.
+SIGNATURE_DECIMALS: int = 6
+
+
+def region_signature(
+    target_class: int,
+    pairs: tuple[tuple[int, int], ...],
+    weights: np.ndarray,
+    intercepts: np.ndarray,
+    *,
+    decimals: int = SIGNATURE_DECIMALS,
+) -> int:
+    """A stable integer signature of a region's certified parameters.
+
+    Theorem 2 makes the certified ``(D, B)`` stack a *canonical name*
+    for its activation region — every certified solve inside the region
+    recovers the same exact parameters — so hashing the (quantized)
+    stack yields a routing key that is identical for same-region solves
+    and, with probability 1 over continuous weight distributions,
+    distinct across regions.
+
+    Uses ``zlib.crc32`` over the quantized float bytes, *not* Python's
+    salted ``hash``, so the signature is stable across processes — a
+    snapshot written by one service re-routes identically in the next.
+
+    Parameters
+    ----------
+    target_class:
+        The class the region's parameters were solved for.
+    pairs:
+        The sorted ``(c, c')`` pair set (part of the identity: the same
+        geometry solved for a different class pair set is a different
+        serving entry).
+    weights:
+        ``(P, d)`` stacked pair weights in ``pairs`` order.
+    intercepts:
+        ``(P,)`` matching intercepts.
+    decimals:
+        Quantization before hashing (see :data:`SIGNATURE_DECIMALS`).
+
+    Returns
+    -------
+    A non-negative int (CRC-32 range).
+    """
+    w = np.round(np.asarray(weights, dtype=np.float64), decimals) + 0.0
+    b = np.round(np.asarray(intercepts, dtype=np.float64), decimals) + 0.0
+    header = np.asarray(
+        [target_class, *(idx for pair in pairs for idx in pair)],
+        dtype=np.int64,
+    )
+    return zlib.crc32(header.tobytes() + w.tobytes() + b.tobytes())
+
+
+def signature_of(interpretation: Interpretation) -> int:
+    """:func:`region_signature` of a certified interpretation."""
+    pairs = tuple(sorted(interpretation.pair_estimates))
+    W = np.stack(
+        [interpretation.pair_estimates[p].weights for p in pairs]
+    )
+    b = np.asarray(
+        [interpretation.pair_estimates[p].intercept for p in pairs],
+        dtype=np.float64,
+    )
+    return region_signature(interpretation.target_class, pairs, W, b)
+
+
+@dataclass(frozen=True)
+class ShardedCacheStats(CacheStats):
+    """Aggregate counters of a :class:`ShardedRegionCache` plus the
+    per-shard breakdown.
+
+    Extends :class:`CacheStats` (all aggregate fields keep their
+    monolithic meaning) with:
+
+    Attributes
+    ----------
+    n_shards:
+        Number of hash shards.
+    per_shard_size:
+        Resident entries per shard (insert-routing balance).
+    per_shard_hits:
+        Lookups served by each shard.
+    per_shard_hit_rate:
+        Each shard's share of all lookups served (``per_shard_hits[i] /
+        (hits + misses)``); sums to the aggregate ``hit_rate``.
+    """
+
+    n_shards: int
+    per_shard_size: tuple[int, ...]
+    per_shard_hits: tuple[int, ...]
+
+    @property
+    def per_shard_hit_rate(self) -> tuple[float, ...]:
+        lookups = self.hits + self.misses
+        if not lookups:
+            return tuple(0.0 for _ in self.per_shard_hits)
+        return tuple(h / lookups for h in self.per_shard_hits)
+
+    def as_dict(self) -> dict:
+        payload = super().as_dict()
+        payload["per_shard_size"] = list(self.per_shard_size)
+        payload["per_shard_hits"] = list(self.per_shard_hits)
+        payload["per_shard_hit_rate"] = list(self.per_shard_hit_rate)
+        return payload
+
+
+class ShardedRegionCache:
+    """A bank of hash-routed :class:`RegionCache` shards under one bound.
+
+    Inserts route by :func:`region_signature`; lookups scatter the pure
+    membership scan across shards (under per-shard locks) and serve the
+    globally nearest passing candidate.  Thread-safe: concurrent workers
+    of a :class:`ShardedInterpretationService` may look up and insert
+    simultaneously.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards; the global ``max_entries`` bound is split into
+        ``ceil(max_entries / n_shards)`` per shard (hash routing keeps
+        occupancy near-uniform, so the effective global bound tracks
+        ``max_entries``).
+    max_entries:
+        Global resident-entry budget across all shards.
+    tol, max_candidates, floor, eviction, ttl_s, clock:
+        Forwarded to every shard (``max_candidates`` windows each
+        shard's scan independently); see :class:`RegionCache`.
+
+    Raises
+    ------
+    ValidationError
+        For ``n_shards < 1`` or any invalid forwarded parameter.
+
+    Examples
+    --------
+    >>> from repro.data import make_blobs
+    >>> from repro.models import SoftmaxRegression
+    >>> from repro.api import PredictionAPI
+    >>> from repro.core import OpenAPIInterpreter
+    >>> ds = make_blobs(50, n_features=4, n_classes=3, seed=0)
+    >>> api = PredictionAPI(SoftmaxRegression(seed=0).fit(ds.X, ds.y))
+    >>> interp = OpenAPIInterpreter(seed=0).interpret(api, ds.X[0])
+    >>> cache = ShardedRegionCache(n_shards=4, max_entries=64)
+    >>> cache.insert(interp)
+    True
+    >>> y = api.predict_proba(ds.X[0])
+    >>> hit = cache.lookup(ds.X[0], y, interp.target_class)
+    >>> bool(np.array_equal(hit.decision_features, interp.decision_features))
+    True
+    """
+
+    #: ``method`` tag carried by cache-served interpretations (the shard
+    #: serves through :class:`RegionCache` machinery, so the tag matches).
+    served_method = RegionCache.served_method
+
+    def __init__(
+        self,
+        *,
+        n_shards: int = 4,
+        max_entries: int = 512,
+        tol: float = DEFAULT_MEMBERSHIP_TOL,
+        max_candidates: int | None = None,
+        floor: float = DEFAULT_PROB_FLOOR,
+        eviction: str = "lru",
+        ttl_s: float | None = None,
+        clock=None,
+    ):
+        if n_shards < 1:
+            raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+        if max_entries < 1:
+            raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
+        self.n_shards = int(n_shards)
+        self.max_entries = int(max_entries)
+        per_shard = -(-self.max_entries // self.n_shards)  # ceil division
+        self._shards = [
+            RegionCache(
+                max_entries=per_shard,
+                tol=tol,
+                max_candidates=max_candidates,
+                floor=floor,
+                eviction=eviction,
+                ttl_s=ttl_s,
+                clock=clock,
+            )
+            for _ in range(self.n_shards)
+        ]
+        self._locks = [threading.RLock() for _ in range(self.n_shards)]
+        self._state_lock = threading.Lock()
+        self._dim: int | None = None
+        self._min_classes: int | None = None
+        self._misses = 0
+        # Convenience mirrors of the per-shard config.
+        self.tol = self._shards[0].tol
+        self.floor = self._shards[0].floor
+        self.eviction = self._shards[0].eviction
+        self.ttl_s = self._shards[0].ttl_s
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    @property
+    def shards(self) -> tuple[RegionCache, ...]:
+        """The underlying shards (read-only view, for observability)."""
+        return tuple(self._shards)
+
+    def shard_index(self, interpretation: Interpretation) -> int:
+        """The shard a certified interpretation routes to."""
+        return signature_of(interpretation) % self.n_shards
+
+    def lookup(
+        self, x0: np.ndarray, y0: np.ndarray, target_class: int
+    ) -> Interpretation | None:
+        """Scatter the membership scan across shards; serve the nearest hit.
+
+        Complexity: :math:`O(m P d)` total matmul work over the ``m``
+        resident same-class candidates — the same as the monolithic
+        cache — but issued as ``n_shards`` independent
+        ``(m/n_shards · P, d)`` scans under separate locks, so the
+        per-shard critical path shrinks by ``n_shards`` and concurrent
+        workers do not serialize on one stack.
+
+        Raises
+        ------
+        ValidationError
+            On shape/dimensionality mismatches (checked at the sharded
+            level so empty shards cannot mask an inconsistent query).
+        """
+        x0 = np.asarray(x0, dtype=np.float64)
+        y0 = np.asarray(y0, dtype=np.float64)
+        check_lookup_shapes(
+            x0, y0, dim=self._dim, min_classes=self._min_classes
+        )
+        best: tuple[float, int, int] | None = None  # (dist, shard idx, key)
+        for si, shard in enumerate(self._shards):
+            with self._locks[si]:
+                shard._purge_expired()
+                scored = shard._scan(x0, y0, target_class)
+            if scored is not None and (best is None or scored[1] < best[0]):
+                best = (scored[1], si, scored[0])
+        if best is not None:
+            _, si, key = best
+            with self._locks[si]:
+                served = self._shards[si]._serve(key, x0)
+            if served is not None:
+                return served
+            # The winner raced an eviction between scan and serve —
+            # measure-zero in practice; count the lookup as a miss.
+        with self._state_lock:
+            self._misses += 1
+        return None
+
+    def insert(self, interpretation: Interpretation) -> bool:
+        """Route a certified interpretation to its signature shard.
+
+        Returns ``False`` when the shard already holds the region (the
+        existing entry is refreshed), mirroring
+        :meth:`RegionCache.insert`.
+
+        Raises
+        ------
+        ValidationError
+            If the interpretation is uncertified or dimensionally
+            inconsistent with the resident entries.
+        """
+        if not interpretation.all_certified:
+            raise ValidationError(
+                "only certified interpretations can enter the region cache"
+            )
+        with self._state_lock:
+            if (
+                self._dim is not None
+                and interpretation.x0.shape[0] != self._dim
+            ):
+                raise ValidationError(
+                    f"interpretation x0 has dimensionality "
+                    f"{interpretation.x0.shape[0]} but cached entries have "
+                    f"dimensionality {self._dim}"
+                )
+        si = self.shard_index(interpretation)
+        with self._locks[si]:
+            accepted = self._shards[si].insert(interpretation)
+        with self._state_lock:
+            self._dim = interpretation.x0.shape[0]
+            max_class = max(
+                (max(c, cp) for c, cp in interpretation.pair_estimates),
+                default=-1,
+            )
+            self._min_classes = max(self._min_classes or 0, max_class + 1)
+        return accepted
+
+    def clear(self) -> None:
+        """Drop every entry in every shard (counters preserved)."""
+        for si, shard in enumerate(self._shards):
+            with self._locks[si]:
+                shard.clear()
+        with self._state_lock:
+            self._dim = None
+            self._min_classes = None
+
+    def stats(self) -> ShardedCacheStats:
+        """Aggregate + per-shard counters (see :class:`ShardedCacheStats`)."""
+        shard_stats = []
+        for si, shard in enumerate(self._shards):
+            with self._locks[si]:
+                shard_stats.append(shard.stats())
+        with self._state_lock:
+            misses = self._misses
+        return ShardedCacheStats(
+            hits=sum(s.hits for s in shard_stats),
+            misses=misses,
+            insertions=sum(s.insertions for s in shard_stats),
+            duplicates_skipped=sum(
+                s.duplicates_skipped for s in shard_stats
+            ),
+            evictions=sum(s.evictions for s in shard_stats),
+            size=sum(s.size for s in shard_stats),
+            resident_bytes=sum(s.resident_bytes for s in shard_stats),
+            n_shards=self.n_shards,
+            per_shard_size=tuple(s.size for s in shard_stats),
+            per_shard_hits=tuple(s.hits for s in shard_stats),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Snapshot persistence (format shared with RegionCache)
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> int:
+        """Persist every shard's entries into one ``.npz`` snapshot.
+
+        The format is identical to :meth:`RegionCache.save` — entries
+        are written shard by shard in recency order and re-routed by
+        recomputed signature at load time, so a snapshot written with
+        one shard count warm-starts a cache with any other (or a
+        monolithic :class:`RegionCache`).
+
+        Returns the number of entries written.
+        """
+        entries: list[RegionCacheEntry] = []
+        pairs_by_key: dict[int, tuple[tuple[int, int], ...]] = {}
+        for si, shard in enumerate(self._shards):
+            with self._locks[si]:
+                for entry in shard._entries.values():
+                    entries.append(entry)
+                    pairs_by_key[id(entry)] = shard._group_of[entry.key][1]
+        np.savez_compressed(
+            path,
+            **pack_snapshot(entries, pairs_of=lambda e: pairs_by_key[id(e)]),
+        )
+        return len(entries)
+
+    def load(self, path) -> int:
+        """Warm-start from a snapshot, re-routing each entry by signature.
+
+        Returns the number of entries installed.
+
+        Raises
+        ------
+        ValidationError
+            If any shard is non-empty, or on an unsupported/inconsistent
+            snapshot (see :meth:`RegionCache.load`).
+        """
+        if len(self):
+            raise ValidationError(
+                "load requires an empty cache (call clear() first)"
+            )
+        records = unpack_snapshot(np.load(path))
+        for target_class, pairs, W, b, x0, feats, edge in records:
+            si = region_signature(target_class, pairs, W, b) % self.n_shards
+            shard = self._shards[si]
+            with self._locks[si]:
+                entry = _entry_from_record(
+                    next(shard._keys), target_class, pairs, W, b, x0, feats,
+                    edge,
+                )
+                shard._install(entry, pairs)
+            with self._state_lock:
+                self._dim = entry.x0.shape[0]
+                max_class = max((max(c, cp) for c, cp in pairs), default=-1)
+                self._min_classes = max(
+                    self._min_classes or 0, max_class + 1
+                )
+        return len(records)
+
+
+class ShardedInterpretationService(InterpretationService):
+    """Multi-worker interpretation service over a sharded region cache.
+
+    ``n_workers`` flush workers drain one bounded request queue
+    concurrently: each worker owns its own lock-step
+    :class:`BatchOpenAPIInterpreter` (independent RNG streams, shared
+    fused solve engine) and all workers share the thread-safe
+    :class:`ShardedRegionCache`.  Meter accounting stays globally exact
+    under concurrency (see :meth:`InterpretationService._account`).
+
+    **Backpressure.** The request queue is bounded by ``max_queue``:
+    while the worker loop is running, :meth:`submit` blocks until the
+    queue drains below the bound instead of letting memory grow without
+    limit.  (Inline usage — no :meth:`start` — is exempt, since there is
+    no consumer to wait for.)
+
+    Parameters
+    ----------
+    api:
+        The black-box service to interpret against.
+    n_workers:
+        Concurrent flush workers spawned by :meth:`start`.
+    n_shards:
+        Shard count for the default cache (ignored when ``cache`` is
+        given).
+    cache:
+        A pre-configured :class:`ShardedRegionCache` (any
+        ``lookup``/``insert``/``stats`` object works), or ``None`` for a
+        default one.
+    max_queue:
+        Bound on queued-but-unflushed requests (backpressure threshold).
+    max_batch_size, max_wait_s, seed, interpreter_kwargs:
+        As in :class:`InterpretationService`; worker ``i`` derives its
+        interpreter seed deterministically from ``seed``.
+
+    Raises
+    ------
+    ValidationError
+        For non-positive ``n_workers``/``max_queue`` or any invalid
+        forwarded parameter.
+    """
+
+    def __init__(
+        self,
+        api: PredictionAPI,
+        *,
+        n_workers: int = 2,
+        n_shards: int = 4,
+        cache: ShardedRegionCache | None = None,
+        enable_cache: bool = True,
+        max_batch_size: int = 64,
+        max_wait_s: float = 0.002,
+        max_queue: int = 1024,
+        seed: SeedLike = None,
+        **interpreter_kwargs,
+    ):
+        if n_workers < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        if max_queue < 1:
+            raise ValidationError(f"max_queue must be >= 1, got {max_queue}")
+        if cache is None and enable_cache:
+            cache = ShardedRegionCache(n_shards=n_shards)
+        super().__init__(
+            api,
+            cache=cache,
+            enable_cache=enable_cache,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            seed=seed,
+            **interpreter_kwargs,
+        )
+        self.n_workers = int(n_workers)
+        self.max_queue = int(max_queue)
+        # Workers 1..n-1 get statistically independent streams derived
+        # from the same SeedLike (int, Generator, SeedSequence or None)
+        # via SeedSequence spawning; worker 0 keeps the base interpreter.
+        self._interpreters = [self.interpreter] + [
+            BatchOpenAPIInterpreter(seed=rng, **interpreter_kwargs)
+            for rng in spawn_generators(seed, self.n_workers - 1)
+        ]
+
+    def _n_workers(self) -> int:
+        return self.n_workers
+
+    def _wait_for_capacity(self) -> None:
+        """Block the producer while the queue is at its bound.
+
+        Only applies while the worker loop runs — without a consumer the
+        wait could never be satisfied, so inline (flush-it-yourself)
+        usage stays unbounded.
+        """
+        while (
+            self._workers
+            and not self._stopping
+            and len(self._queue) >= self.max_queue
+        ):
+            self._cv.wait()
+
+    def _flush_worker(self, worker_idx: int) -> list[InterpretResponse]:
+        """One concurrent worker flush on the worker's own interpreter.
+
+        Worker 0 shares its interpreter with the public :meth:`flush`
+        entry point, so it goes through ``flush`` (and its lock) to keep
+        that interpreter single-threaded; workers 1..n-1 own private
+        interpreters and flush lock-free against the thread-safe cache.
+        """
+        if worker_idx == 0:
+            return self.flush()
+        batch = self._pop_batch()
+        if not batch:
+            return []
+        return self._process(batch, self._interpreters[worker_idx])

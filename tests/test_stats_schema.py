@@ -1,0 +1,150 @@
+"""Schema pins: stats dataclasses == their JSON == the docs glossary.
+
+The serving benchmarks emit JSON artifacts built from ``as_dict()``
+renderings of :class:`ServiceStats`, :class:`CacheStats`,
+:class:`ShardedCacheStats` and the benchmark report/arm dataclasses.
+These tests pin three invariants so names cannot drift apart again:
+
+1. every ``as_dict()`` key set equals the dataclass field set (plus the
+   documented derived properties, e.g. ``hit_rate``);
+2. every stats key is documented in the ``docs/serving.md`` glossary;
+3. the rendered JSON is valid JSON (no NaN/Infinity literals).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import fields
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    CacheStats,
+    RegionCache,
+    ScanScalingRow,
+    ServiceMetrics,
+    ServiceStats,
+    ShardedCacheStats,
+    ShardedRegionCache,
+    ThroughputArm,
+    ThroughputReport,
+)
+
+DOCS = pathlib.Path(__file__).resolve().parent.parent / "docs" / "serving.md"
+
+
+def field_names(cls) -> set[str]:
+    return {f.name for f in fields(cls)}
+
+
+def sample_cache_stats() -> CacheStats:
+    return RegionCache().stats()
+
+
+def sample_sharded_stats() -> ShardedCacheStats:
+    return ShardedRegionCache(n_shards=2).stats()
+
+
+def sample_service_stats() -> ServiceStats:
+    return ServiceMetrics().snapshot()
+
+
+def sample_arm() -> ThroughputArm:
+    return ThroughputArm(
+        label="cached", n_requests=4, n_ok=4, elapsed_s=0.1,
+        interpretations_per_s=40.0, n_queries=9, round_trips=3,
+        hit_rate=0.5, hit_trajectory=(0.0, 0.5), max_gt_l1_error=1e-9,
+    )
+
+
+class TestAsDictMatchesFields:
+    def test_cache_stats(self):
+        payload = sample_cache_stats().as_dict()
+        assert set(payload) == field_names(CacheStats) | {"hit_rate"}
+
+    def test_sharded_cache_stats(self):
+        payload = sample_sharded_stats().as_dict()
+        assert set(payload) == (
+            field_names(ShardedCacheStats)
+            | {"hit_rate", "per_shard_hit_rate"}
+        )
+
+    def test_service_stats(self):
+        payload = sample_service_stats().as_dict()
+        assert set(payload) == field_names(ServiceStats)
+
+    def test_throughput_arm(self):
+        payload = sample_arm().as_dict()
+        assert set(payload) == field_names(ThroughputArm)
+
+    def test_throughput_report(self):
+        arm = sample_arm()
+        report = ThroughputReport(
+            cached=arm, uncached=arm, speedup=2.0, query_reduction=3.0,
+            cache_bitwise_consistent=True, engine_row=None,
+        )
+        payload = report.as_dict()
+        assert set(payload) == {
+            "cached", "uncached", "speedup", "query_reduction",
+            "cache_bitwise_consistent", "engine",
+        }
+        json.dumps(payload)
+
+    def test_scan_scaling_row(self):
+        row = ScanScalingRow(
+            n_entries=8, n_shards=2, d=4, n_pairs=2,
+            monolithic_scan_s=1e-4, per_shard_scan_s=5e-5, ratio=0.5,
+        )
+        assert set(row.as_dict()) == field_names(ScanScalingRow)
+
+
+class TestJsonSafety:
+    def test_stats_payloads_are_strict_json(self):
+        for payload in (
+            sample_cache_stats().as_dict(),
+            sample_sharded_stats().as_dict(),
+            sample_service_stats().as_dict(),
+            sample_arm().as_dict(),
+        ):
+            text = json.dumps(payload, allow_nan=False)
+            json.loads(text)
+
+    def test_sharded_per_shard_lists_are_plain(self):
+        payload = sample_sharded_stats().as_dict()
+        assert isinstance(payload["per_shard_size"], list)
+        assert isinstance(payload["per_shard_hits"], list)
+        assert isinstance(payload["per_shard_hit_rate"], list)
+
+    def test_no_numpy_scalars_leak(self):
+        stats = ServiceMetrics()
+        stats.record_flush(
+            queries_spent=int(np.int64(3)), round_trips=1,
+            round_trips_sequential=2,
+        )
+        payload = stats.snapshot().as_dict()
+        for value in payload.values():
+            assert value is None or isinstance(value, (int, float))
+
+
+class TestDocsGlossary:
+    """Every emitted stats key is documented in docs/serving.md."""
+
+    @pytest.fixture(scope="class")
+    def glossary(self) -> str:
+        assert DOCS.exists(), "docs/serving.md missing"
+        return DOCS.read_text()
+
+    @pytest.mark.parametrize(
+        "payload_factory",
+        [sample_service_stats, sample_cache_stats, sample_sharded_stats],
+        ids=["service", "cache", "sharded-cache"],
+    )
+    def test_keys_documented(self, glossary, payload_factory):
+        missing = [
+            key
+            for key in payload_factory().as_dict()
+            if f"`{key}`" not in glossary
+        ]
+        assert not missing, f"undocumented stats keys: {missing}"

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repository docs (stdlib only).
+
+Validates every inline link/image ``[text](target)`` and reference
+definition ``[label]: target`` in the given markdown files:
+
+* relative paths must exist on disk (resolved against the file's
+  directory), optional ``#fragment`` checked against the target file's
+  headings when it is markdown;
+* in-file anchors ``#heading`` must match a heading slug (GitHub-style:
+  lowercase, punctuation stripped, spaces to dashes);
+* ``http(s)``/``mailto`` links are reported but not fetched (CI must not
+  depend on external availability).
+
+Exit code 1 when any link is broken — the CI docs job runs this over
+``README.md`` and ``docs/*.md`` so the guides cannot rot silently.
+
+Usage::
+
+    python tools/check_markdown_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dashes for
+    spaces (inline code/link markup stripped first)."""
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    stripped = CODE_FENCE.sub("", markdown)
+    return {github_slug(h) for h in HEADING.findall(stripped)}
+
+
+def iter_links(markdown: str):
+    stripped = CODE_FENCE.sub("", markdown)
+    for match in INLINE_LINK.finditer(stripped):
+        yield match.group(1)
+    for match in REFERENCE_DEF.finditer(stripped):
+        yield match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    markdown = path.read_text()
+    own_slugs = heading_slugs(markdown)
+    for target in iter_links(markdown):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in own_slugs:
+                errors.append(f"{path}: broken anchor {target}")
+            continue
+        rel, _, fragment = target.partition("#")
+        resolved = (path.parent / rel).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken path link {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_slugs(resolved.read_text()):
+                errors.append(
+                    f"{path}: broken anchor #{fragment} in {rel}"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(
+            "usage: check_markdown_links.py FILE.md [FILE.md ...]",
+            file=sys.stderr,
+        )
+        return 2
+    errors: list[str] = []
+    checked = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{path}: file does not exist")
+            continue
+        errors.extend(check_file(path))
+        checked += 1
+    for error in errors:
+        print(f"BROKEN: {error}", file=sys.stderr)
+    print(f"{checked} file(s) checked, {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
