@@ -9,6 +9,12 @@ noise) for the robustness ablations.
 The transport-style envelopes (:class:`InterpretRequest`,
 :class:`InterpretResponse`, :class:`ErrorEnvelope`) live here too: they are
 the wire format of the serving layer in :mod:`repro.serving`.
+
+:mod:`repro.api.transport` supplies the resilient query-transport tier:
+the :class:`QueryBroker` coalesces concurrent ``predict_proba`` calls
+into fused round trips over pluggable transports (clean or simulated
+latency/rate-limit/failure wires) with retry/backoff, while
+:class:`BrokerHandle` keeps per-caller metering exact.
 """
 
 from repro.api.service import (
@@ -16,6 +22,7 @@ from repro.api.service import (
     ERROR_CERTIFICATE_FAILED,
     ERROR_INTERNAL,
     ERROR_INVALID_REQUEST,
+    ERROR_TRANSPORT_FAILED,
     ErrorEnvelope,
     InterpretRequest,
     InterpretResponse,
@@ -24,6 +31,16 @@ from repro.api.service import (
     RoundedResponse,
     NoisyResponse,
     TruncatedResponse,
+)
+from repro.api.transport import (
+    BrokerHandle,
+    BrokerStats,
+    DirectTransport,
+    QueryBroker,
+    QueryClient,
+    RetryPolicy,
+    SimulatedTransport,
+    Transport,
 )
 
 __all__ = [
@@ -39,4 +56,13 @@ __all__ = [
     "ERROR_CERTIFICATE_FAILED",
     "ERROR_INVALID_REQUEST",
     "ERROR_INTERNAL",
+    "ERROR_TRANSPORT_FAILED",
+    "QueryClient",
+    "Transport",
+    "DirectTransport",
+    "SimulatedTransport",
+    "RetryPolicy",
+    "BrokerStats",
+    "BrokerHandle",
+    "QueryBroker",
 ]

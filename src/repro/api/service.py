@@ -50,6 +50,7 @@ __all__ = [
     "ERROR_CERTIFICATE_FAILED",
     "ERROR_INVALID_REQUEST",
     "ERROR_INTERNAL",
+    "ERROR_TRANSPORT_FAILED",
 ]
 
 #: Error codes carried by :class:`ErrorEnvelope` (stable wire identifiers).
@@ -57,6 +58,7 @@ ERROR_BUDGET_EXHAUSTED = "budget_exhausted"
 ERROR_CERTIFICATE_FAILED = "certificate_failed"
 ERROR_INVALID_REQUEST = "invalid_request"
 ERROR_INTERNAL = "internal_error"
+ERROR_TRANSPORT_FAILED = "transport_failed"
 
 
 @dataclass(frozen=True)
@@ -317,6 +319,12 @@ class PredictionAPI:
 
         A 1-D input returns a 1-D probability vector; a 2-D input returns
         one row per instance.  Every row counts against the budget.
+
+        The query meter commits only once the full response exists: a
+        model (or transform) that raises mid-batch leaves the meters
+        untouched, so budget is never burnt for answers that were never
+        delivered.  The budget *check* still happens up front — an
+        over-budget request is refused before the model runs.
         """
         X = np.asarray(X, dtype=np.float64)
         single = X.ndim == 1
@@ -326,17 +334,72 @@ class PredictionAPI:
             raise ValidationError(
                 f"expected instances with {self.n_features} features, got {X.shape}"
             )
-        if self._budget is not None and self._query_count + X.shape[0] > self._budget:
+        probs = self._score_blocks([X])[0]
+        return probs[0] if single else probs
+
+    def predict_proba_blocks(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """Score several row blocks in **one** metered round trip.
+
+        This is the batch endpoint a real prediction service exposes: a
+        single request (one ``request_count`` increment) carrying many
+        callers' instances, billed per row.  Each block is scored by an
+        independent model call, which preserves the row-independence
+        guarantee of a remote service — an instance's probabilities do
+        not depend on which other instances shared the round trip — and
+        therefore keeps every block's result *bitwise identical* to a
+        solo :meth:`predict_proba` call on the same block.  The query
+        broker (:mod:`repro.api.transport`) fuses concurrent callers
+        through this endpoint.
+
+        Parameters
+        ----------
+        blocks:
+            Non-empty list of 2-D ``(n_i, n_features)`` arrays.
+
+        Returns
+        -------
+        One ``(n_i, n_classes)`` probability array per input block, in
+        order.
+
+        Raises
+        ------
+        ValidationError
+            For an empty list or a mis-shaped block.
+        APIBudgetExceededError
+            When the summed row count would exceed the remaining budget
+            (checked before the model runs; nothing is metered).
+        """
+        if not blocks:
+            raise ValidationError("blocks must contain at least one block")
+        arrays = []
+        for i, block in enumerate(blocks):
+            arr = np.asarray(block, dtype=np.float64)
+            if arr.ndim != 2 or arr.shape[1] != self.n_features or arr.shape[0] < 1:
+                raise ValidationError(
+                    f"block {i} must be (n >= 1, {self.n_features}), "
+                    f"got {arr.shape}"
+                )
+            arrays.append(arr)
+        return self._score_blocks(arrays)
+
+    def _score_blocks(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """Budget-check, score and transform validated blocks; commit the
+        meters (all rows, one round trip) only after every block answered."""
+        n_rows = sum(block.shape[0] for block in blocks)
+        if self._budget is not None and self._query_count + n_rows > self._budget:
             raise APIBudgetExceededError(
                 f"query budget {self._budget} exhausted "
-                f"({self._query_count} used, {X.shape[0]} requested)"
+                f"({self._query_count} used, {n_rows} requested)"
             )
-        self._query_count += X.shape[0]
+        results = []
+        for block in blocks:
+            probs = np.atleast_2d(self._model.predict_proba(block))
+            if self._transform is not None:
+                probs = self._transform(probs)
+            results.append(probs)
+        self._query_count += n_rows
         self._request_count += 1
-        probs = np.atleast_2d(self._model.predict_proba(X))
-        if self._transform is not None:
-            probs = self._transform(probs)
-        return probs[0] if single else probs
+        return results
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Hard labels, derived from :meth:`predict_proba` (also metered)."""

@@ -39,7 +39,10 @@ Examples
     python -m repro interpret --dataset credit-scoring --seed 3
     python -m repro serve --dataset credit-scoring --requests 200
     python -m repro serve --shards 4 --workers 2 --snapshot regions.npz
-    python -m repro serve --warm-start regions.npz --workload drifting
+    python -m repro serve --warm-start regions.npz --snapshot regions.npz \
+        --workload drifting
+    python -m repro serve --broker --workers 2 --latency-ms 5 \
+        --failure-rate 0.05 --retries 4
     python -m repro bench-serve --tiny --output BENCH_serving.json
     python -m repro bench-shard --tiny --output BENCH_sharded_serving.json
     python -m repro bench-engine --tiny
@@ -59,6 +62,15 @@ from repro.eval.runner import EXPERIMENT_IDS, resolve_config, run_experiments
 from repro.models import ReLUNetwork, TrainingConfig, train_network
 
 __all__ = ["main", "build_parser"]
+
+#: Defaults of the broker-tuning flags, shared between the parser and
+#: the serve-flag validation (a non-default value without ``--broker``
+#: is rejected rather than silently ignored).
+_BROKER_FLAG_DEFAULTS = {
+    "retries": 3,
+    "broker_window_ms": 2.0,
+    "broker_max_rows": 4096,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -158,11 +170,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--warm-start", default=None, metavar="PATH",
-        help="load a region-cache snapshot (.npz) before serving",
+        help="load a region-cache snapshot (.npz) before serving "
+        "(requires --snapshot: warm-started state must be persisted "
+        "back, not silently discarded)",
     )
     serve.add_argument(
         "--snapshot", default=None, metavar="PATH",
         help="save the region cache to this .npz after serving",
+    )
+    serve.add_argument(
+        "--broker", action="store_true",
+        help="route queries through the coalescing QueryBroker "
+        "(fused round trips across concurrent flush workers)",
+    )
+    serve.add_argument(
+        "--broker-window-ms", type=float,
+        default=_BROKER_FLAG_DEFAULTS["broker_window_ms"],
+        help="broker coalescing window in milliseconds (default: 2.0)",
+    )
+    serve.add_argument(
+        "--broker-max-rows", type=int,
+        default=_BROKER_FLAG_DEFAULTS["broker_max_rows"],
+        help="row cap per fused broker round trip (default: 4096)",
+    )
+    serve.add_argument(
+        "--latency-ms", type=float, default=0.0,
+        help="simulated transport latency per round trip (requires "
+        "--broker; default: 0, clean transport)",
+    )
+    serve.add_argument(
+        "--failure-rate", type=float, default=0.0,
+        help="simulated transient-failure probability per round trip "
+        "(requires --broker; default: 0)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None, metavar="TRIPS_PER_S",
+        help="simulated 429 token-bucket rate limit in round trips/s "
+        "(requires --broker; default: none)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=_BROKER_FLAG_DEFAULTS["retries"],
+        help="broker retry budget for rate-limited/transient failures "
+        "(requires --broker; default: 3)",
     )
 
     bench_serve = sub.add_parser(
@@ -178,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument(
         "--clusters", type=int, default=12,
         help="distinct anchor instances (default: 12)",
+    )
+    bench_serve.add_argument(
+        "--broker", action="store_true",
+        help="run both arms through a coalescing QueryBroker (the "
+        "report's meaning is unchanged: the broker is bitwise "
+        "transparent on the clean transport)",
     )
     bench_serve.add_argument(
         "--tiny", action="store_true",
@@ -329,6 +384,66 @@ _WORKLOADS = {
 }
 
 
+def _validate_serve_flags(args: argparse.Namespace) -> str | None:
+    """Reject invalid or contradictory ``serve`` flag combinations.
+
+    Silently ignoring a flag the operator passed (``--ttl-s`` under LRU
+    eviction, transport-simulation knobs without ``--broker``, a
+    warm-start whose updated state would be dropped on exit) hides
+    misconfiguration; every such combination exits with a clear message
+    instead.  Returns the error text, or ``None`` when the flags are
+    coherent.
+    """
+    if args.requests < 1 or args.clusters < 1 or args.batch_size < 1:
+        return "--requests, --clusters and --batch-size must be >= 1"
+    if args.shards < 1 or args.workers < 1:
+        return "--shards and --workers must be >= 1"
+    if args.max_entries < 1:
+        return "--max-entries must be >= 1"
+    if args.no_cache and (args.snapshot or args.warm_start):
+        return ("--snapshot/--warm-start require the cache enabled "
+                "(drop --no-cache)")
+    if args.ttl_s is not None and args.eviction != "ttl":
+        return (f"--ttl-s only applies to --eviction ttl; with --eviction "
+                f"{args.eviction} it would be silently ignored (drop "
+                f"--ttl-s or pass --eviction ttl)")
+    if args.eviction == "ttl" and args.ttl_s is None:
+        return "--eviction ttl requires --ttl-s (entry lifetime in seconds)"
+    if args.ttl_s is not None and args.ttl_s <= 0:
+        return f"--ttl-s must be > 0, got {args.ttl_s}"
+    if args.warm_start and not args.snapshot:
+        return ("--warm-start without --snapshot would serve from the "
+                "loaded regions and then silently discard every update at "
+                "exit; pass --snapshot PATH (the same path re-persists in "
+                "place) or drop --warm-start")
+    if not args.broker:
+        transport_flags = []
+        if args.latency_ms:
+            transport_flags.append("--latency-ms")
+        if args.failure_rate:
+            transport_flags.append("--failure-rate")
+        if args.rate_limit is not None:
+            transport_flags.append("--rate-limit")
+        for attr, default in _BROKER_FLAG_DEFAULTS.items():
+            if getattr(args, attr) != default:
+                transport_flags.append(f"--{attr.replace('_', '-')}")
+        if transport_flags:
+            return (f"{'/'.join(transport_flags)} configure the brokered "
+                    "transport and require --broker (without it they "
+                    "would be silently ignored)")
+    if args.latency_ms < 0:
+        return f"--latency-ms must be >= 0, got {args.latency_ms}"
+    if not 0.0 <= args.failure_rate < 1.0:
+        return f"--failure-rate must be in [0, 1), got {args.failure_rate}"
+    if args.rate_limit is not None and args.rate_limit <= 0:
+        return f"--rate-limit must be > 0, got {args.rate_limit}"
+    if args.retries < 0:
+        return f"--retries must be >= 0, got {args.retries}"
+    if args.broker_window_ms < 0 or args.broker_max_rows < 1:
+        return "--broker-window-ms must be >= 0 and --broker-max-rows >= 1"
+    return None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro import serving
     from repro.exceptions import ValidationError
@@ -339,16 +454,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ShardedRegionCache,
     )
 
-    if args.requests < 1 or args.clusters < 1 or args.batch_size < 1:
-        print("error: --requests, --clusters and --batch-size must be >= 1",
-              file=sys.stderr)
-        return 2
-    if args.shards < 1 or args.workers < 1:
-        print("error: --shards and --workers must be >= 1", file=sys.stderr)
-        return 2
-    if args.no_cache and (args.snapshot or args.warm_start):
-        print("error: --snapshot/--warm-start require the cache enabled "
-              "(drop --no-cache)", file=sys.stderr)
+    error = _validate_serve_flags(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     try:
         data, test, model = _train_demo_model(args.dataset, args.seed)
@@ -364,6 +472,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{args.shards} shards / {args.workers} workers" if sharded
         else "monolithic"
     )
+    broker = None
+    if args.broker:
+        from repro.api import (
+            DirectTransport,
+            QueryBroker,
+            RetryPolicy,
+            SimulatedTransport,
+        )
+
+        simulated = (
+            args.latency_ms > 0
+            or args.failure_rate > 0
+            or args.rate_limit is not None
+        )
+        transport = (
+            SimulatedTransport(
+                api,
+                latency_s=args.latency_ms / 1e3,
+                failure_prob=args.failure_rate,
+                rate_per_s=args.rate_limit,
+                seed=args.seed,
+            )
+            if simulated
+            else DirectTransport(api)
+        )
+        broker = QueryBroker(
+            transport,
+            window_s=args.broker_window_ms / 1e3,
+            max_rows=args.broker_max_rows,
+            retry=RetryPolicy(max_retries=args.retries),
+        )
+        wire = "simulated" if simulated else "clean"
+        tier += f", brokered ({wire} transport)"
     print(f"dataset: {data.name} (d={data.n_features}, C={data.n_classes})")
     print(f"serving {args.requests} {args.workload} requests over "
           f"{anchors.shape[0]} anchor instances "
@@ -387,6 +528,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ),
                 enable_cache=not args.no_cache,
                 max_batch_size=args.batch_size,
+                broker=broker,
                 seed=args.seed,
             )
         else:
@@ -395,6 +537,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 cache=None if args.no_cache else RegionCache(**cache_kwargs),
                 enable_cache=not args.no_cache,
                 max_batch_size=args.batch_size,
+                broker=broker,
                 seed=args.seed,
             )
         if args.warm_start:
@@ -412,6 +555,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{len(errors)} errors")
     print("\n--- stats endpoint ---")
     print(service.stats().as_text())
+    if broker is not None:
+        broker_stats = broker.stats().as_dict()
+        print("\n--- query broker ---")
+        width = max(len(k) for k in broker_stats)
+        for key, value in broker_stats.items():
+            rendered = f"{value:.2f}" if isinstance(value, float) else value
+            print(f"{key:<{width}}  {rendered}")
     if service.cache is not None:
         cache_stats = service.cache.stats()
         print("\n--- region cache ---")
@@ -441,12 +591,19 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         return 2
     report, threshold = run_standard_benchmark(
         n_requests=args.requests, n_clusters=args.clusters,
-        seed=args.seed, tiny=args.tiny,
+        seed=args.seed, tiny=args.tiny, broker=args.broker,
     )
     print(report.as_text())
     if args.output:
         _write_report(args.output, report)
     ok = report.cache_bitwise_consistent and report.speedup >= threshold
+    if not ok:
+        print(
+            f"FAIL: bitwise={report.cache_bitwise_consistent}, "
+            f"speedup {report.speedup:.1f}x vs gate {threshold:.1f}x "
+            f"(same-machine bound {report.baseline_speedup:.1f}x)",
+            file=sys.stderr,
+        )
     return 0 if ok else 1
 
 

@@ -40,12 +40,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.api.service import PredictionAPI
+from repro.api.transport import QueryClient
 from repro.core.equations import DEFAULT_PROB_FLOOR
 from repro.core.rounds import build_interpretation, run_solve_rounds_batched
 from repro.core.sampling import HypercubeSampler
 from repro.core.types import Interpretation
-from repro.exceptions import APIBudgetExceededError, ValidationError
+from repro.exceptions import (
+    APIBudgetExceededError,
+    TransportExhaustedError,
+    ValidationError,
+)
 from repro.utils.linalg import DEFAULT_CERTIFICATE_ATOL, DEFAULT_CERTIFICATE_RTOL
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_in_range, check_positive
@@ -84,12 +88,18 @@ class BatchResult:
         True when the run stopped early because the API's query budget
         ran out (only possible with ``raise_on_budget=False``); the
         still-unfinished instances are ``None``.
+    transport_failed:
+        True when the run stopped early because a round trip kept
+        failing past the transport's retry budget (only possible with
+        ``raise_on_transport=False``); instances already certified keep
+        their results, the rest are ``None``.
     """
 
     interpretations: list[Interpretation | None]
     rounds: int
     n_queries: int
     budget_exhausted: bool = False
+    transport_failed: bool = False
 
     @property
     def n_failed(self) -> int:
@@ -131,12 +141,13 @@ class BatchOpenAPIInterpreter:
     # ------------------------------------------------------------------ #
     def interpret_batch(
         self,
-        api: PredictionAPI,
+        api: QueryClient,
         X: np.ndarray,
         classes: np.ndarray | list[int] | None = None,
         *,
         y0: np.ndarray | None = None,
         raise_on_budget: bool = True,
+        raise_on_transport: bool = True,
     ) -> BatchResult:
         """Interpret every row of ``X`` (one lock-step Algorithm 1 run).
 
@@ -158,6 +169,12 @@ class BatchOpenAPIInterpreter:
             the lock-step loop instead of propagating: instances already
             certified keep their results, the rest stay ``None`` and the
             result carries ``budget_exhausted=True``.
+        raise_on_transport:
+            Same contract for a
+            :class:`~repro.exceptions.TransportExhaustedError` from a
+            brokered ``api`` (retry budget spent mid-run): when False the
+            loop stops, certified instances keep their results and the
+            result carries ``transport_failed=True``.
 
         Returns
         -------
@@ -212,11 +229,14 @@ class BatchOpenAPIInterpreter:
 
         rounds = 0
         budget_exhausted = False
+        transport_failed = False
         for _ in range(self.max_iterations):
             active = [s for s in states if not s.done]
             if not active:
                 break
-            # One round trip carries every active instance's sample set.
+            # One round trip carries every active instance's sample set
+            # (through a broker handle it additionally fuses with other
+            # callers' concurrent rounds — same rows, fewer trips).
             sample_blocks = [
                 self._sampler.draw(s.x0, s.edge, d + 1) for s in active
             ]
@@ -227,6 +247,11 @@ class BatchOpenAPIInterpreter:
                 if raise_on_budget:
                     raise
                 budget_exhausted = True
+                break
+            except TransportExhaustedError:
+                if raise_on_transport:
+                    raise
+                transport_failed = True
                 break
             rounds += 1
 
@@ -270,4 +295,5 @@ class BatchOpenAPIInterpreter:
             rounds=rounds,
             n_queries=api.query_count - queries_before,
             budget_exhausted=budget_exhausted,
+            transport_failed=transport_failed,
         )

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.api.service import PredictionAPI
+from repro.api.transport import QueryClient
 from repro.core.equations import DEFAULT_PROB_FLOOR
 from repro.core.rounds import SolveRound, build_interpretation, run_solve_round
 from repro.core.sampling import HypercubeSampler
@@ -129,14 +129,20 @@ class OpenAPIInterpreter:
 
     # ------------------------------------------------------------------ #
     def interpret(
-        self, api: PredictionAPI, x0: np.ndarray, c: int | None = None
+        self, api: QueryClient, x0: np.ndarray, c: int | None = None
     ) -> Interpretation:
         """Compute the exact decision features ``D_c`` for ``x0``.
 
         Parameters
         ----------
         api:
-            The black-box service; the *only* model access used.
+            The black-box service; the *only* model access used.  Any
+            :class:`~repro.api.transport.QueryClient` works — a
+            :class:`~repro.api.PredictionAPI` directly, or a
+            :class:`~repro.api.BrokerHandle` so this interpretation's
+            round trips coalesce with concurrent callers' (``n_queries``
+            then meters exactly this caller's rows, regardless of
+            fusion).
         x0:
             The instance to interpret.
         c:
@@ -225,7 +231,7 @@ class OpenAPIInterpreter:
 
     # ------------------------------------------------------------------ #
     def interpret_all_classes(
-        self, api: PredictionAPI, x0: np.ndarray
+        self, api: QueryClient, x0: np.ndarray
     ) -> list[Interpretation]:
         """Interpretations of every class, reusing one certified sample set.
 

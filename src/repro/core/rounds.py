@@ -215,6 +215,12 @@ def build_interpretation(
 ) -> Interpretation:
     """Turn a certified round into an :class:`Interpretation`.
 
+    ``n_queries`` is whatever meter the driver read — for drivers
+    querying through a :class:`~repro.api.BrokerHandle` that is the
+    handle's own committed row count, so per-interpretation query
+    accounting stays exact even when the physical round trips were
+    fused across concurrent callers by the query broker.
+
     Raises
     ------
     ValidationError

@@ -94,6 +94,17 @@ class HypercubeSampler:
         Returns a ``(2d, d)`` array ordered ``[+e_0, -e_0, +e_1, -e_1, ...]``.
         Not uniform sampling — provided here because the sample-quality
         metrics (RD/WD) evaluate these perturbation sets too.
+
+        Raises
+        ------
+        ValidationError
+            For an invalid ``clip_box``, or when clipping collapses an
+            axis pair: with ``clip_box`` set, ``x + h·e_i`` and
+            ``x − h·e_i`` can land on the *same* box face (the center
+            sits outside, or more than ``h`` past, the box along axis
+            ``i``), silently producing duplicate rows — a degenerate
+            perturbation set whose finite differences on that axis are
+            0/0.  The error names every offending axis instead.
         """
         center = check_vector(center, name="center")
         check_positive(h, name="h")
@@ -104,5 +115,24 @@ class HypercubeSampler:
             points[2 * i + 1, i] -= h
         if self.clip_box is not None:
             lo, hi = self.clip_box
+            if not hi > lo:
+                raise ValidationError(
+                    f"clip_box must satisfy hi > lo, got {self.clip_box}"
+                )
             points = np.clip(points, lo, hi)
+            plus = points[0::2]  # row 2i  = clip(x + h e_i)
+            minus = points[1::2]  # row 2i+1 = clip(x - h e_i)
+            collapsed = np.flatnonzero(
+                plus[np.arange(d), np.arange(d)]
+                == minus[np.arange(d), np.arange(d)]
+            )
+            if collapsed.size:
+                axes = ", ".join(str(int(i)) for i in collapsed)
+                raise ValidationError(
+                    f"clip_box {self.clip_box} collapses the ±h "
+                    f"perturbation onto one box face for axis(es) "
+                    f"[{axes}] (center is out of, or more than h past, "
+                    f"the box along them) — the axis-pair rows would be "
+                    f"duplicates; shrink h or widen the box"
+                )
         return points

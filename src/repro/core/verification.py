@@ -206,7 +206,11 @@ def verify_interpretation(
             if max_error <= tolerance:
                 passed = True
                 break
-            current_edge /= 2.0
+            if attempts <= max_shrinks:
+                # Only halve when another attempt follows: on exhaustion
+                # the report's edge must be the edge the reported errors
+                # were measured at, not half of it.
+                current_edge /= 2.0
     return VerificationReport(
         passed=passed,
         max_error=max_error,

@@ -16,6 +16,10 @@ __all__ = [
     "CertificateError",
     "BoundaryInstanceError",
     "APIBudgetExceededError",
+    "TransportError",
+    "RateLimitedError",
+    "TransientTransportError",
+    "TransportExhaustedError",
 ]
 
 
@@ -68,3 +72,66 @@ class BoundaryInstanceError(InterpretationError):
 
 class APIBudgetExceededError(ReproError, RuntimeError):
     """A :class:`repro.api.PredictionAPI` query budget was exhausted."""
+
+
+class TransportError(ReproError, RuntimeError):
+    """Base class for query-transport failures (:mod:`repro.api.transport`).
+
+    Raised by transports when a ``predict_proba`` round trip could not be
+    delivered.  The two concrete *retryable* failures below model what
+    real prediction services do under load; the broker retries them with
+    backoff and only surfaces :class:`TransportExhaustedError` when the
+    retry budget runs out.
+    """
+
+    #: Whether resubmitting the identical round trip can succeed.
+    retryable: bool = False
+
+
+class RateLimitedError(TransportError):
+    """The service rejected the round trip with a rate limit (HTTP 429).
+
+    No instance queries were consumed — the request was refused before
+    reaching the model.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None):
+        super().__init__(message)
+        #: Server-suggested wait before retrying, when known.
+        self.retry_after_s = retry_after_s
+
+
+class TransientTransportError(TransportError):
+    """The round trip failed in transit (timeout, connection reset, 503).
+
+    Modeled as failing *before* the model scored any row, so no instance
+    queries were consumed and an immediate retry is safe.
+    """
+
+    retryable = True
+
+
+class TransportExhaustedError(TransportError):
+    """A round trip kept failing until the retry budget ran out.
+
+    The serving layer surfaces this as a structured
+    ``transport_failed`` :class:`~repro.api.ErrorEnvelope` instead of
+    letting the exception cross the service boundary.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempts: int | None = None,
+        last_error: Exception | None = None,
+    ):
+        super().__init__(message)
+        #: Round-trip attempts performed (initial try + retries).
+        self.attempts = attempts
+        #: The transport error observed on the final attempt.
+        self.last_error = last_error

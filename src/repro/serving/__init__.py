@@ -41,6 +41,8 @@ from repro.serving.shard import (
 from repro.serving.workload import (
     BOUNDED_RESIDENT_FRACTION,
     DEFAULT_SPEEDUP_THRESHOLD,
+    MIN_SPEEDUP_FLOOR,
+    SPEEDUP_RETENTION,
     SHARDED_HIT_RATE_RATIO_THRESHOLD,
     SHARDED_SCAN_RATIO_THRESHOLD,
     ScanScalingRow,
@@ -83,6 +85,8 @@ __all__ = [
     "sharded_gate_failures",
     "measure_scan_scaling",
     "DEFAULT_SPEEDUP_THRESHOLD",
+    "SPEEDUP_RETENTION",
+    "MIN_SPEEDUP_FLOOR",
     "SHARDED_HIT_RATE_RATIO_THRESHOLD",
     "SHARDED_SCAN_RATIO_THRESHOLD",
     "BOUNDED_RESIDENT_FRACTION",

@@ -47,12 +47,18 @@ from repro.api.service import (
     ERROR_CERTIFICATE_FAILED,
     ERROR_INTERNAL,
     ERROR_INVALID_REQUEST,
+    ERROR_TRANSPORT_FAILED,
     InterpretRequest,
     InterpretResponse,
     PredictionAPI,
 )
+from repro.api.transport import QueryBroker, QueryClient
 from repro.core.batch import BatchOpenAPIInterpreter
-from repro.exceptions import APIBudgetExceededError, ValidationError
+from repro.exceptions import (
+    APIBudgetExceededError,
+    TransportExhaustedError,
+    ValidationError,
+)
 from repro.serving.cache import RegionCache
 from repro.serving.metrics import ServiceMetrics, ServiceStats
 from repro.utils.rng import SeedLike
@@ -110,11 +116,21 @@ class InterpretationService:
     max_wait_s:
         How long the background loop waits to coalesce more requests
         after the first one arrives.
+    broker:
+        Optional :class:`~repro.api.QueryBroker` over the same ``api``.
+        When given, every flush queries through a per-worker
+        :class:`~repro.api.BrokerHandle` instead of the raw API, so
+        probe and lock-step trips coalesce across concurrent flush
+        workers (and any other broker callers) into fused round trips;
+        exhausted transport retries come back as structured
+        ``transport_failed`` envelopes.  Meter accounting keeps reading
+        the underlying API, so the lifetime totals stay exact.
 
     Raises
     ------
     ValidationError
-        For a non-positive ``max_batch_size`` or negative ``max_wait_s``.
+        For a non-positive ``max_batch_size``, negative ``max_wait_s``,
+        or a ``broker`` not backed by ``api``.
 
     Examples
     --------
@@ -139,6 +155,7 @@ class InterpretationService:
         enable_cache: bool = True,
         max_batch_size: int = 64,
         max_wait_s: float = 0.002,
+        broker: QueryBroker | None = None,
         seed: SeedLike = None,
         **interpreter_kwargs,
     ):
@@ -148,7 +165,13 @@ class InterpretationService:
             )
         if max_wait_s < 0:
             raise ValidationError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if broker is not None and broker.api is not api:
+            raise ValidationError(
+                "broker must be backed by the service's own api (meter "
+                "accounting reads the underlying API's counters)"
+            )
         self.api = api
+        self.broker = broker
         self.interpreter = interpreter or BatchOpenAPIInterpreter(
             seed=seed, **interpreter_kwargs
         )
@@ -177,6 +200,23 @@ class InterpretationService:
         self._next_id = 0
         self._workers: list[threading.Thread] = []
         self._stopping = False
+        # Per-worker query clients: broker handles when brokered (exact
+        # per-worker attribution, cross-worker trip fusion), else the
+        # raw API.  Created lazily under the lock — handle identity must
+        # be stable per worker index.
+        self._clients: dict[int, QueryClient] = {}
+        self._clients_lock = threading.Lock()
+
+    def _client(self, worker_idx: int) -> QueryClient:
+        """The query client flush worker ``worker_idx`` speaks through."""
+        if self.broker is None:
+            return self.api
+        with self._clients_lock:
+            client = self._clients.get(worker_idx)
+            if client is None:
+                client = self.broker.handle(f"worker-{worker_idx}")
+                self._clients[worker_idx] = client
+            return client
 
     # ------------------------------------------------------------------ #
     # Request intake
@@ -278,7 +318,7 @@ class InterpretationService:
             batch = self._pop_batch()
             if not batch:
                 return []
-            return self._process(batch, self.interpreter)
+            return self._process(batch, self.interpreter, self._client(0))
 
     def _pop_batch(self) -> list[PendingResponse]:
         """Dequeue up to ``max_batch_size`` requests and wake any
@@ -296,6 +336,7 @@ class InterpretationService:
         self,
         batch: list[PendingResponse],
         interpreter: BatchOpenAPIInterpreter,
+        client: QueryClient | None = None,
     ) -> list[InterpretResponse]:
         """Serve one micro-batch; never lets an exception escape.
 
@@ -307,7 +348,9 @@ class InterpretationService:
         flush spent.
         """
         try:
-            return self._process_batch(batch, interpreter)
+            return self._process_batch(
+                batch, interpreter, client if client is not None else self.api
+            )
         except Exception as exc:  # noqa: BLE001 — service boundary
             code = (
                 ERROR_INVALID_REQUEST
@@ -333,8 +376,12 @@ class InterpretationService:
         self,
         batch: list[PendingResponse],
         interpreter: BatchOpenAPIInterpreter,
+        client: QueryClient,
     ) -> list[InterpretResponse]:
         """One probe trip + cache scan + lock-step solve of the misses.
+
+        ``client`` is the worker's query client — the raw API, or a
+        broker handle whose trips fuse with concurrent workers'.
 
         Complexity per flush of ``B`` requests with ``M`` misses over a
         ``d``-dimensional, ``C``-class model: one probe round trip
@@ -344,7 +391,7 @@ class InterpretationService:
         the misses — :math:`O(T (M (d+2)^3 + M C (d+2)^2))` via
         :func:`repro.core.engine.solve_pair_systems_stacked`.
         """
-        api = self.api
+        api = client
         X = np.vstack([p.request.x0 for p in batch])
 
         # Probe round: one trip scores every queued instance; the rows
@@ -352,10 +399,14 @@ class InterpretationService:
         # lock-step seed of the miss batch.
         try:
             y0_all = np.atleast_2d(api.predict_proba(X))
-        except APIBudgetExceededError as exc:
+        except (APIBudgetExceededError, TransportExhaustedError) as exc:
+            code = (
+                ERROR_BUDGET_EXHAUSTED
+                if isinstance(exc, APIBudgetExceededError)
+                else ERROR_TRANSPORT_FAILED
+            )
             responses = [
-                self._fail(p, ERROR_BUDGET_EXHAUSTED, str(exc), retryable=True)
-                for p in batch
+                self._fail(p, code, str(exc), retryable=True) for p in batch
             ]
             self._account(responses)
             for pending, response in zip(batch, responses):
@@ -415,6 +466,7 @@ class InterpretationService:
                 [targets[i] for i in solve_slots],
                 y0=y0_all[solve_slots],
                 raise_on_budget=False,
+                raise_on_transport=False,
             )
             rounds = result.rounds
             for slot, interp in zip(solve_slots, result.interpretations):
@@ -436,6 +488,15 @@ class InterpretationService:
                         ERROR_BUDGET_EXHAUSTED,
                         "API query budget exhausted before the instance "
                         "was certified",
+                        retryable=True,
+                    )
+                elif result.transport_failed:
+                    sequential_trips += 1 + rounds
+                    responses[slot] = self._fail(
+                        pending,
+                        ERROR_TRANSPORT_FAILED,
+                        "query transport kept failing past its retry "
+                        "budget before the instance was certified",
                         retryable=True,
                     )
                 else:

@@ -490,9 +490,12 @@ class ShardedInterpretationService(InterpretationService):
         default one.
     max_queue:
         Bound on queued-but-unflushed requests (backpressure threshold).
-    max_batch_size, max_wait_s, seed, interpreter_kwargs:
+    max_batch_size, max_wait_s, broker, seed, interpreter_kwargs:
         As in :class:`InterpretationService`; worker ``i`` derives its
-        interpreter seed deterministically from ``seed``.
+        interpreter seed deterministically from ``seed``.  With a
+        ``broker``, each flush worker takes its own
+        :class:`~repro.api.BrokerHandle`, so the concurrent workers'
+        probe and lock-step rounds fuse into shared round trips.
 
     Raises
     ------
@@ -512,6 +515,7 @@ class ShardedInterpretationService(InterpretationService):
         max_batch_size: int = 64,
         max_wait_s: float = 0.002,
         max_queue: int = 1024,
+        broker=None,
         seed: SeedLike = None,
         **interpreter_kwargs,
     ):
@@ -527,6 +531,7 @@ class ShardedInterpretationService(InterpretationService):
             enable_cache=enable_cache,
             max_batch_size=max_batch_size,
             max_wait_s=max_wait_s,
+            broker=broker,
             seed=seed,
             **interpreter_kwargs,
         )
@@ -570,4 +575,6 @@ class ShardedInterpretationService(InterpretationService):
         batch = self._pop_batch()
         if not batch:
             return []
-        return self._process(batch, self._interpreters[worker_idx])
+        return self._process(
+            batch, self._interpreters[worker_idx], self._client(worker_idx)
+        )

@@ -71,6 +71,33 @@ class TestSampleHypercube:
         np.testing.assert_allclose(pts[2], [1.0, 2.1])
         np.testing.assert_allclose(pts[3], [1.0, 1.9])
 
+    def test_axis_pairs_clip_collapse_rejected(self):
+        """Regression: clip_box used to silently clip ``x + h e_i`` and
+        ``x − h e_i`` onto the same box face, producing duplicate rows
+        (a degenerate perturbation set with 0/0 finite differences)."""
+        sampler = HypercubeSampler(seed=0, clip_box=(0.0, 1.0))
+        # Axis 0 sits 0.2 past the upper face with h=0.1: both ±h points
+        # clip to 1.0.  Axis 2 sits below the lower face: both clip to 0.
+        center = np.array([1.2, 0.5, -0.3])
+        with pytest.raises(ValidationError) as excinfo:
+            sampler.draw_axis_pairs(center, 0.1)
+        message = str(excinfo.value)
+        assert "0, 2" in message
+        assert "1," not in message.replace("[0, 2]", "")
+
+    def test_axis_pairs_one_sided_clip_is_fine(self):
+        """Clipping only one of the pair keeps the rows distinct."""
+        sampler = HypercubeSampler(seed=0, clip_box=(0.0, 1.0))
+        pts = sampler.draw_axis_pairs(np.array([0.95, 0.5]), 0.1)
+        np.testing.assert_allclose(pts[0], [1.0, 0.5])  # clipped
+        np.testing.assert_allclose(pts[1], [0.85, 0.5])
+        assert not np.array_equal(pts[0], pts[1])
+
+    def test_axis_pairs_invalid_clip_box_rejected(self):
+        sampler = HypercubeSampler(seed=0, clip_box=(1.0, 0.0))
+        with pytest.raises(ValidationError):
+            sampler.draw_axis_pairs(np.array([0.5, 0.5]), 0.1)
+
 
 class TestLogOdds:
     def test_single_vector(self):

@@ -51,6 +51,16 @@ def sample_service_stats() -> ServiceStats:
     return ServiceMetrics().snapshot()
 
 
+def sample_broker_stats():
+    from repro.api import BrokerStats
+
+    return BrokerStats(
+        n_requests=10, n_rows=90, n_round_trips=4, n_coalesced=8,
+        max_fused_rows=40, max_fused_requests=5, n_retries=2,
+        n_rate_limited=1, n_transient=1, n_exhausted=0,
+    )
+
+
 def sample_arm() -> ThroughputArm:
     return ThroughputArm(
         label="cached", n_requests=4, n_ok=4, elapsed_s=0.1,
@@ -84,13 +94,33 @@ class TestAsDictMatchesFields:
         report = ThroughputReport(
             cached=arm, uncached=arm, speedup=2.0, query_reduction=3.0,
             cache_bitwise_consistent=True, engine_row=None,
+            baseline_speedup=4.0,
         )
         payload = report.as_dict()
         assert set(payload) == {
             "cached", "uncached", "speedup", "query_reduction",
-            "cache_bitwise_consistent", "engine",
+            "cache_bitwise_consistent", "baseline_speedup", "engine",
         }
         json.dumps(payload)
+
+    def test_throughput_report_default_baseline_is_json_safe(self):
+        arm = sample_arm()
+        report = ThroughputReport(
+            cached=arm, uncached=arm, speedup=2.0, query_reduction=3.0,
+            cache_bitwise_consistent=True, engine_row=None,
+        )
+        payload = report.as_dict()
+        assert payload["baseline_speedup"] is None
+        json.dumps(payload, allow_nan=False)
+
+    def test_broker_stats(self):
+        from repro.api import BrokerStats
+
+        payload = sample_broker_stats().as_dict()
+        assert set(payload) == (
+            field_names(BrokerStats) | {"round_trip_reduction"}
+        )
+        json.dumps(payload, allow_nan=False)
 
     def test_scan_scaling_row(self):
         row = ScanScalingRow(
@@ -138,8 +168,13 @@ class TestDocsGlossary:
 
     @pytest.mark.parametrize(
         "payload_factory",
-        [sample_service_stats, sample_cache_stats, sample_sharded_stats],
-        ids=["service", "cache", "sharded-cache"],
+        [
+            sample_service_stats,
+            sample_cache_stats,
+            sample_sharded_stats,
+            sample_broker_stats,
+        ],
+        ids=["service", "cache", "sharded-cache", "broker"],
     )
     def test_keys_documented(self, glossary, payload_factory):
         missing = [

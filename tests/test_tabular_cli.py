@@ -157,3 +157,75 @@ class TestCLI:
             "interpret", "--dataset", "blobs", "--instance", "100000"
         ])
         assert code == 2
+
+
+class TestServeFlagValidation:
+    """Regression: ``serve`` used to silently accept contradictory flag
+    combinations (``--ttl-s`` under LRU eviction was ignored, warm-start
+    state was discarded at exit, transport knobs without ``--broker`` did
+    nothing).  Every such combination must exit 2 with a clear error."""
+
+    def run_serve(self, capsys, *flags: str) -> tuple[int, str]:
+        code = main(["serve", *flags])
+        return code, capsys.readouterr().err
+
+    def test_ttl_s_requires_ttl_eviction(self, capsys):
+        code, err = self.run_serve(capsys, "--ttl-s", "30")
+        assert code == 2
+        assert "--ttl-s" in err and "--eviction ttl" in err
+
+    def test_ttl_eviction_requires_ttl_s(self, capsys):
+        code, err = self.run_serve(capsys, "--eviction", "ttl")
+        assert code == 2
+        assert "--ttl-s" in err
+
+    def test_nonpositive_ttl_rejected(self, capsys):
+        code, err = self.run_serve(
+            capsys, "--eviction", "ttl", "--ttl-s", "0"
+        )
+        assert code == 2
+        assert "--ttl-s" in err
+
+    def test_warm_start_requires_snapshot(self, capsys):
+        code, err = self.run_serve(capsys, "--warm-start", "regions.npz")
+        assert code == 2
+        assert "--warm-start" in err and "--snapshot" in err
+
+    def test_no_cache_conflicts_with_snapshot(self, capsys):
+        code, err = self.run_serve(
+            capsys, "--no-cache", "--snapshot", "regions.npz"
+        )
+        assert code == 2
+        assert "--no-cache" in err
+
+    def test_transport_flags_require_broker(self, capsys):
+        for flags in (
+            ["--latency-ms", "5"],
+            ["--failure-rate", "0.1"],
+            ["--rate-limit", "100"],
+        ):
+            code, err = self.run_serve(capsys, *flags)
+            assert code == 2
+            assert "--broker" in err
+
+    def test_bad_failure_rate_rejected(self, capsys):
+        code, err = self.run_serve(
+            capsys, "--broker", "--failure-rate", "1.5"
+        )
+        assert code == 2
+        assert "--failure-rate" in err
+
+    def test_negative_retries_rejected(self, capsys):
+        code, err = self.run_serve(capsys, "--broker", "--retries", "-1")
+        assert code == 2
+        assert "--retries" in err
+
+    def test_coherent_flags_pass_validation(self):
+        from repro.cli import _validate_serve_flags
+
+        args = build_parser().parse_args(
+            ["serve", "--eviction", "ttl", "--ttl-s", "30",
+             "--warm-start", "r.npz", "--snapshot", "r.npz",
+             "--broker", "--latency-ms", "2", "--failure-rate", "0.05"]
+        )
+        assert _validate_serve_flags(args) is None

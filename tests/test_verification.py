@@ -133,6 +133,79 @@ class TestValidation:
         with pytest.raises(ValidationError):
             verify_interpretation(linear_api, interp, edge=0.0)
 
+    def test_adaptive_probing_deterministic_under_fixed_seed(
+        self, relu_model, blobs3
+    ):
+        """Same seed, same interpretation ⇒ bit-identical report, however
+        many shrink attempts the adaptive probing loop needed."""
+        api = PredictionAPI(relu_model)
+        interp = OpenAPIInterpreter(seed=0).interpret(api, blobs3.X[3])
+        reports = [
+            verify_interpretation(
+                api, interp, edge=2.0, n_probes=12, seed=42
+            )
+            for _ in range(2)
+        ]
+        first, second = reports
+        assert first.passed == second.passed
+        assert first.attempts == second.attempts
+        assert first.edge == second.edge
+        assert first.max_error == second.max_error
+        assert first.mean_error == second.mean_error
+        assert first.error_at_x0 == second.error_at_x0
+        assert first.per_pair_max == second.per_pair_max
+        # A different seed draws different probes: with a starting edge
+        # this large, the shrink trajectory is exercised (attempts >= 1
+        # and error fields populated either way).
+        assert first.attempts >= 1
+
+    def test_shrink_budget_exhaustion_reported(self, relu_api, blobs3):
+        """A correct claim probed at an absurd edge exhausts the shrink
+        budget: the report must say how hard it tried and at which edge
+        it gave up — not pass, and not lie about x0."""
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, blobs3.X[0])
+        report = verify_interpretation(
+            relu_api, interp, edge=1e6, max_shrinks=2, n_probes=16, seed=1
+        )
+        assert not report.passed
+        # The claim itself is right: x0 is inside tolerance.
+        assert report.error_at_x0 <= report.tolerance
+        # All max_shrinks + 1 edges were attempted before giving up...
+        assert report.attempts == 3
+        # ...and the reported edge is the final halved one.
+        assert report.edge == pytest.approx(1e6 / 4.0)
+        assert report.max_error > report.tolerance
+
+    def test_fabricated_interpretation_fails_at_x0_without_probing(
+        self, relu_api, blobs3
+    ):
+        """A fabricated claim (weights invented wholesale) dies at the
+        instance itself: no probe sampling happens, attempts stays 1."""
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, blobs3.X[0])
+        rng = np.random.default_rng(0)
+        fabricated_estimates = {
+            pair: CoreParameterEstimate(
+                c=est.c,
+                c_prime=est.c_prime,
+                weights=rng.normal(size=est.weights.shape),
+                intercept=float(rng.normal()),
+                certified=True,
+            )
+            for pair, est in interp.pair_estimates.items()
+        }
+        fabricated = dataclasses.replace(
+            interp, pair_estimates=fabricated_estimates
+        )
+        before = relu_api.query_count
+        report = verify_interpretation(
+            relu_api, fabricated, n_probes=16, max_shrinks=8, seed=1
+        )
+        assert not report.passed
+        assert report.error_at_x0 > report.tolerance
+        assert report.attempts == 1
+        # Only the x0 probe was spent — the sampling loop never ran.
+        assert relu_api.query_count - before == 1
+
     def test_default_edge_for_handmade_interpretation(self, linear_model, blobs3):
         """Hand-built interpretations (no final_edge) get the fallback."""
         api = PredictionAPI(linear_model)
