@@ -24,6 +24,8 @@ exceptions crossing the service boundary.
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass
 
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
@@ -276,6 +278,10 @@ class PredictionAPI:
         self._transform = transform
         self._query_count = 0
         self._request_count = 0
+        # Guards the budget check-then-commit against concurrent round
+        # trips (broker-off callers hit _score_blocks from many threads).
+        self._meter_lock = threading.Lock()
+        self._reserved_rows = 0
 
     # ------------------------------------------------------------------ #
     # Public service surface
@@ -311,8 +317,9 @@ class PredictionAPI:
 
     def reset_query_count(self) -> None:
         """Zero the meters (budget is measured against the query meter)."""
-        self._query_count = 0
-        self._request_count = 0
+        with self._meter_lock:
+            self._query_count = 0
+            self._request_count = 0
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Score a batch (or a single instance) and return probabilities.
@@ -384,21 +391,40 @@ class PredictionAPI:
 
     def _score_blocks(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
         """Budget-check, score and transform validated blocks; commit the
-        meters (all rows, one round trip) only after every block answered."""
+        meters (all rows, one round trip) only after every block answered.
+
+        Thread-safe: the budget check *reserves* the rows under the meter
+        lock before the model runs, so two concurrent round trips can
+        never both pass a check that only one of them fits, and no meter
+        increment is ever lost.  A reservation is released on failure
+        (nothing metered) and converted to a commit on success, keeping
+        ``query_count`` equal to rows actually delivered.
+        """
         n_rows = sum(block.shape[0] for block in blocks)
-        if self._budget is not None and self._query_count + n_rows > self._budget:
-            raise APIBudgetExceededError(
-                f"query budget {self._budget} exhausted "
-                f"({self._query_count} used, {n_rows} requested)"
-            )
-        results = []
-        for block in blocks:
-            probs = np.atleast_2d(self._model.predict_proba(block))
-            if self._transform is not None:
-                probs = self._transform(probs)
-            results.append(probs)
-        self._query_count += n_rows
-        self._request_count += 1
+        with self._meter_lock:
+            committed_or_reserved = self._query_count + self._reserved_rows
+            if self._budget is not None and committed_or_reserved + n_rows > self._budget:
+                raise APIBudgetExceededError(
+                    f"query budget {self._budget} exhausted "
+                    f"({committed_or_reserved} used or in flight, "
+                    f"{n_rows} requested)"
+                )
+            self._reserved_rows += n_rows
+        try:
+            results = []
+            for block in blocks:
+                probs = np.atleast_2d(self._model.predict_proba(block))
+                if self._transform is not None:
+                    probs = self._transform(probs)
+                results.append(probs)
+        except BaseException:
+            with self._meter_lock:
+                self._reserved_rows -= n_rows
+            raise
+        with self._meter_lock:
+            self._reserved_rows -= n_rows
+            self._query_count += n_rows
+            self._request_count += 1
         return results
 
     def predict(self, X: np.ndarray) -> np.ndarray:

@@ -41,7 +41,10 @@ Two invariants, pinned by ``tests/test_transport.py`` and gated by
   committed to exactly one handle, and transports fail *before* the
   model scores anything, so ``sum(handle.query_count for all handles) ==
   api.query_count`` holds exactly — including under fault injection and
-  retries.
+  retries.  The one exclusion is an asynchronous ``BaseException``
+  (``KeyboardInterrupt``) killing a trip mid-flight: the API may have
+  committed rows no handle ever received, which is why such aborts are
+  surfaced as non-retryable unknown-outcome errors.
 """
 
 from __future__ import annotations
@@ -412,11 +415,18 @@ class BrokerHandle:
         single = X.ndim == 1
         if single:
             X = X[None, :]
-        if X.ndim != 2 or X.shape[1] != self.n_features or X.shape[0] < 1:
+        if X.ndim != 2 or X.shape[1] != self.n_features:
             raise ValidationError(
                 f"expected instances with {self.n_features} features, "
                 f"got {X.shape}"
             )
+        if X.shape[0] == 0:
+            # The direct API answers an empty batch locally ((0, C), one
+            # logical round trip, zero rows); mirror that here — a 0-row
+            # block must never ride a fused trip (the blocks endpoint
+            # rejects it), and there is nothing to ask the service.
+            self._commit(0)
+            return np.empty((0, self.n_classes), dtype=np.float64)
         result = self._broker._submit(_Ticket(X, self))
         return result[0] if single else result
 
@@ -447,7 +457,11 @@ class QueryBroker:
     window_s:
         Coalescing window: how long the leader holds a fused trip open
         for more callers.  0 dispatches immediately (still fusing
-        whatever already queued).
+        whatever already queued).  While the broker has issued at most
+        one handle no concurrent caller can exist (handles are
+        single-caller objects), so the leader skips the window and
+        dispatches immediately — a lone caller never pays the window as
+        pure per-trip latency.
     max_rows:
         Row cap per fused trip; a trip dispatches early when full.  A
         single over-sized block still travels (alone) — blocks are never
@@ -565,41 +579,101 @@ class QueryBroker:
     def _rows_pending(self) -> int:
         return sum(t.block.shape[0] for t in self._pending)
 
+    @staticmethod
+    def _fail_tickets(tickets: list[_Ticket], error: Exception) -> None:
+        """Resolve every ticket with ``error`` — the one way a trip fails,
+        so no path can ever leave a caller waiting on an unset event."""
+        for ticket in tickets:
+            ticket.error = error
+            ticket.event.set()
+
     def _lead(self) -> None:
         """Drain the pending queue as fused trips, then hand leadership off.
 
         The leader is an ordinary caller thread: it flushes until the
         queue is empty (resolving its own ticket along the way), so no
         dedicated broker thread exists and an idle broker costs nothing.
+
+        If the leader dies abnormally (``KeyboardInterrupt`` during the
+        window wait, a non-``Exception`` escaping dispatch), it must not
+        wedge the broker: leadership is released and every ticket the
+        dead leader was responsible for is resolved — still-queued
+        tickets with a *retryable* error (they never traveled, so
+        resubmitting is safe), tickets already popped for the in-flight
+        trip with a non-retryable unknown-outcome error (the trip may
+        have reached the API) — and the original exception propagates
+        to the leading caller.
         """
-        while True:
-            with self._cv:
-                if self.window_s > 0:
-                    deadline = time.perf_counter() + self.window_s
-                    while self._rows_pending() < self.max_rows:
-                        remaining = deadline - time.perf_counter()
-                        if remaining <= 0:
+        batch: list[_Ticket] = []
+        try:
+            while True:
+                with self._cv:
+                    # A single-handle broker cannot have a concurrent
+                    # caller, so waiting out the window would be pure
+                    # added latency with no fusion possible.  The gate is
+                    # deliberately this conservative: once more handles
+                    # exist, a lone *active* caller (idle workers, drain)
+                    # still pays the window, because lock-step callers
+                    # arrive staggered mid-window and any gate keyed on
+                    # who is blocked *right now* would dispatch before
+                    # they show up, collapsing fusion for the workload
+                    # the broker exists for.
+                    if self.window_s > 0 and len(self._handles) > 1:
+                        deadline = time.perf_counter() + self.window_s
+                        while self._rows_pending() < self.max_rows:
+                            remaining = deadline - time.perf_counter()
+                            if remaining <= 0:
+                                break
+                            self._cv.wait(remaining)
+                    batch = []
+                    rows = 0
+                    while self._pending:
+                        nxt = self._pending[0].block.shape[0]
+                        if batch and rows + nxt > self.max_rows:
                             break
-                        self._cv.wait(remaining)
-                batch: list[_Ticket] = []
-                rows = 0
-                while self._pending:
-                    nxt = self._pending[0].block.shape[0]
-                    if batch and rows + nxt > self.max_rows:
-                        break
-                    ticket = self._pending.popleft()
-                    batch.append(ticket)
-                    rows += nxt
-            if batch:
-                self._dispatch(batch)
+                        ticket = self._pending.popleft()
+                        batch.append(ticket)
+                        rows += nxt
+                if batch:
+                    self._dispatch(batch)
+                with self._cv:
+                    if not self._pending:
+                        self._leader_active = False
+                        return
+        except BaseException:
             with self._cv:
-                if not self._pending:
-                    self._leader_active = False
-                    return
+                self._leader_active = False
+                stranded = list(self._pending)
+                self._pending.clear()
+                self._cv.notify_all()
+            self._fail_tickets(
+                stranded,
+                TransientTransportError(
+                    "broker leader thread died before this request was "
+                    "dispatched (no rows were scored; resubmitting is safe)"
+                ),
+            )
+            # Tickets popped for the in-flight trip but never resolved are
+            # also stranded, but their trip may already have reached the
+            # API — resolve them with the conservative unknown-outcome
+            # error instead of promising a safe resubmit.
+            self._fail_tickets(
+                [t for t in batch if not t.event.is_set()],
+                TransportError(
+                    "broker leader thread died with this request's fused "
+                    "trip in flight; outcome unknown — rows may have been "
+                    "scored and metered, check the API meters before "
+                    "resubmitting"
+                ),
+            )
+            raise
 
     def _dispatch(self, batch: list[_Ticket]) -> None:
-        """Deliver one fused trip (with retries); never raises — outcomes
-        travel back to the callers through their tickets."""
+        """Deliver one fused trip (with retries); never raises an ordinary
+        ``Exception`` — outcomes travel back to the callers through their
+        tickets.  A non-``Exception`` (``KeyboardInterrupt`` etc.) still
+        resolves every ticket before propagating, so no caller is left
+        waiting forever on an event that will never be set."""
         blocks = [t.block for t in batch]
         try:
             results = self._send_with_retries(blocks)
@@ -614,13 +688,38 @@ class QueryBroker:
                 for ticket in batch:
                     self._dispatch([ticket])
                 return
-            batch[0].error = exc
-            batch[0].event.set()
+            self._fail_tickets(batch, exc)
             return
         except Exception as exc:  # noqa: BLE001 — resolver boundary
-            for ticket in batch:
-                ticket.error = exc
-                ticket.event.set()
+            self._fail_tickets(batch, exc)
+            return
+        except BaseException as exc:
+            # The interrupt may have landed before the trip was sent, or
+            # after the API already committed its rows — the outcome is
+            # unknown, so a blind resubmit cannot be advertised as safe
+            # (it could double-spend budget).
+            self._fail_tickets(
+                batch,
+                TransportError(
+                    f"round trip aborted by {type(exc).__name__} in the "
+                    f"dispatching thread; outcome unknown — rows may have "
+                    f"been scored and metered, check the API meters before "
+                    f"resubmitting"
+                ),
+            )
+            raise
+        if len(results) != len(batch):
+            # A pluggable Transport that mis-counts must fail loudly:
+            # zip-truncating here would leave unmatched tickets' events
+            # forever unset and their callers blocked without a timeout.
+            self._fail_tickets(
+                batch,
+                TransportError(
+                    f"transport returned {len(results)} result block(s) "
+                    f"for a {len(batch)}-block fused trip; results cannot "
+                    f"be attributed to callers"
+                ),
+            )
             return
         with self._stats_lock:
             self._n_round_trips += 1

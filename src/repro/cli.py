@@ -416,6 +416,18 @@ def _validate_serve_flags(args: argparse.Namespace) -> str | None:
                 "loaded regions and then silently discard every update at "
                 "exit; pass --snapshot PATH (the same path re-persists in "
                 "place) or drop --warm-start")
+    # Range checks come first so a mistyped value surfaces the real
+    # problem even when --broker is also missing.
+    if args.latency_ms < 0:
+        return f"--latency-ms must be >= 0, got {args.latency_ms}"
+    if not 0.0 <= args.failure_rate < 1.0:
+        return f"--failure-rate must be in [0, 1), got {args.failure_rate}"
+    if args.rate_limit is not None and args.rate_limit <= 0:
+        return f"--rate-limit must be > 0, got {args.rate_limit}"
+    if args.retries < 0:
+        return f"--retries must be >= 0, got {args.retries}"
+    if args.broker_window_ms < 0 or args.broker_max_rows < 1:
+        return "--broker-window-ms must be >= 0 and --broker-max-rows >= 1"
     if not args.broker:
         transport_flags = []
         if args.latency_ms:
@@ -431,16 +443,6 @@ def _validate_serve_flags(args: argparse.Namespace) -> str | None:
             return (f"{'/'.join(transport_flags)} configure the brokered "
                     "transport and require --broker (without it they "
                     "would be silently ignored)")
-    if args.latency_ms < 0:
-        return f"--latency-ms must be >= 0, got {args.latency_ms}"
-    if not 0.0 <= args.failure_rate < 1.0:
-        return f"--failure-rate must be in [0, 1), got {args.failure_rate}"
-    if args.rate_limit is not None and args.rate_limit <= 0:
-        return f"--rate-limit must be > 0, got {args.rate_limit}"
-    if args.retries < 0:
-        return f"--retries must be >= 0, got {args.retries}"
-    if args.broker_window_ms < 0 or args.broker_max_rows < 1:
-        return "--broker-window-ms must be >= 0 and --broker-max-rows >= 1"
     return None
 
 

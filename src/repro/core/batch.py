@@ -205,8 +205,30 @@ class BatchOpenAPIInterpreter:
 
         queries_before = api.query_count
         if y0 is None:
-            # Round trip 0: all the x0 predictions at once.
-            y0_all = api.predict_proba(X)
+            # Round trip 0: all the x0 predictions at once.  The opt-out
+            # flags cover this probe too — nothing was interpreted yet,
+            # so a dead budget/transport here returns an all-``None``
+            # result with the matching flag instead of raising.
+            try:
+                y0_all = api.predict_proba(X)
+            except APIBudgetExceededError:
+                if raise_on_budget:
+                    raise
+                return BatchResult(
+                    interpretations=[None] * n,
+                    rounds=0,
+                    n_queries=api.query_count - queries_before,
+                    budget_exhausted=True,
+                )
+            except TransportExhaustedError:
+                if raise_on_transport:
+                    raise
+                return BatchResult(
+                    interpretations=[None] * n,
+                    rounds=0,
+                    n_queries=api.query_count - queries_before,
+                    transport_failed=True,
+                )
         else:
             y0_all = np.asarray(y0, dtype=np.float64)
             if y0_all.shape != (n, api.n_classes):

@@ -56,6 +56,7 @@ from repro.api.transport import QueryBroker, QueryClient
 from repro.core.batch import BatchOpenAPIInterpreter
 from repro.exceptions import (
     APIBudgetExceededError,
+    TransportError,
     TransportExhaustedError,
     ValidationError,
 )
@@ -336,33 +337,45 @@ class InterpretationService:
         self,
         batch: list[PendingResponse],
         interpreter: BatchOpenAPIInterpreter,
-        client: QueryClient | None = None,
+        client: QueryClient,
     ) -> list[InterpretResponse]:
         """Serve one micro-batch; never lets an exception escape.
+
+        ``client`` is the worker's query surface from :meth:`_client`
+        (its per-worker broker handle, or the API itself when no broker
+        is configured) — the broker-vs-api choice lives there, nowhere
+        else.
 
         A worker thread runs this, so any exception leaking out would
         kill the loop and wedge every pending request.  Unexpected
         failures therefore become structured envelopes
-        (``invalid_request`` for validation issues, ``internal_error``
-        otherwise) and the meters still record whatever the aborted
-        flush spent.
+        (``invalid_request`` for validation issues, ``transport_failed``
+        — carrying the error's own retryability — for transport errors
+        that escaped the broker's own handling, e.g. a misbehaving
+        pluggable ``Transport``, ``internal_error`` otherwise) and the
+        meters still record whatever the aborted flush spent.
         """
         try:
-            return self._process_batch(
-                batch, interpreter, client if client is not None else self.api
-            )
+            return self._process_batch(batch, interpreter, client)
         except Exception as exc:  # noqa: BLE001 — service boundary
-            code = (
-                ERROR_INVALID_REQUEST
-                if isinstance(exc, ValidationError)
-                else ERROR_INTERNAL
-            )
+            if isinstance(exc, ValidationError):
+                code, retryable = ERROR_INVALID_REQUEST, False
+            elif isinstance(exc, TransportError):
+                # Honor the error's own flag: transient/exhausted failures
+                # are retryable, a deterministic defect (e.g. a transport
+                # that mis-counts result blocks) is not.
+                code, retryable = ERROR_TRANSPORT_FAILED, bool(exc.retryable)
+            else:
+                code, retryable = ERROR_INTERNAL, False
             responses = []
             for pending in batch:
                 if pending.done():
                     continue
                 response = self._fail(
-                    pending, code, f"{type(exc).__name__}: {exc}"
+                    pending,
+                    code,
+                    f"{type(exc).__name__}: {exc}",
+                    retryable=retryable,
                 )
                 responses.append(response)
             self._account(responses)

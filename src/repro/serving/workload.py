@@ -575,19 +575,28 @@ def _run_arm(
 
 
 def _measure_hit_cost_s(
-    service: InterpretationService, x0: np.ndarray, *, repeats: int = 24
+    service: InterpretationService,
+    x0: np.ndarray,
+    *,
+    batch_size: int = 32,
+    repeats: int = 8,
 ) -> float:
-    """Per-request cost of a cache hit on the (warm) cached service.
+    """Amortized per-request cost of a cache hit on the (warm) service.
 
     One warm-up call guarantees the region is resident, then ``repeats``
-    timed single-request flushes measure what this machine pays for a
-    probe-and-serve — the in-run baseline the speedup gate is scaled by.
+    timed micro-batches of ``batch_size`` duplicate requests measure the
+    per-request probe-and-serve cost *with the same flush amortization
+    the replayed workload enjoys* — timing single-request flushes would
+    overstate ``t_hit`` by the per-flush overhead the replay amortizes
+    ~``batch_size``-way, and silently deflate the speedup bound the gate
+    is scaled by.
     """
     service.interpret(x0)
+    batch = np.tile(np.asarray(x0), (batch_size, 1))
     start = time.perf_counter()
     for _ in range(repeats):
-        service.interpret(x0)
-    return (time.perf_counter() - start) / repeats
+        service.interpret_many(batch)
+    return (time.perf_counter() - start) / (repeats * batch_size)
 
 
 def run_throughput_benchmark(
@@ -655,7 +664,9 @@ def run_throughput_benchmark(
     # cost timed directly on the warm cached service (anchors[0] is the
     # Zipf rank-1 instance, so its region is certainly resident).
     t_solve = uncached.elapsed_s / n_requests
-    t_hit = _measure_hit_cost_s(cached_service, anchors[0])
+    t_hit = _measure_hit_cost_s(
+        cached_service, anchors[0], batch_size=max_batch_size
+    )
     h = cached.hit_rate
     if t_hit > 0 and t_solve > 0 and np.isfinite(h):
         rho = t_solve / t_hit
@@ -725,6 +736,15 @@ def run_standard_benchmark(
         :data:`DEFAULT_SPEEDUP_THRESHOLD` — an absolute constant would
         encode one machine's solve/probe cost ratio and flap elsewhere.
         ``tiny`` gates correctness only (threshold 1.0).
+
+        Known limitation: the bound is derived from the *same* in-run
+        hit cost the measured speedup depends on, so the gate verifies
+        the service realizes ``SPEEDUP_RETENTION`` of what its current
+        hit path permits — a uniform slowdown of the hit path lowers
+        the bound with it and is only caught once the
+        :data:`MIN_SPEEDUP_FLOOR` backstop trips.  Guarding absolute
+        hit-path cost across commits needs a persisted per-machine
+        reference, which a stateless CI run cannot carry.
     """
     if tiny:
         n_requests, n_clusters = 60, min(n_clusters, 8)

@@ -208,6 +208,13 @@ class TestServeFlagValidation:
             assert code == 2
             assert "--broker" in err
 
+    def test_range_error_reported_even_without_broker(self, capsys):
+        """An out-of-range transport value must surface the range error
+        in one shot, not hide behind the requires---broker message."""
+        code, err = self.run_serve(capsys, "--latency-ms", "-5")
+        assert code == 2
+        assert "must be >= 0" in err
+
     def test_bad_failure_rate_rejected(self, capsys):
         code, err = self.run_serve(
             capsys, "--broker", "--failure-rate", "1.5"

@@ -10,6 +10,7 @@ integration (brokered flush workers, mid-run transport death).
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -29,6 +30,7 @@ from repro.exceptions import (
     APIBudgetExceededError,
     RateLimitedError,
     TransientTransportError,
+    TransportError,
     TransportExhaustedError,
     ValidationError,
 )
@@ -143,9 +145,24 @@ class TestBrokerBasics:
         handle = make_broker(api).handle()
         with pytest.raises(ValidationError):
             handle.predict_proba(np.zeros(4))  # wrong width
-        with pytest.raises(ValidationError):
-            handle.predict_proba(np.zeros((0, 6)))  # empty
         assert api.query_count == 0
+
+    def test_empty_batch_mirrors_direct_api(self, linear_model):
+        """A 0-row 2-D batch is answered like the direct API does it:
+        an empty ``(0, C)`` result and one zero-row logical round trip,
+        never a 0-row block on a fused trip."""
+        api = PredictionAPI(linear_model)
+        direct = PredictionAPI(linear_model)
+        handle = make_broker(api).handle()
+        empty = np.zeros((0, direct.n_features))
+        out = handle.predict_proba(empty)
+        ref = direct.predict_proba(empty)
+        assert out.shape == ref.shape == (0, direct.n_classes)
+        assert out.dtype == ref.dtype
+        assert handle.query_count == 0 == api.query_count
+        assert handle.request_count == 1 == direct.request_count
+        # No physical trip traveled for the empty batch.
+        assert api.request_count == 0
 
     def test_validation(self, linear_api):
         with pytest.raises(ValidationError):
@@ -434,6 +451,31 @@ class TestBatchInterpreterTransport:
         assert all(i is None for i in result.interpretations)
         assert result.n_queries == 0
 
+    def test_probe_trip_covered_by_opt_out_flags(self, relu_model, blobs3):
+        """Regression: the round-0 probe (y0=None) sat outside the
+        ``raise_on_transport``/``raise_on_budget`` opt-outs, so a failure
+        on the very first trip raised the exception the caller had
+        opted out of."""
+        api = PredictionAPI(relu_model)
+        broker = QueryBroker(
+            FlakyScriptedTransport(api, n_failures=10**9),
+            window_s=0.0, retry=RetryPolicy(max_retries=0), sleep=None,
+        )
+        result = BatchOpenAPIInterpreter(seed=0).interpret_batch(
+            broker.handle(), blobs3.X[:3], raise_on_transport=False
+        )
+        assert result.transport_failed and not result.budget_exhausted
+        assert all(i is None for i in result.interpretations)
+        assert result.rounds == 0 and result.n_queries == 0
+
+        budget_api = PredictionAPI(relu_model, budget=1)
+        result = BatchOpenAPIInterpreter(seed=0).interpret_batch(
+            budget_api, blobs3.X[:3], raise_on_budget=False
+        )
+        assert result.budget_exhausted and not result.transport_failed
+        assert all(i is None for i in result.interpretations)
+        assert result.rounds == 0 and result.n_queries == 0
+
     def test_clean_transport_flag_defaults(self, relu_api, blobs3):
         result = BatchOpenAPIInterpreter(seed=0).interpret_batch(
             relu_api, blobs3.X[:3]
@@ -537,3 +579,260 @@ class TestServiceWithBroker:
         assert isinstance(first, BrokerHandle)
         assert service._client(0) is first
         assert service._client(1) is not first
+
+
+class TestMeterThreadSafety:
+    """Regression: ``_score_blocks`` used an unsynchronized
+    check-then-commit, so concurrent broker-off callers could lose meter
+    updates (breaking ``sum(handle.query_count) == api.query_count``) and
+    two threads could both pass the budget check, silently overspending."""
+
+    def test_concurrent_round_trips_never_lose_updates(
+        self, linear_model, blobs3
+    ):
+        api = PredictionAPI(linear_model)
+        broker = QueryBroker(DirectTransport(api), coalesce=False)
+        n_threads, trips_each = 16, 8
+        barrier = threading.Barrier(n_threads)
+
+        def work(i):
+            handle = broker.handle(f"c{i}")
+            barrier.wait()
+            for _ in range(trips_each):
+                handle.predict_proba(blobs3.X[i % 10 : i % 10 + 3])
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert api.query_count == n_threads * trips_each * 3
+        assert api.request_count == n_threads * trips_each
+        assert sum(h.query_count for h in broker.handles) == api.query_count
+
+    def test_concurrent_callers_never_overspend_budget(
+        self, linear_model, blobs3
+    ):
+        budget = 30
+        api = PredictionAPI(linear_model, budget=budget)
+        n_threads = 16
+        barrier = threading.Barrier(n_threads)
+        delivered = []
+        lock = threading.Lock()
+
+        def work(i):
+            barrier.wait()
+            try:
+                probs = api.predict_proba(blobs3.X[i % 10 : i % 10 + 4])
+            except APIBudgetExceededError:
+                return
+            with lock:
+                delivered.append(probs.shape[0])
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert api.query_count <= budget
+        assert api.query_count == sum(delivered)
+
+
+class _MiscountingTransport:
+    """A buggy pluggable Transport that returns too few result blocks."""
+
+    def __init__(self, api: PredictionAPI):
+        self.api = api
+
+    def send(self, blocks):
+        return self.api.predict_proba_blocks(blocks)[:-1]
+
+
+class _DyingTransport:
+    """Raises a non-``Exception`` once dispatch is in flight, on cue."""
+
+    class Interrupt(BaseException):
+        pass
+
+    def __init__(self, api: PredictionAPI):
+        self.api = api
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def send(self, blocks):
+        self.entered.set()
+        assert self.release.wait(timeout=5.0)
+        raise self.Interrupt()
+
+
+class TestBrokerResilience:
+    def test_miscounting_transport_fails_all_callers_without_hanging(
+        self, linear_model, blobs3
+    ):
+        """Regression: the scatter used plain ``zip``, so a transport
+        returning fewer blocks than the fused trip left the unmatched
+        tickets blocked forever; now every caller gets a TransportError."""
+        api = PredictionAPI(linear_model)
+        broker = QueryBroker(
+            _MiscountingTransport(api), window_s=0.2, sleep=None
+        )
+        n = 3
+        outcomes: list[object] = [None] * n
+        barrier = threading.Barrier(n)
+
+        def work(i):
+            handle = broker.handle(f"c{i}")
+            barrier.wait()
+            try:
+                outcomes[i] = handle.predict_proba(blobs3.X[i : i + 2])
+            except TransportError as exc:
+                outcomes[i] = exc
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads)
+        assert all(isinstance(o, TransportError) for o in outcomes)
+        # Unattributable rows are metered to no handle.
+        assert sum(h.query_count for h in broker.handles) == 0
+
+    def test_leader_death_fails_stranded_tickets_and_releases_leadership(
+        self, linear_model, blobs3
+    ):
+        """Regression: a non-``Exception`` escaping the leader left
+        ``_leader_active`` set forever, wedging every later submission."""
+        api = PredictionAPI(linear_model)
+        transport = _DyingTransport(api)
+        broker = QueryBroker(transport, window_s=0.0, sleep=None)
+        leader_outcome: list[object] = [None]
+        follower_outcome: list[object] = [None]
+
+        def leader():
+            handle = broker.handle("leader")
+            try:
+                handle.predict_proba(blobs3.X[:2])
+            except BaseException as exc:  # noqa: BLE001 — capturing for assert
+                leader_outcome[0] = exc
+
+        def follower():
+            handle = broker.handle("follower")
+            assert transport.entered.wait(timeout=5.0)
+            try:
+                handle.predict_proba(blobs3.X[2:4])
+            except TransportError as exc:
+                follower_outcome[0] = exc
+
+        t_lead = threading.Thread(target=leader)
+        t_follow = threading.Thread(target=follower)
+        t_lead.start()
+        # The follower enqueues while the leader's trip is stuck in send().
+        t_follow.start()
+        assert transport.entered.wait(timeout=5.0)
+        # Give the follower a moment to enqueue behind the in-flight trip.
+        deadline = 200
+        while len(broker._pending) == 0 and deadline > 0:
+            time.sleep(0.005)
+            deadline -= 1
+        transport.release.set()
+        t_lead.join(timeout=10.0)
+        t_follow.join(timeout=10.0)
+        assert not t_lead.is_alive() and not t_follow.is_alive()
+        # The original interrupt propagates to the leading caller itself;
+        # the stranded follower gets a retryable transport error.
+        assert isinstance(leader_outcome[0], _DyingTransport.Interrupt)
+        assert isinstance(follower_outcome[0], TransientTransportError)
+        # Leadership was released: the broker accepts new traffic.
+        broker.transport = DirectTransport(api)
+        assert broker.handle("late").predict_proba(blobs3.X[:1]).shape == (1, 3)
+        assert not broker._leader_active
+
+    def test_lone_caller_skips_coalescing_window(self, linear_model, blobs3):
+        """A single-handle broker cannot fuse with anyone; the leader must
+        not stall ``window_s`` per round trip waiting for callers that
+        cannot exist."""
+        api = PredictionAPI(linear_model)
+        broker = QueryBroker(DirectTransport(api), window_s=0.5)
+        handle = broker.handle()
+        start = time.perf_counter()
+        for i in range(4):
+            handle.predict_proba(blobs3.X[i : i + 2])
+        elapsed = time.perf_counter() - start
+        # Four trips through a 0.5 s window would take >= 2 s if the
+        # window were paid; skipping it makes them near-instant.
+        assert elapsed < 0.4
+        assert api.request_count == 4
+
+    def test_second_handle_restores_window_fusion(self, linear_model, blobs3):
+        """The skip applies only while one handle exists — two handles
+        must still fuse through the window."""
+        api = PredictionAPI(linear_model)
+        broker = QueryBroker(DirectTransport(api), window_s=0.05)
+        n = 4
+        outcomes: list[object] = [None] * n
+        barrier = threading.Barrier(n)
+
+        def work(i):
+            handle = broker.handle(f"c{i}")
+            barrier.wait()
+            outcomes[i] = handle.predict_proba(blobs3.X[i : i + 2])
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(isinstance(o, np.ndarray) for o in outcomes)
+        assert broker.stats().max_fused_requests >= 2
+
+    def test_interrupt_between_pop_and_dispatch_strands_no_caller(
+        self, linear_model, blobs3
+    ):
+        """Regression: a BaseException landing after the leader popped a
+        fused batch but before dispatch resolved it failed only the
+        still-queued tickets — co-riders of the popped batch hung."""
+
+        class Interrupt(BaseException):
+            pass
+
+        api = PredictionAPI(linear_model)
+        broker = QueryBroker(DirectTransport(api), window_s=0.1)
+
+        def dying_dispatch(batch):
+            raise Interrupt()
+
+        broker._dispatch = dying_dispatch
+        n = 3
+        outcomes: list[object] = [None] * n
+        barrier = threading.Barrier(n)
+
+        def work(i):
+            handle = broker.handle(f"c{i}")
+            barrier.wait()
+            try:
+                outcomes[i] = handle.predict_proba(blobs3.X[i : i + 2])
+            except BaseException as exc:  # noqa: BLE001 — capturing for assert
+                outcomes[i] = exc
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads)
+        # Every caller resolved: leaders re-raise the interrupt; popped
+        # co-riders get the non-retryable unknown-outcome error,
+        # still-queued tickets the retryable stranded error.
+        interrupted = [o for o in outcomes if isinstance(o, Interrupt)]
+        stranded = [o for o in outcomes if isinstance(o, TransportError)]
+        assert len(interrupted) >= 1
+        assert len(interrupted) + len(stranded) == n
+        # Leadership released and the broker still serves.
+        del broker._dispatch
+        assert broker.handle("late").predict_proba(blobs3.X[:1]).shape == (1, 3)
+        assert not broker._leader_active
