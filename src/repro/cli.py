@@ -15,7 +15,8 @@ Commands
     request workload (Zipf, drifting-Zipf, multi-tenant or churn)
     through the region cache + micro-batching loop — optionally sharded
     (``--shards``/``--workers``), bounded (``--max-entries``,
-    ``--eviction``) and snapshot-persistent
+    ``--eviction``), disk-tiered (``--l2-dir``/``--l2-max-bytes``/
+    ``--compact-ratio``) and snapshot-persistent
     (``--snapshot``/``--warm-start``) — and print the stats endpoint.
 ``bench-serve``
     The cache-on/off serving throughput comparison
@@ -23,6 +24,9 @@ Commands
 ``bench-shard``
     The bounded-memory sharded serving tier gates
     (``benchmarks/bench_sharded_serving.py`` as a subcommand).
+``bench-store``
+    The tiered (RAM L1 + disk L2) region store gates
+    (``benchmarks/bench_tiered_store.py`` as a subcommand).
 ``bench-engine``
     The fused batched solve engine vs the per-instance reference loop
     (``benchmarks/bench_solve_engine.py`` as a subcommand).
@@ -43,7 +47,10 @@ Examples
         --workload drifting
     python -m repro serve --broker --workers 2 --latency-ms 5 \
         --failure-rate 0.05 --retries 4
+    python -m repro serve --l2-dir regions.l2 --max-entries 64 \
+        --l2-max-bytes 1048576
     python -m repro bench-serve --tiny --output BENCH_serving.json
+    python -m repro bench-store --tiny --output BENCH_tiered_store.json
     python -m repro bench-shard --tiny --output BENCH_sharded_serving.json
     python -m repro bench-engine --tiny
 """
@@ -70,6 +77,12 @@ _BROKER_FLAG_DEFAULTS = {
     "retries": 3,
     "broker_window_ms": 2.0,
     "broker_max_rows": 4096,
+}
+
+#: Defaults of the tiered-store tuning flags, shared between the parser
+#: and the serve-flag validation for the same reason.
+_L2_FLAG_DEFAULTS = {
+    "compact_ratio": 0.5,
 }
 
 
@@ -167,6 +180,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--ttl-s", type=float, default=None,
         help="entry lifetime in seconds (required with --eviction ttl)",
+    )
+    serve.add_argument(
+        "--l2-dir", default=None, metavar="DIR",
+        help="persist regions in a tiered store: this directory holds "
+        "the memory-mapped disk tier (L2); L1 evictions demote to it "
+        "and L1 misses promote from it (see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--l2-max-bytes", type=int, default=None,
+        help="live-byte budget of the disk tier (requires --l2-dir; "
+        "default: unbounded)",
+    )
+    serve.add_argument(
+        "--compact-ratio", type=float,
+        default=_L2_FLAG_DEFAULTS["compact_ratio"],
+        help="dead-byte ratio that triggers L2 segment compaction "
+        "(requires --l2-dir; default: 0.5)",
     )
     serve.add_argument(
         "--warm-start", default=None, metavar="PATH",
@@ -277,6 +307,42 @@ def build_parser() -> argparse.ArgumentParser:
         "gates only",
     )
     bench_shard.add_argument(
+        "--output", default=None,
+        help="also write the report to this file (JSON when the path "
+        "ends in .json, rendered text otherwise)",
+    )
+
+    bench_store = sub.add_parser(
+        "bench-store",
+        help="tiered region store: disk-backed hit retention at 10%% L1 "
+        "residency + compaction-bounded disk growth",
+    )
+    bench_store.add_argument("--seed", type=int, default=0)
+    bench_store.add_argument(
+        "--requests", type=int, default=600,
+        help="workload size per arm (default: 600)",
+    )
+    bench_store.add_argument(
+        "--anchors", type=int, default=48,
+        help="distinct anchor instances (default: 48)",
+    )
+    bench_store.add_argument(
+        "--shards", type=int, default=4,
+        help="L1 shard count of the tiered arm (default: 4)",
+    )
+    bench_store.add_argument(
+        "--l2-dir", default=None,
+        help="keep the L2 segment directories here (default: a "
+        "temporary directory, deleted after the run; a reused "
+        "directory is cleared at the start so each run audits only "
+        "its own solves)",
+    )
+    bench_store.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke scale: small model, 120 requests, correctness "
+        "gates only",
+    )
+    bench_store.add_argument(
         "--output", default=None,
         help="also write the report to this file (JSON when the path "
         "ends in .json, rendered text otherwise)",
@@ -411,11 +477,29 @@ def _validate_serve_flags(args: argparse.Namespace) -> str | None:
         return "--eviction ttl requires --ttl-s (entry lifetime in seconds)"
     if args.ttl_s is not None and args.ttl_s <= 0:
         return f"--ttl-s must be > 0, got {args.ttl_s}"
-    if args.warm_start and not args.snapshot:
+    if args.warm_start and not args.snapshot and not args.l2_dir:
         return ("--warm-start without --snapshot would serve from the "
                 "loaded regions and then silently discard every update at "
                 "exit; pass --snapshot PATH (the same path re-persists in "
-                "place) or drop --warm-start")
+                "place), or --l2-dir DIR (the disk tier persists "
+                "demotions itself), or drop --warm-start")
+    if args.no_cache and args.l2_dir:
+        return ("--l2-dir selects the tiered region store and requires "
+                "the cache enabled (drop --no-cache)")
+    if args.l2_max_bytes is not None and args.l2_max_bytes < 1:
+        return f"--l2-max-bytes must be >= 1, got {args.l2_max_bytes}"
+    if not 0.0 < args.compact_ratio < 1.0:
+        return f"--compact-ratio must be in (0, 1), got {args.compact_ratio}"
+    if not args.l2_dir:
+        l2_flags = []
+        if args.l2_max_bytes is not None:
+            l2_flags.append("--l2-max-bytes")
+        if args.compact_ratio != _L2_FLAG_DEFAULTS["compact_ratio"]:
+            l2_flags.append("--compact-ratio")
+        if l2_flags:
+            return (f"{'/'.join(l2_flags)} configure the disk tier and "
+                    "require --l2-dir (without it they would be silently "
+                    "ignored)")
     # Range checks come first so a mistyped value surfaces the real
     # problem even when --broker is also missing.
     if args.latency_ms < 0:
@@ -454,6 +538,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         RegionCache,
         ShardedInterpretationService,
         ShardedRegionCache,
+        TieredRegionStore,
     )
 
     error = _validate_serve_flags(args)
@@ -474,6 +559,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{args.shards} shards / {args.workers} workers" if sharded
         else "monolithic"
     )
+    if args.l2_dir:
+        tier += f", tiered (L2: {args.l2_dir})"
     broker = None
     if args.broker:
         from repro.api import (
@@ -520,14 +607,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             eviction=args.eviction,
             ttl_s=args.ttl_s,
         )
-        if sharded:
+        store = None
+        if args.l2_dir:
+            store = TieredRegionStore(
+                args.l2_dir,
+                n_shards=args.shards,
+                l2_max_bytes=args.l2_max_bytes,
+                compact_ratio=args.compact_ratio,
+                **cache_kwargs,
+            )
+        if sharded or store is not None:
             service: InterpretationService = ShardedInterpretationService(
                 api,
                 n_workers=args.workers,
                 cache=(
-                    None if args.no_cache
+                    None if args.no_cache or store is not None
                     else ShardedRegionCache(n_shards=args.shards, **cache_kwargs)
                 ),
+                store=store,
                 enable_cache=not args.no_cache,
                 max_batch_size=args.batch_size,
                 broker=broker,
@@ -544,7 +641,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         if args.warm_start:
             loaded = service.cache.load(args.warm_start)
-            print(f"warm start: {loaded} region entries loaded from "
+            where = "disk (L2) records" if store is not None else "entries"
+            print(f"warm start: {loaded} region {where} loaded from "
                   f"{args.warm_start}\n")
     except (ValidationError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -574,6 +672,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             saved = service.cache.save(args.snapshot)
             print(f"\nsnapshot: {saved} region entries saved to "
                   f"{args.snapshot}")
+    if args.l2_dir and service.store is not None:
+        drained = service.store.drain()
+        service.store.close()
+        print(f"\nL2 tier persisted to {args.l2_dir} "
+              f"({drained} L1 entries drained to disk at shutdown)")
     return 0 if not errors else 1
 
 
@@ -635,6 +738,32 @@ def _cmd_bench_shard(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench_store(args: argparse.Namespace) -> int:
+    from repro.serving import run_tiered_store_benchmark, tiered_gate_failures
+
+    if args.requests < 1 or args.anchors < 1:
+        print("error: --requests and --anchors must be >= 1",
+              file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    report, min_retention = run_tiered_store_benchmark(
+        n_requests=args.requests, n_anchors=args.anchors,
+        n_shards=args.shards, seed=args.seed, tiny=args.tiny,
+        l2_dir=args.l2_dir,
+    )
+    print(report.as_text())
+    if args.output:
+        _write_report(args.output, report)
+    failures = tiered_gate_failures(
+        report, min_hit_retention=min_retention
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_bench_engine(args: argparse.Namespace) -> int:
     import json
 
@@ -683,6 +812,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
         "bench-shard": _cmd_bench_shard,
+        "bench-store": _cmd_bench_store,
         "bench-engine": _cmd_bench_engine,
     }
     return handlers[args.command](args)

@@ -12,6 +12,11 @@ package converts that guarantee into serving machinery:
   (:mod:`repro.serving.shard`) — the bounded-memory sharded tier:
   entries hash-routed across shards by region signature, multiple flush
   workers over a backpressured queue;
+* :class:`TieredRegionStore` (:mod:`repro.serving.store`) — the
+  persistent two-tier store: the sharded RAM cache as L1 over an
+  append-only, memory-mapped, crash-safe disk segment store as L2;
+  evictions demote to disk, disk hits promote back, and the region
+  inventory outlives both process memory and process lifetime;
 * :class:`InterpretationService` — request queue + micro-batching loop
   coalescing concurrent requests into lock-step batch round trips, with
   structured error envelopes and full meter accounting;
@@ -38,6 +43,11 @@ from repro.serving.shard import (
     region_signature,
     signature_of,
 )
+from repro.serving.store import (
+    SegmentStore,
+    TieredRegionStore,
+    TieredStoreStats,
+)
 from repro.serving.workload import (
     BOUNDED_RESIDENT_FRACTION,
     DEFAULT_SPEEDUP_THRESHOLD,
@@ -45,10 +55,13 @@ from repro.serving.workload import (
     SPEEDUP_RETENTION,
     SHARDED_HIT_RATE_RATIO_THRESHOLD,
     SHARDED_SCAN_RATIO_THRESHOLD,
+    TIERED_HIT_RETENTION_THRESHOLD,
+    TIERED_L1_RESIDENT_FRACTION,
     ScanScalingRow,
     ShardedServingReport,
     ThroughputArm,
     ThroughputReport,
+    TieredStoreReport,
     churn_workload,
     drifting_zipf_workload,
     measure_scan_scaling,
@@ -56,7 +69,9 @@ from repro.serving.workload import (
     run_sharded_benchmark,
     run_standard_benchmark,
     run_throughput_benchmark,
+    run_tiered_store_benchmark,
     sharded_gate_failures,
+    tiered_gate_failures,
     zipf_clustered_workload,
 )
 
@@ -69,6 +84,9 @@ __all__ = [
     "ShardedRegionCache",
     "ShardedCacheStats",
     "ShardedInterpretationService",
+    "SegmentStore",
+    "TieredRegionStore",
+    "TieredStoreStats",
     "region_signature",
     "signature_of",
     "ServiceMetrics",
@@ -82,7 +100,10 @@ __all__ = [
     "run_throughput_benchmark",
     "run_standard_benchmark",
     "run_sharded_benchmark",
+    "run_tiered_store_benchmark",
     "sharded_gate_failures",
+    "tiered_gate_failures",
+    "TieredStoreReport",
     "measure_scan_scaling",
     "DEFAULT_SPEEDUP_THRESHOLD",
     "SPEEDUP_RETENTION",
@@ -90,6 +111,8 @@ __all__ = [
     "SHARDED_HIT_RATE_RATIO_THRESHOLD",
     "SHARDED_SCAN_RATIO_THRESHOLD",
     "BOUNDED_RESIDENT_FRACTION",
+    "TIERED_L1_RESIDENT_FRACTION",
+    "TIERED_HIT_RETENTION_THRESHOLD",
     "zipf_clustered_workload",
     "drifting_zipf_workload",
     "multi_tenant_workload",

@@ -335,6 +335,14 @@ class RegionCache:
     clock:
         Monotonic time source for TTL bookkeeping (injectable for
         deterministic tests); defaults to :func:`time.monotonic`.
+    on_evict:
+        Optional callback ``(entry, pairs) -> None`` invoked for every
+        entry the eviction policy removes (LRU capacity or TTL expiry),
+        *after* the entry has left the cache.  The tiered store
+        (:class:`repro.serving.store.TieredRegionStore`) uses it to
+        demote evicted regions to disk instead of dropping them.
+        ``clear()`` does not fire it — clearing is an operator reset,
+        not an eviction.
 
     Raises
     ------
@@ -373,6 +381,9 @@ class RegionCache:
         eviction: str = "lru",
         ttl_s: float | None = None,
         clock: Callable[[], float] | None = None,
+        on_evict: Callable[
+            [RegionCacheEntry, tuple[tuple[int, int], ...]], None
+        ] | None = None,
     ):
         if max_entries < 1:
             raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
@@ -400,6 +411,7 @@ class RegionCache:
         self.max_candidates = max_candidates
         self.floor = check_positive(floor, name="floor")
         self._clock = clock if clock is not None else time.monotonic
+        self.on_evict = on_evict
         self._entries: OrderedDict[int, RegionCacheEntry] = OrderedDict()
         self._groups: dict[
             tuple[int, tuple[tuple[int, int], ...]], _PackedGroup
@@ -631,9 +643,12 @@ class RegionCache:
 
     def _evict(self, key: int) -> None:
         entry = self._entries.pop(key)
-        self._groups[self._group_of.pop(key)].remove(key)
+        group_key = self._group_of.pop(key)
+        self._groups[group_key].remove(key)
         self._resident_bytes -= entry.resident_bytes
         self._evictions += 1
+        if self.on_evict is not None:
+            self.on_evict(entry, group_key[1])
 
     def _purge_expired(self) -> None:
         """Drop entries past their TTL lease (no-op under ``"lru"``).

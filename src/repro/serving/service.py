@@ -112,6 +112,12 @@ class InterpretationService:
         ``enable_cache=False`` to disable region reuse entirely (every
         request solves fresh — the baseline the throughput benchmark
         compares against).
+    store:
+        A :class:`~repro.serving.store.TieredRegionStore` to serve
+        regions from instead of a RAM-only cache (L1 evictions demote
+        to disk; L1 misses scan and promote from disk).  Mutually
+        exclusive with ``cache`` and with ``enable_cache=False`` — the
+        store *is* the region tier.
     max_batch_size:
         Micro-batch cap for the background loop.
     max_wait_s:
@@ -153,6 +159,7 @@ class InterpretationService:
         *,
         interpreter: BatchOpenAPIInterpreter | None = None,
         cache: RegionCache | None = None,
+        store=None,
         enable_cache: bool = True,
         max_batch_size: int = 64,
         max_wait_s: float = 0.002,
@@ -171,16 +178,33 @@ class InterpretationService:
                 "broker must be backed by the service's own api (meter "
                 "accounting reads the underlying API's counters)"
             )
+        if store is not None:
+            if cache is not None:
+                raise ValidationError(
+                    "pass either cache= or store=, not both (the tiered "
+                    "store already contains its own L1 cache)"
+                )
+            if not enable_cache:
+                raise ValidationError(
+                    "store= requires the region tier enabled (drop "
+                    "enable_cache=False)"
+                )
         self.api = api
         self.broker = broker
         self.interpreter = interpreter or BatchOpenAPIInterpreter(
             seed=seed, **interpreter_kwargs
         )
+        self.store = store
         # `cache if cache is not None` — NOT `cache or ...`: caches define
         # __len__, so a freshly configured (empty) cache is falsy and
-        # `or` would silently swap it for a default-configured one.
+        # `or` would silently swap it for a default-configured one.  A
+        # tiered store, when given, *is* the region tier.
         self.cache: RegionCache | None = (
-            (cache if cache is not None else RegionCache())
+            (
+                store
+                if store is not None
+                else (cache if cache is not None else RegionCache())
+            )
             if enable_cache
             else None
         )

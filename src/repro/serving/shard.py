@@ -199,9 +199,11 @@ class ShardedRegionCache:
         ``max_entries``).
     max_entries:
         Global resident-entry budget across all shards.
-    tol, max_candidates, floor, eviction, ttl_s, clock:
+    tol, max_candidates, floor, eviction, ttl_s, clock, on_evict:
         Forwarded to every shard (``max_candidates`` windows each
-        shard's scan independently); see :class:`RegionCache`.
+        shard's scan independently; ``on_evict`` fires for evictions
+        from any shard, under that shard's lock); see
+        :class:`RegionCache`.
 
     Raises
     ------
@@ -241,6 +243,7 @@ class ShardedRegionCache:
         eviction: str = "lru",
         ttl_s: float | None = None,
         clock=None,
+        on_evict=None,
     ):
         if n_shards < 1:
             raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
@@ -258,6 +261,7 @@ class ShardedRegionCache:
                 eviction=eviction,
                 ttl_s=ttl_s,
                 clock=clock,
+                on_evict=on_evict,
             )
             for _ in range(self.n_shards)
         ]
@@ -488,6 +492,10 @@ class ShardedInterpretationService(InterpretationService):
         A pre-configured :class:`ShardedRegionCache` (any
         ``lookup``/``insert``/``stats`` object works), or ``None`` for a
         default one.
+    store:
+        A :class:`~repro.serving.store.TieredRegionStore` serving as the
+        region tier instead of a RAM-only cache (mutually exclusive with
+        ``cache``; see :class:`InterpretationService`).
     max_queue:
         Bound on queued-but-unflushed requests (backpressure threshold).
     max_batch_size, max_wait_s, broker, seed, interpreter_kwargs:
@@ -511,6 +519,7 @@ class ShardedInterpretationService(InterpretationService):
         n_workers: int = 2,
         n_shards: int = 4,
         cache: ShardedRegionCache | None = None,
+        store=None,
         enable_cache: bool = True,
         max_batch_size: int = 64,
         max_wait_s: float = 0.002,
@@ -523,11 +532,12 @@ class ShardedInterpretationService(InterpretationService):
             raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
         if max_queue < 1:
             raise ValidationError(f"max_queue must be >= 1, got {max_queue}")
-        if cache is None and enable_cache:
+        if cache is None and store is None and enable_cache:
             cache = ShardedRegionCache(n_shards=n_shards)
         super().__init__(
             api,
             cache=cache,
+            store=store,
             enable_cache=enable_cache,
             max_batch_size=max_batch_size,
             max_wait_s=max_wait_s,

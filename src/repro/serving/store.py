@@ -1,0 +1,1199 @@
+"""Persistent two-tier region store: RAM L1 over a memory-mapped disk L2.
+
+Theorem 2 makes a certified region interpretation *canonical*: every
+certified solve inside an activation region recovers the same exact
+``(D, B)`` stack, so a region's parameters never go stale relative to
+the model that produced them — they are cacheable forever.  The serving
+tier of PRs 1–4 nevertheless *discards* certified regions on LRU/TTL
+eviction and pays a full closed-form re-solve on the region's next
+query, capping the servable inventory at what fits in RAM.
+
+This module lifts that cap with a second tier:
+
+* **L1** is the existing in-memory
+  :class:`~repro.serving.shard.ShardedRegionCache` — packed stacks,
+  one-matmul membership scans, per-shard locks.
+* **L2** (:class:`SegmentStore`) is an append-only, memory-mapped
+  on-disk segment store: each record is a self-describing packed
+  ``(D, B)`` region (CRC-framed, so a torn tail from a crash mid-append
+  is detected and ignored), and a *tail index* keyed by
+  :func:`~repro.serving.shard.region_signature` maps every live region
+  to its segment offset.  Crash safety is append-then-fsync for record
+  data plus atomic (write-temp-then-``os.replace``) rename for the
+  index; a crash between the two is recovered by scanning each segment
+  from its indexed tail.
+
+:class:`TieredRegionStore` composes the tiers: eviction from L1
+**demotes** the region to L2 instead of dropping it (via the cache's
+``on_evict`` hook), and an L1 miss scatter-scans the mmap'd L2 records
+with the *same* one-matmul membership test the RAM tier uses, then
+**promotes** hits back into L1.  Both paths move the identical float64
+bytes, so the tiered store preserves the serving layer's exactness
+contract end to end: interpretations are bitwise identical with L2 off,
+L2 on, and after any number of demote → promote round trips (gated by
+``benchmarks/bench_tiered_store.py`` and pinned in
+``tests/test_store.py``).
+
+Disk growth is bounded: ``max_bytes`` caps the *live* payload (stalest
+live records are marked dead first — costing a re-solve, never a wrong
+answer, exactly like RAM eviction), and segments are compacted (live
+records rewritten into a fresh segment, dead ones dropped, old segments
+deleted after an atomic index swap) whenever the dead-byte ratio
+exceeds ``compact_ratio`` — so total segment bytes stay within
+``max_bytes / (1 - compact_ratio)`` plus one in-flight record.
+
+See ``docs/serving.md`` for the operator guide (CLI flags, sizing,
+bootstrap workflow) and ``docs/architecture.md`` for where the tier
+sits in the data flow.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.equations import DEFAULT_PROB_FLOOR
+from repro.core.types import CoreParameterEstimate, Interpretation
+from repro.exceptions import ValidationError
+from repro.serving.cache import (
+    DEFAULT_MEMBERSHIP_TOL,
+    RegionCache,
+    RegionCacheEntry,
+    _entry_from_record,
+    check_lookup_shapes,
+    pack_snapshot,
+    unpack_snapshot,
+)
+from repro.serving.shard import ShardedRegionCache, region_signature
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "SegmentStore",
+    "TieredRegionStore",
+    "TieredStoreStats",
+    "RECORD_MAGIC",
+    "INDEX_VERSION",
+    "DEFAULT_COMPACT_RATIO",
+]
+
+#: Framing magic of one L2 record; a scan stops (and the tail is
+#: truncated) at the first frame whose magic or CRC does not check out.
+RECORD_MAGIC: bytes = b"RGS1"
+
+#: On-disk index format version (the index is rebuildable from the
+#: segments, so a version bump only costs a full recovery scan).
+INDEX_VERSION: int = 1
+
+#: Default dead-byte ratio that triggers segment compaction.
+DEFAULT_COMPACT_RATIO: float = 0.5
+
+#: Record frame header: magic, payload length, CRC-32 of the payload,
+#: region signature.  The signature is duplicated outside the payload so
+#: a recovery scan can rebuild the tail index without parsing payloads.
+_HEADER = struct.Struct("<4sIIQ")
+
+_INDEX_NAME = "index.json"
+_SEGMENT_FMT = "segment-{:05d}.seg"
+
+
+@dataclass
+class _L2Record:
+    """One record's tail-index row (everything but the float payload)."""
+
+    signature: int
+    target_class: int
+    pairs: tuple[tuple[int, int], ...]
+    d: int                # feature dimensionality of the record
+    seg: int              # position in SegmentStore._segments
+    offset: int           # frame start within the segment file
+    frame_len: int        # header + payload bytes
+    live: bool
+    touch: int            # recency counter (stalest live dies first)
+
+
+def _pack_payload(
+    target_class: int,
+    pairs: tuple[tuple[int, int], ...],
+    W: np.ndarray,
+    b: np.ndarray,
+    x0: np.ndarray,
+    feats: np.ndarray,
+    edge: float,
+) -> bytes:
+    """Serialize one region to the flat little-endian record payload.
+
+    Layout: ``[target, P, d]`` int64 header, ``(P, 2)`` int64 pairs,
+    then the float64 ``W (P, d)``, ``b (P,)``, ``x0 (d,)``,
+    ``feats (d,)`` and the scalar edge.  ``tobytes`` of float64 arrays
+    is bit-exact, so a record round-trips bitwise.
+    """
+    P, d = W.shape
+    parts = [
+        np.asarray([target_class, P, d], dtype="<i8").tobytes(),
+        np.asarray(pairs, dtype="<i8").reshape(P, 2).tobytes(),
+        np.ascontiguousarray(W, dtype="<f8").tobytes(),
+        np.ascontiguousarray(b, dtype="<f8").tobytes(),
+        np.ascontiguousarray(x0, dtype="<f8").tobytes(),
+        np.ascontiguousarray(feats, dtype="<f8").tobytes(),
+        np.float64(edge).tobytes(),
+    ]
+    return b"".join(parts)
+
+
+def _unpack_payload(buf) -> tuple:
+    """Inverse of :func:`_pack_payload`; returns a snapshot-format record
+    ``(target, pairs, W, b, x0, feats, edge)`` of fresh (owned) arrays."""
+    meta = np.frombuffer(buf, dtype="<i8", count=3, offset=0)
+    target_class, P, d = (int(v) for v in meta)
+    off = 24
+    pairs_arr = np.frombuffer(buf, dtype="<i8", count=2 * P, offset=off)
+    pairs = tuple(
+        (int(pairs_arr[2 * i]), int(pairs_arr[2 * i + 1])) for i in range(P)
+    )
+    off += 16 * P
+    W = np.frombuffer(buf, dtype="<f8", count=P * d, offset=off)
+    W = W.reshape(P, d).copy()
+    off += 8 * P * d
+    b = np.frombuffer(buf, dtype="<f8", count=P, offset=off).copy()
+    off += 8 * P
+    x0 = np.frombuffer(buf, dtype="<f8", count=d, offset=off).copy()
+    off += 8 * d
+    feats = np.frombuffer(buf, dtype="<f8", count=d, offset=off).copy()
+    off += 8 * d
+    edge = float(np.frombuffer(buf, dtype="<f8", count=1, offset=off)[0])
+    return target_class, pairs, W, b, x0, feats, edge
+
+
+class SegmentStore:
+    """Append-only, memory-mapped on-disk region store (the L2 tier).
+
+    Not thread-safe on its own — :class:`TieredRegionStore` serializes
+    access behind one lock.  All sizes are bytes of record frames
+    (header + payload); directory/metadata overhead is excluded.
+
+    Parameters
+    ----------
+    directory:
+        Where segments and the index live (created if missing).
+    max_bytes:
+        Bound on *live* record bytes; ``None`` means unbounded.  When
+        exceeded, the stalest live records are marked dead (their next
+        query costs a re-solve, never a wrong answer).
+    compact_ratio:
+        Dead-byte fraction of total segment bytes that triggers
+        compaction; must lie in ``(0, 1)``.
+    fsync:
+        Fsync every appended record (the durability contract; the tail
+        index is a checkpoint, not the source of truth — see
+        :meth:`append`).  Tests and bulk loads may disable it for
+        speed and :meth:`sync` once at the end.
+
+    Raises
+    ------
+    ValidationError
+        For a non-positive ``max_bytes``, a ``compact_ratio`` outside
+        ``(0, 1)``, or an unreadable/corrupt index.
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        max_bytes: int | None = None,
+        compact_ratio: float = DEFAULT_COMPACT_RATIO,
+        fsync: bool = True,
+    ):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValidationError(
+                f"max_bytes must be >= 1 or None, got {max_bytes}"
+            )
+        if not 0.0 < compact_ratio < 1.0:
+            raise ValidationError(
+                f"compact_ratio must be in (0, 1), got {compact_ratio}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.compact_ratio = float(compact_ratio)
+        self.fsync = bool(fsync)
+        self._segments: list[str] = []
+        self._records: list[_L2Record] = []     # append order
+        self._by_sig: dict[int, _L2Record] = {}  # live records only
+        self._mmaps: dict[int, mmap.mmap] = {}
+        self._touch = 0
+        self._live_bytes = 0
+        self._dead_bytes = 0
+        self._n_compactions = 0
+        self._seg_counter = 0   # monotone: segment names never recycle
+        self._dim: int | None = None
+        self._min_classes: int | None = None
+        self._open()
+
+    # ------------------------------------------------------------------ #
+    # Opening, recovery, index persistence
+    # ------------------------------------------------------------------ #
+    def _seg_path(self, name: str) -> Path:
+        return self.directory / name
+
+    def _open(self) -> None:
+        """Load the tail index, recover unindexed appends, drop orphans.
+
+        Recovery covers the two crash windows:
+
+        * crash *during* an append → the torn frame fails its CRC/length
+          check and the segment is truncated back to its last whole
+          record (the write was never acknowledged);
+        * crash *after* the fsync but before the index rename → the
+          record is intact past the indexed tail and is re-adopted by
+          the tail scan.
+
+        Segment files present on disk but absent from the index are
+        leftovers of an interrupted compaction; they are deleted (the
+        index, being renamed atomically, is always a consistent view).
+        """
+        index_path = self._seg_path(_INDEX_NAME)
+        tails: list[int] = []
+        if index_path.exists():
+            try:
+                payload = json.loads(index_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ValidationError(
+                    f"cannot read L2 index {index_path}: {exc}"
+                ) from exc
+            if payload.get("version") != INDEX_VERSION:
+                raise ValidationError(
+                    f"unsupported L2 index version {payload.get('version')} "
+                    f"(this build reads {INDEX_VERSION})"
+                )
+            self._segments = list(payload["segments"])
+            tails = [int(t) for t in payload["tails"]]
+            self._touch = int(payload["next_touch"])
+            for row in payload["records"]:
+                sig, target, pairs, d, seg, offset, frame_len, live, touch = row
+                record = _L2Record(
+                    signature=int(sig),
+                    target_class=int(target),
+                    pairs=tuple((int(c), int(cp)) for c, cp in pairs),
+                    d=int(d),
+                    seg=int(seg),
+                    offset=int(offset),
+                    frame_len=int(frame_len),
+                    live=bool(live),
+                    touch=int(touch),
+                )
+                self._adopt(record)
+        else:
+            # No index: a fresh directory, or a crash before the very
+            # first index write — scan whatever segments exist, oldest
+            # first, treating every whole record as live.
+            self._segments = sorted(
+                p.name for p in self.directory.glob("segment-*.seg")
+            )
+            tails = [0] * len(self._segments)
+        known = set(self._segments) | {_INDEX_NAME}
+        for path in self.directory.glob("segment-*.seg"):
+            if path.name not in known:
+                path.unlink()
+        self._seg_counter = 1 + max(
+            (int(name[8:13]) for name in self._segments), default=-1
+        )
+        for seg, name in enumerate(self._segments):
+            self._recover_tail(seg, tails[seg] if seg < len(tails) else 0)
+        self._persist_index()
+
+    def _adopt(self, record: _L2Record) -> None:
+        """Install one index row into the in-memory maps and meters."""
+        self._records.append(record)
+        self._dim = record.d
+        max_class = max(
+            (max(c, cp) for c, cp in record.pairs), default=-1
+        )
+        self._min_classes = max(self._min_classes or 0, max_class + 1)
+        if record.live:
+            # Later records win: a signature demoted again after its
+            # earlier record was marked dead supersedes it.
+            prior = self._by_sig.get(record.signature)
+            if prior is not None:
+                prior.live = False
+                self._live_bytes -= prior.frame_len
+                self._dead_bytes += prior.frame_len
+            self._by_sig[record.signature] = record
+            self._live_bytes += record.frame_len
+        else:
+            self._dead_bytes += record.frame_len
+
+    def _recover_tail(self, seg: int, indexed_tail: int) -> None:
+        """Scan one segment past its indexed tail; truncate a torn frame."""
+        path = self._seg_path(self._segments[seg])
+        size = path.stat().st_size if path.exists() else 0
+        if size <= indexed_tail:
+            return
+        with open(path, "rb") as handle:
+            handle.seek(indexed_tail)
+            data = handle.read()
+        offset = 0
+        good_end = 0
+        while offset + _HEADER.size <= len(data):
+            magic, payload_len, crc, sig = _HEADER.unpack_from(data, offset)
+            end = offset + _HEADER.size + payload_len
+            if magic != RECORD_MAGIC or end > len(data):
+                break
+            payload = data[offset + _HEADER.size:end]
+            if zlib.crc32(payload) != crc:
+                break
+            target, pairs, W, *_ = _unpack_payload(payload)
+            self._adopt(
+                _L2Record(
+                    signature=int(sig),
+                    target_class=target,
+                    pairs=pairs,
+                    d=W.shape[1],
+                    seg=seg,
+                    offset=indexed_tail + offset,
+                    frame_len=end - offset,
+                    live=True,
+                    touch=self._next_touch(),
+                )
+            )
+            offset = good_end = end
+        if indexed_tail + good_end < size:
+            with open(path, "r+b") as handle:
+                handle.truncate(indexed_tail + good_end)
+
+    def persist_index(self) -> None:
+        """Atomically replace the tail index with the current state."""
+        self._persist_index()
+
+    def _persist_index(self) -> None:
+        tails = [0] * len(self._segments)
+        rows = []
+        for record in self._records:
+            rows.append(
+                [
+                    record.signature,
+                    record.target_class,
+                    [list(p) for p in record.pairs],
+                    record.d,
+                    record.seg,
+                    record.offset,
+                    record.frame_len,
+                    record.live,
+                    record.touch,
+                ]
+            )
+            tails[record.seg] = max(
+                tails[record.seg], record.offset + record.frame_len
+            )
+        payload = {
+            "version": INDEX_VERSION,
+            "segments": self._segments,
+            "tails": tails,
+            "next_touch": self._touch,
+            "records": rows,
+        }
+        tmp = self._seg_path(_INDEX_NAME + ".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self._seg_path(_INDEX_NAME))
+
+    # ------------------------------------------------------------------ #
+    # Appending, liveness, budget
+    # ------------------------------------------------------------------ #
+    def _next_touch(self) -> int:
+        self._touch += 1
+        return self._touch
+
+    def _current_segment(self) -> int:
+        if not self._segments:
+            self._segments.append(_SEGMENT_FMT.format(self._seg_counter))
+            self._seg_counter += 1
+        return len(self._segments) - 1
+
+    def append(
+        self,
+        signature: int,
+        target_class: int,
+        pairs: tuple[tuple[int, int], ...],
+        W: np.ndarray,
+        b: np.ndarray,
+        x0: np.ndarray,
+        feats: np.ndarray,
+        edge: float,
+    ) -> bool:
+        """Persist one region; returns ``False`` if it is already live.
+
+        The record bytes are flushed (and fsynced when enabled); the
+        tail index is deliberately *not* rewritten here — it is a
+        checkpoint, refreshed at compaction, :meth:`sync` and
+        :meth:`close`, and the recovery scan re-adopts any fsynced
+        record past the indexed tail.  A crash at any point therefore
+        leaves a loadable store (a torn frame is truncated away), and
+        the append hot path — which runs under an L1 shard lock when
+        demotions drive it — costs one write + one fsync, never an
+        O(records) index dump.
+        """
+        if signature in self._by_sig:
+            return False
+        payload = _pack_payload(target_class, pairs, W, b, x0, feats, edge)
+        header = _HEADER.pack(
+            RECORD_MAGIC, len(payload), zlib.crc32(payload), signature
+        )
+        seg = self._current_segment()
+        path = self._seg_path(self._segments[seg])
+        offset = path.stat().st_size if path.exists() else 0
+        with open(path, "ab") as handle:
+            handle.write(header + payload)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        record = _L2Record(
+            signature=signature,
+            target_class=target_class,
+            pairs=pairs,
+            d=int(W.shape[1]),
+            seg=seg,
+            offset=offset,
+            frame_len=len(header) + len(payload),
+            live=True,
+            touch=self._next_touch(),
+        )
+        self._adopt(record)
+        stale = self._mmaps.pop(seg, None)  # mapping stale past its size
+        if stale is not None:
+            stale.close()
+        self._enforce_budget()
+        self._maybe_compact()
+        return True
+
+    def sync(self) -> None:
+        """Force every segment to stable storage and checkpoint the tail
+        index — the bulk-append counterpart of per-append fsync (used by
+        :meth:`TieredRegionStore.load`, which disables ``fsync`` for the
+        duration of a bootstrap and syncs once at the end)."""
+        for name in self._segments:
+            path = self._seg_path(name)
+            if path.exists():
+                with open(path, "rb") as handle:
+                    os.fsync(handle.fileno())
+        self._persist_index()
+
+    def touch(self, signature: int) -> None:
+        """Refresh a live record's recency (promotions renew the lease)."""
+        record = self._by_sig.get(signature)
+        if record is not None:
+            record.touch = self._next_touch()
+
+    def mark_dead(self, signature: int) -> bool:
+        """Retire a live record (its bytes are reclaimed at compaction)."""
+        record = self._by_sig.pop(signature, None)
+        if record is None:
+            return False
+        record.live = False
+        self._live_bytes -= record.frame_len
+        self._dead_bytes += record.frame_len
+        return True
+
+    def _enforce_budget(self) -> None:
+        if self.max_bytes is None:
+            return
+        while self._live_bytes > self.max_bytes and len(self._by_sig) > 1:
+            stalest = min(self._by_sig.values(), key=lambda r: r.touch)
+            self.mark_dead(stalest.signature)
+
+    def _maybe_compact(self) -> bool:
+        total = self._live_bytes + self._dead_bytes
+        if total and self._dead_bytes / total > self.compact_ratio:
+            self.compact()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Reading and scanning
+    # ------------------------------------------------------------------ #
+    def _view(self, record: _L2Record) -> memoryview:
+        """A zero-copy view of one record's payload in its mmap'd segment."""
+        mm = self._mmaps.get(record.seg)
+        end = record.offset + record.frame_len
+        if mm is None or mm.size() < end:
+            path = self._seg_path(self._segments[record.seg])
+            with open(path, "rb") as handle:
+                mm = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            old = self._mmaps.get(record.seg)
+            if old is not None:
+                old.close()
+            self._mmaps[record.seg] = mm
+        return memoryview(mm)[record.offset + _HEADER.size:end]
+
+    def read(self, signature: int) -> tuple:
+        """The snapshot-format record of a live region (owned arrays —
+        the returned floats are bitwise the bytes that were appended).
+
+        Raises
+        ------
+        ValidationError
+            For an unknown or dead signature.
+        """
+        record = self._by_sig.get(signature)
+        if record is None:
+            raise ValidationError(
+                f"no live L2 record for signature {signature}"
+            )
+        return _unpack_payload(self._view(record))
+
+    def scan(
+        self,
+        x0: np.ndarray,
+        y0: np.ndarray,
+        target_class: int,
+        *,
+        tol: float,
+        floor: float,
+    ) -> tuple[int, float] | None:
+        """Membership-scan the live records: the signature and squared
+        distance of the nearest passing candidate, or ``None``.
+
+        Same mathematics as :meth:`RegionCache._scan` — group live
+        records by (target class, pair set), evaluate every candidate's
+        per-pair affine claim with one matmul per group, accept within
+        ``tol``.  The stacks are gathered *transiently* from the mmap'd
+        segments (scratch for this call only): resident memory stays
+        bounded by L1 while the OS page cache absorbs the hot disk
+        pages.  Complexity: :math:`O(m P d)` gather + matmul over the
+        ``m`` live same-class records.
+        """
+        check_lookup_shapes(
+            x0, y0, dim=self._dim, min_classes=self._min_classes
+        )
+        groups: dict[tuple, list[_L2Record]] = {}
+        for record in self._by_sig.values():
+            if record.target_class == target_class:
+                groups.setdefault(record.pairs, []).append(record)
+        if not groups:
+            return None
+        log_y = np.log(np.clip(y0, floor, None))
+        best: tuple[float, int] | None = None  # (dist, signature)
+        for pairs, members in groups.items():
+            P = len(pairs)
+            d = x0.shape[0]
+            m = len(members)
+            W = np.empty((m, P, d))
+            B = np.empty((m, P))
+            X0 = np.empty((m, d))
+            for i, record in enumerate(members):
+                buf = self._view(record)
+                off = 24 + 16 * P
+                W[i] = np.frombuffer(
+                    buf, dtype="<f8", count=P * d, offset=off
+                ).reshape(P, d)
+                B[i] = np.frombuffer(
+                    buf, dtype="<f8", count=P, offset=off + 8 * P * d
+                )
+                X0[i] = np.frombuffer(
+                    buf, dtype="<f8", count=d,
+                    offset=off + 8 * P * d + 8 * P,
+                )
+            cs = np.asarray([c for c, _ in pairs], dtype=np.intp)
+            cps = np.asarray([cp for _, cp in pairs], dtype=np.intp)
+            actual = log_y[cs] - log_y[cps]
+            claims = (W.reshape(m * P, d) @ x0).reshape(m, P) + B
+            errors = np.abs(claims - actual).max(axis=1)
+            dists = ((X0 - x0) ** 2).sum(axis=1)
+            passing = np.nonzero(errors <= tol)[0]
+            if passing.size:
+                i = int(passing[np.argmin(dists[passing])])
+                if best is None or dists[i] < best[0]:
+                    best = (float(dists[i]), members[i].signature)
+        if best is None:
+            return None
+        return best[1], best[0]
+
+    # ------------------------------------------------------------------ #
+    # Compaction and lifecycle
+    # ------------------------------------------------------------------ #
+    def compact(self) -> int:
+        """Rewrite live records into a fresh segment; drop the dead ones.
+
+        The new segment is fully written and fsynced *before* the index
+        is atomically swapped to reference it, and the old segment files
+        are deleted only afterwards — a crash at any point leaves either
+        the old consistent state (plus an orphan segment the next open
+        deletes) or the new one.
+
+        Returns the number of dead bytes reclaimed.
+        """
+        reclaimed = self._dead_bytes
+        new_name = _SEGMENT_FMT.format(self._seg_counter)
+        self._seg_counter += 1
+        new_path = self._seg_path(new_name)
+        survivors = sorted(self._by_sig.values(), key=lambda r: r.touch)
+        rewritten: list[_L2Record] = []
+        with open(new_path, "wb") as handle:
+            offset = 0
+            for record in survivors:
+                payload = bytes(self._view(record))
+                header = _HEADER.pack(
+                    RECORD_MAGIC, len(payload), zlib.crc32(payload),
+                    record.signature,
+                )
+                handle.write(header + payload)
+                rewritten.append(
+                    _L2Record(
+                        signature=record.signature,
+                        target_class=record.target_class,
+                        pairs=record.pairs,
+                        d=record.d,
+                        seg=0,
+                        offset=offset,
+                        frame_len=len(header) + len(payload),
+                        live=True,
+                        touch=record.touch,
+                    )
+                )
+                offset += len(header) + len(payload)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        old_segments = list(self._segments)
+        for mm in self._mmaps.values():
+            mm.close()
+        self._mmaps.clear()
+        self._segments = [new_name]
+        self._records = rewritten
+        self._by_sig = {r.signature: r for r in rewritten}
+        self._dead_bytes = 0
+        self._n_compactions += 1
+        self._persist_index()
+        for name in old_segments:
+            if name != new_name:
+                self._seg_path(name).unlink(missing_ok=True)
+        # Keep segment numbering monotone: rename-free, the next append
+        # continues into the compacted segment.
+        return reclaimed
+
+    def wipe(self) -> None:
+        """Delete every record and segment (the index becomes empty)."""
+        for mm in self._mmaps.values():
+            mm.close()
+        self._mmaps.clear()
+        for name in self._segments:
+            self._seg_path(name).unlink(missing_ok=True)
+        self._segments = []
+        self._records = []
+        self._by_sig = {}
+        self._live_bytes = 0
+        self._dead_bytes = 0
+        self._dim = None
+        self._min_classes = None
+        self._persist_index()
+
+    def close(self) -> None:
+        """Persist the index and release the mmap handles."""
+        self._persist_index()
+        for mm in self._mmaps.values():
+            mm.close()
+        self._mmaps.clear()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._by_sig)
+
+    def live_signatures(self) -> set[int]:
+        return set(self._by_sig)
+
+    @property
+    def live_bytes(self) -> int:
+        return self._live_bytes
+
+    @property
+    def dead_bytes(self) -> int:
+        return self._dead_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self._live_bytes + self._dead_bytes
+
+    @property
+    def dead_ratio(self) -> float:
+        total = self.total_bytes
+        return self._dead_bytes / total if total else 0.0
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def n_compactions(self) -> int:
+        return self._n_compactions
+
+    @property
+    def max_record_bytes(self) -> int:
+        """The largest record frame resident (0 when empty); the slack
+        term of the disk-growth bound the churn benchmark gates."""
+        return max((r.frame_len for r in self._records), default=0)
+
+
+@dataclass(frozen=True)
+class TieredStoreStats:
+    """Point-in-time snapshot of a :class:`TieredRegionStore`'s meters.
+
+    Field names are pinned one-to-one to the keys of :meth:`as_dict`
+    (and to the glossary in ``docs/serving.md``) by
+    ``tests/test_stats_schema.py``.
+
+    Attributes
+    ----------
+    l1:
+        The L1 :class:`~repro.serving.shard.ShardedCacheStats` rendered
+        as its ``as_dict()`` (documented under its own glossary; note
+        L1 ``insertions`` include promotions from L2).
+    l1_hits:
+        Lookups served from RAM.
+    l2_hits:
+        Lookups that missed RAM and were served from the disk tier
+        (each one promotes the region back into L1).
+    l2_misses:
+        Lookups both tiers missed (the caller solves fresh).
+    demotions:
+        L1 evictions persisted to L2 (evictions of regions already live
+        on disk refresh the disk record's recency instead).
+    promotions:
+        Disk-served regions re-installed into L1 (equals ``l2_hits``
+        minus promotions deduplicated by a concurrent worker).
+    l2_entries:
+        Live records on disk.
+    l2_live_bytes / l2_total_bytes:
+        Live record bytes vs. total segment bytes (live + dead).
+    l2_dead_ratio:
+        ``dead / total`` segment bytes; compaction triggers above the
+        store's ``compact_ratio``.
+    l2_segments:
+        Segment files on disk.
+    l2_compactions:
+        Compaction passes performed over the store's lifetime.
+    """
+
+    l1: dict
+    l1_hits: int
+    l2_hits: int
+    l2_misses: int
+    demotions: int
+    promotions: int
+    l2_entries: int
+    l2_live_bytes: int
+    l2_total_bytes: int
+    l2_dead_ratio: float
+    l2_segments: int
+    l2_compactions: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from *either* tier; 0.0 before
+        any lookup (never NaN)."""
+        lookups = self.l1_hits + self.l2_hits + self.l2_misses
+        return (self.l1_hits + self.l2_hits) / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-safe rendering: every field plus ``hit_rate`` (key set
+        pinned by ``tests/test_stats_schema.py``)."""
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        payload["hit_rate"] = float(self.hit_rate)
+        return payload
+
+
+class TieredRegionStore:
+    """Two-tier region store: sharded RAM L1 demoting to a mmap'd disk L2.
+
+    Drop-in for the ``cache``/``store`` surface of the interpretation
+    services (``lookup`` / ``insert`` / ``stats`` / ``save`` / ``load``):
+    an L1 hit behaves exactly like the sharded cache; an L1 miss
+    scatter-scans the disk tier, promotes the hit back into RAM, and
+    serves it bitwise — so turning L2 on can change *cost*, never
+    *content*.  Thread-safe: concurrent flush workers may look up and
+    insert simultaneously (L2 state mutates under one store lock; the
+    lock is never held across calls into L1, so the shard-lock →
+    store-lock ordering is acyclic).
+
+    Parameters
+    ----------
+    directory:
+        The L2 segment directory (created if missing; reopening a
+        directory resumes its persisted inventory).
+    n_shards, max_entries, tol, max_candidates, floor, eviction, ttl_s,
+    clock:
+        L1 configuration, as :class:`ShardedRegionCache` (``max_entries``
+        is the *RAM* bound; the disk tier holds the overflow).
+    l2_max_bytes:
+        Live-byte budget of the disk tier (``None`` = unbounded).
+    compact_ratio:
+        Dead-byte ratio triggering segment compaction.
+    fsync:
+        Fsync appended records before indexing them (durability; tests
+        may disable for speed).
+
+    Raises
+    ------
+    ValidationError
+        For any invalid forwarded parameter.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.data import make_blobs
+    >>> from repro.models import SoftmaxRegression
+    >>> from repro.api import PredictionAPI
+    >>> from repro.core import OpenAPIInterpreter
+    >>> ds = make_blobs(50, n_features=4, n_classes=3, seed=0)
+    >>> api = PredictionAPI(SoftmaxRegression(seed=0).fit(ds.X, ds.y))
+    >>> interp = OpenAPIInterpreter(seed=0).interpret(api, ds.X[0])
+    >>> tmp = tempfile.TemporaryDirectory()
+    >>> store = TieredRegionStore(tmp.name, n_shards=2, max_entries=8)
+    >>> store.insert(interp)
+    True
+    >>> y = api.predict_proba(ds.X[0])
+    >>> hit = store.lookup(ds.X[0], y, interp.target_class)
+    >>> bool(np.array_equal(hit.decision_features, interp.decision_features))
+    True
+    >>> store.close(); tmp.cleanup()
+    """
+
+    #: ``method`` tag carried by store-served interpretations — the same
+    #: tag as the RAM tiers, because the tiers are indistinguishable to
+    #: clients by construction.
+    served_method = RegionCache.served_method
+
+    def __init__(
+        self,
+        directory,
+        *,
+        n_shards: int = 4,
+        max_entries: int = 512,
+        tol: float = DEFAULT_MEMBERSHIP_TOL,
+        max_candidates: int | None = None,
+        floor: float = DEFAULT_PROB_FLOOR,
+        eviction: str = "lru",
+        ttl_s: float | None = None,
+        clock=None,
+        l2_max_bytes: int | None = None,
+        compact_ratio: float = DEFAULT_COMPACT_RATIO,
+        fsync: bool = True,
+    ):
+        self.tol = check_positive(tol, name="tol")
+        self.floor = check_positive(floor, name="floor")
+        self._lock = threading.RLock()
+        self._l2 = SegmentStore(
+            directory,
+            max_bytes=l2_max_bytes,
+            compact_ratio=compact_ratio,
+            fsync=fsync,
+        )
+        self._l1 = ShardedRegionCache(
+            n_shards=n_shards,
+            max_entries=max_entries,
+            tol=tol,
+            max_candidates=max_candidates,
+            floor=floor,
+            eviction=eviction,
+            ttl_s=ttl_s,
+            clock=clock,
+            on_evict=self._demote,
+        )
+        self._l2_hits = 0
+        self._l2_misses = 0
+        self._demotions = 0
+        self._promotions = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def l1(self) -> ShardedRegionCache:
+        """The RAM tier (read-only view, for observability)."""
+        return self._l1
+
+    @property
+    def l2(self) -> SegmentStore:
+        """The disk tier (read-only view, for observability)."""
+        return self._l2
+
+    def __len__(self) -> int:
+        """Distinct live regions across both tiers (a promoted region
+        resident in both counts once)."""
+        with self._lock:
+            l2_sigs = self._l2.live_signatures()
+        return len(self._l1) + len(l2_sigs - self._l1_signatures())
+
+    def _l1_entries(self) -> list[tuple[RegionCacheEntry, tuple]]:
+        """Snapshot every L1-resident (entry, pairs) under the shard
+        locks — concurrent flush workers keep mutating the shards."""
+        pending: list[tuple[RegionCacheEntry, tuple]] = []
+        for si, shard in enumerate(self._l1.shards):
+            with self._l1._locks[si]:
+                pending.extend(
+                    (entry, shard._group_of[entry.key][1])
+                    for entry in shard._entries.values()
+                )
+        return pending
+
+    def _l1_signatures(self) -> set[int]:
+        return {
+            _signature_of_entry(entry, pairs)
+            for entry, pairs in self._l1_entries()
+        }
+
+    # ------------------------------------------------------------------ #
+    # The serving surface
+    # ------------------------------------------------------------------ #
+    def lookup(
+        self, x0: np.ndarray, y0: np.ndarray, target_class: int
+    ) -> Interpretation | None:
+        """Serve ``x0`` from RAM, else from disk (promoting), else miss.
+
+        An L2 hit rebuilds the region from its mmap'd record — bitwise
+        the bytes that were demoted — promotes it into L1 (so the next
+        same-region query is a RAM hit), and serves it with the same
+        ``method`` tag and rebasing semantics as an L1 hit.
+
+        Raises
+        ------
+        ValidationError
+            On shape/dimensionality mismatches (checked by the L1 scan).
+        """
+        hit = self._l1.lookup(x0, y0, target_class)
+        if hit is not None:
+            return hit
+        x0 = np.asarray(x0, dtype=np.float64)
+        y0 = np.asarray(y0, dtype=np.float64)
+        with self._lock:
+            scored = self._l2.scan(
+                x0, y0, target_class, tol=self.tol, floor=self.floor
+            )
+            if scored is None:
+                self._l2_misses += 1
+                return None
+            signature, _ = scored
+            record = self._l2.read(signature)
+            self._l2.touch(signature)
+            self._l2_hits += 1
+        # Promote outside the store lock: the L1 insert may evict, and
+        # the eviction's demote callback re-enters the store lock.
+        promoted = _interpretation_from_record(record, self.served_method)
+        if self._l1.insert(promoted):
+            with self._lock:
+                self._promotions += 1
+        # Served re-anchored at the query instance, arrays shared with the
+        # promoted copy — the same rebasing semantics as an L1 hit.
+        return replace(promoted, x0=x0)
+
+    def insert(self, interpretation: Interpretation) -> bool:
+        """Insert a certified interpretation into L1 (evictions demote).
+
+        Returns ``False`` for duplicates, mirroring
+        :meth:`RegionCache.insert`.
+
+        Raises
+        ------
+        ValidationError
+            If the interpretation is uncertified or dimensionally
+            inconsistent (enforced by L1).
+        """
+        return self._l1.insert(interpretation)
+
+    def _demote(
+        self, entry: RegionCacheEntry, pairs: tuple[tuple[int, int], ...]
+    ) -> None:
+        """The L1 eviction hook: persist the evicted region to disk."""
+        W = np.stack([entry.pair_estimates[p].weights for p in pairs])
+        b = np.asarray(
+            [entry.pair_estimates[p].intercept for p in pairs],
+            dtype=np.float64,
+        )
+        signature = region_signature(entry.target_class, pairs, W, b)
+        with self._lock:
+            if self._l2.append(
+                signature, entry.target_class, pairs, W, b,
+                entry.x0, entry.decision_features, entry.final_edge,
+            ):
+                self._demotions += 1
+            else:
+                self._l2.touch(signature)
+
+    def clear(self) -> None:
+        """Drop both tiers (RAM entries and disk segments; counters
+        preserved).  L1 entries are *not* demoted — clearing is a reset,
+        not an eviction."""
+        self._l1.clear()
+        with self._lock:
+            self._l2.wipe()
+
+    def drain(self) -> int:
+        """Persist every L1-resident region to the disk tier (the
+        entries stay in L1 — this is a flush, not an eviction), so a
+        clean shutdown loses nothing.  Returns the number of regions
+        newly written to disk (already-live ones are skipped)."""
+        before = self._demotions
+        for entry, pairs in self._l1_entries():
+            self._demote(entry, pairs)
+        return self._demotions - before
+
+    def close(self) -> None:
+        """Drain L1 to disk, persist the L2 index, release file handles.
+
+        After a clean close, reopening the directory resumes the *full*
+        live inventory — both tiers' worth."""
+        self.drain()
+        with self._lock:
+            self._l2.close()
+
+    def __enter__(self) -> "TieredRegionStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> TieredStoreStats:
+        """Aggregate meters of both tiers (see :class:`TieredStoreStats`)."""
+        l1_stats = self._l1.stats()
+        with self._lock:
+            return TieredStoreStats(
+                l1=l1_stats.as_dict(),
+                l1_hits=l1_stats.hits,
+                l2_hits=self._l2_hits,
+                l2_misses=self._l2_misses,
+                demotions=self._demotions,
+                promotions=self._promotions,
+                l2_entries=len(self._l2),
+                l2_live_bytes=self._l2.live_bytes,
+                l2_total_bytes=self._l2.total_bytes,
+                l2_dead_ratio=float(self._l2.dead_ratio),
+                l2_segments=self._l2.n_segments,
+                l2_compactions=self._l2.n_compactions,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Snapshot persistence (format shared with the RAM tiers)
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> int:
+        """Snapshot every live region (both tiers) to one ``.npz``.
+
+        The format is :meth:`RegionCache.save`'s, so a tiered snapshot
+        warm-starts any tier — monolithic, sharded, or another tiered
+        store (where :meth:`load` bootstraps it into L2).  Regions
+        resident in both tiers are written once, from their L1 copy
+        (bitwise identical to the disk copy by construction).
+
+        Returns the number of entries written.
+        """
+        entries: list[RegionCacheEntry] = []
+        pairs_by_id: dict[int, tuple[tuple[int, int], ...]] = {}
+        seen: set[int] = set()
+        for entry, pairs in self._l1_entries():
+            entries.append(entry)
+            pairs_by_id[id(entry)] = pairs
+            seen.add(_signature_of_entry(entry, pairs))
+        with self._lock:
+            for signature in self._l2.live_signatures() - seen:
+                record = self._l2.read(signature)
+                entry = _entry_from_record(-1, *record)
+                entries.append(entry)
+                pairs_by_id[id(entry)] = record[1]
+        np.savez_compressed(
+            path,
+            **pack_snapshot(entries, pairs_of=lambda e: pairs_by_id[id(e)]),
+        )
+        return len(entries)
+
+    def load(self, path) -> int:
+        """Bootstrap the *disk* tier from a region-cache snapshot.
+
+        Every snapshot record is appended to L2 (keyed by its recomputed
+        signature): serving starts with cold RAM and a warm disk, and
+        the hot set promotes itself into L1 on first touch.  This is the
+        warm-start path for inventories larger than RAM — the snapshot
+        never has to fit in memory-resident form.
+
+        Returns the number of records bootstrapped (duplicates of
+        already-live disk regions are skipped).
+
+        Raises
+        ------
+        ValidationError
+            If the store is non-empty, or on an unsupported snapshot
+            (see :meth:`RegionCache.load`).
+        """
+        if len(self):
+            raise ValidationError(
+                "load requires an empty store (call clear() first)"
+            )
+        records = unpack_snapshot(np.load(path))
+        loaded = 0
+        with self._lock:
+            # Bulk mode: per-record fsync would cost O(records) syncs;
+            # one segment fsync + one index checkpoint at the end gives
+            # the same durability for a bootstrap (nothing is
+            # acknowledged until load returns).
+            fsync = self._l2.fsync
+            self._l2.fsync = False
+            try:
+                for target_class, pairs, W, b, x0, feats, edge in records:
+                    signature = region_signature(target_class, pairs, W, b)
+                    if self._l2.append(
+                        signature, target_class, pairs, W, b, x0, feats,
+                        edge,
+                    ):
+                        loaded += 1
+            finally:
+                self._l2.fsync = fsync
+                if fsync:
+                    self._l2.sync()
+                else:
+                    self._l2.persist_index()
+        return loaded
+
+
+def _signature_of_entry(
+    entry: RegionCacheEntry, pairs: tuple[tuple[int, int], ...]
+) -> int:
+    W = np.stack([entry.pair_estimates[p].weights for p in pairs])
+    b = np.asarray(
+        [entry.pair_estimates[p].intercept for p in pairs], dtype=np.float64
+    )
+    return region_signature(entry.target_class, pairs, W, b)
+
+
+def _interpretation_from_record(record: tuple, method: str) -> Interpretation:
+    """A certified :class:`Interpretation` over one L2 record, anchored
+    at the record's own ``x0`` (the region anchor L1 windows distances
+    against).  The arrays are the record's — bitwise what was demoted."""
+    target_class, pairs, W, b, x0, feats, edge = record
+    estimates = {
+        pair: CoreParameterEstimate(
+            c=pair[0],
+            c_prime=pair[1],
+            weights=W[i],
+            intercept=float(b[i]),
+            certified=True,
+        )
+        for i, pair in enumerate(pairs)
+    }
+    return Interpretation(
+        x0=np.asarray(x0, dtype=np.float64),
+        target_class=target_class,
+        decision_features=np.asarray(feats, dtype=np.float64),
+        pair_estimates=estimates,
+        method=method,
+        iterations=0,
+        final_edge=edge,
+        n_queries=1,
+        samples=None,
+    )

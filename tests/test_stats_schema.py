@@ -2,24 +2,30 @@
 
 The serving benchmarks emit JSON artifacts built from ``as_dict()``
 renderings of :class:`ServiceStats`, :class:`CacheStats`,
-:class:`ShardedCacheStats` and the benchmark report/arm dataclasses.
-These tests pin three invariants so names cannot drift apart again:
+:class:`ShardedCacheStats`, :class:`TieredStoreStats` and the benchmark
+report/arm dataclasses.  These tests pin four invariants so names
+cannot drift apart again:
 
 1. every ``as_dict()`` key set equals the dataclass field set (plus the
    documented derived properties, e.g. ``hit_rate``);
 2. every stats key is documented in the ``docs/serving.md`` glossary;
-3. the rendered JSON is valid JSON (no NaN/Infinity literals).
+3. the rendered JSON is valid JSON (no NaN/Infinity literals);
+4. every ``BENCH_*.json`` artifact schema catalogued in
+   ``docs/benchmarks.md`` names exactly the keys its report emits.
 """
 
 from __future__ import annotations
 
+import importlib.util
 import json
 import pathlib
+import sys
 from dataclasses import fields
 
 import numpy as np
 import pytest
 
+from repro.core.engine import EngineBenchReport, EngineBenchRow
 from repro.serving import (
     CacheStats,
     RegionCache,
@@ -28,11 +34,16 @@ from repro.serving import (
     ServiceStats,
     ShardedCacheStats,
     ShardedRegionCache,
+    ShardedServingReport,
     ThroughputArm,
     ThroughputReport,
+    TieredStoreReport,
+    TieredStoreStats,
 )
 
-DOCS = pathlib.Path(__file__).resolve().parent.parent / "docs" / "serving.md"
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs" / "serving.md"
+BENCH_DOCS = REPO / "docs" / "benchmarks.md"
 
 
 def field_names(cls) -> set[str]:
@@ -67,6 +78,87 @@ def sample_arm() -> ThroughputArm:
         interpretations_per_s=40.0, n_queries=9, round_trips=3,
         hit_rate=0.5, hit_trajectory=(0.0, 0.5), max_gt_l1_error=1e-9,
     )
+
+
+def sample_tiered_stats() -> TieredStoreStats:
+    return TieredStoreStats(
+        l1=sample_sharded_stats().as_dict(), l1_hits=3, l2_hits=2,
+        l2_misses=1, demotions=4, promotions=2, l2_entries=4,
+        l2_live_bytes=1024, l2_total_bytes=1536, l2_dead_ratio=1 / 3,
+        l2_segments=1, l2_compactions=1,
+    )
+
+
+def sample_scan_row() -> ScanScalingRow:
+    return ScanScalingRow(
+        n_entries=8, n_shards=2, d=4, n_pairs=2,
+        monolithic_scan_s=1e-4, per_shard_scan_s=5e-5, ratio=0.5,
+    )
+
+
+def sample_throughput_report() -> ThroughputReport:
+    arm = sample_arm()
+    return ThroughputReport(
+        cached=arm, uncached=arm, speedup=2.0, query_reduction=3.0,
+        cache_bitwise_consistent=True, engine_row=None,
+        baseline_speedup=4.0,
+    )
+
+
+def sample_sharded_report() -> ShardedServingReport:
+    arm = sample_arm()
+    return ShardedServingReport(
+        unbounded=arm, bounded=arm, multiworker=arm,
+        unbounded_cache=sample_cache_stats().as_dict(),
+        bounded_cache=sample_sharded_stats().as_dict(),
+        unbounded_service=sample_service_stats().as_dict(),
+        bounded_service=sample_service_stats().as_dict(),
+        n_shards=2, n_workers=2, eviction="lru", bounded_max_entries=4,
+        resident_fraction=0.25, hit_rate_ratio=0.95,
+        warm_start_hit_rate=0.5, snapshot_entries=3,
+        scan=sample_scan_row(), bitwise_consistent=True,
+        snapshot_bitwise_consistent=True,
+    )
+
+
+def sample_tiered_report() -> TieredStoreReport:
+    arm = sample_arm()
+    return TieredStoreReport(
+        all_ram=arm, tiered=arm,
+        all_ram_service=sample_service_stats().as_dict(),
+        tiered_service=sample_service_stats().as_dict(),
+        store=sample_tiered_stats().as_dict(),
+        n_shards=2, l1_max_entries=4, l1_resident_fraction=0.1,
+        hit_retention=1.0, bitwise_consistent=True, churn_requests=120,
+        churn_l2_max_bytes=1024, churn_compactions=2,
+        churn_max_total_bytes=1800, churn_bytes_bound=2304,
+        churn_bounded=True, churn_store=sample_tiered_stats().as_dict(),
+    )
+
+
+def sample_engine_report() -> EngineBenchReport:
+    row = EngineBenchRow(
+        n_instances=4, n_points=8, d=4, C=3, engine_solves_per_s=100.0,
+        reference_solves_per_s=25.0, speedup=4.0, max_weight_diff=1e-12,
+    )
+    return EngineBenchReport(rows=(row,))
+
+
+def sample_transport_report():
+    """The bench_transport report, loaded from the benchmark script (it
+    is not an installed module)."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_transport", REPO / "benchmarks" / "bench_transport.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Register before exec: dataclasses.fields resolves the class's
+    # string annotations through sys.modules[cls.__module__].
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    cls = module.TransportBenchReport
+    kwargs = {f.name: 0 for f in fields(cls)}
+    kwargs["broker_stats"] = sample_broker_stats().as_dict()
+    return cls(**kwargs)
 
 
 class TestAsDictMatchesFields:
@@ -123,11 +215,22 @@ class TestAsDictMatchesFields:
         json.dumps(payload, allow_nan=False)
 
     def test_scan_scaling_row(self):
-        row = ScanScalingRow(
-            n_entries=8, n_shards=2, d=4, n_pairs=2,
-            monolithic_scan_s=1e-4, per_shard_scan_s=5e-5, ratio=0.5,
-        )
-        assert set(row.as_dict()) == field_names(ScanScalingRow)
+        assert set(sample_scan_row().as_dict()) == field_names(ScanScalingRow)
+
+    def test_tiered_store_stats(self):
+        payload = sample_tiered_stats().as_dict()
+        assert set(payload) == field_names(TieredStoreStats) | {"hit_rate"}
+        json.dumps(payload, allow_nan=False)
+
+    def test_tiered_store_report(self):
+        payload = sample_tiered_report().as_dict()
+        assert set(payload) == field_names(TieredStoreReport)
+        json.dumps(payload, allow_nan=False)
+
+    def test_sharded_serving_report(self):
+        payload = sample_sharded_report().as_dict()
+        assert set(payload) == field_names(ShardedServingReport)
+        json.dumps(payload, allow_nan=False)
 
 
 class TestJsonSafety:
@@ -173,8 +276,9 @@ class TestDocsGlossary:
             sample_cache_stats,
             sample_sharded_stats,
             sample_broker_stats,
+            sample_tiered_stats,
         ],
-        ids=["service", "cache", "sharded-cache", "broker"],
+        ids=["service", "cache", "sharded-cache", "broker", "tiered-store"],
     )
     def test_keys_documented(self, glossary, payload_factory):
         missing = [
@@ -183,3 +287,71 @@ class TestDocsGlossary:
             if f"`{key}`" not in glossary
         ]
         assert not missing, f"undocumented stats keys: {missing}"
+
+
+class TestBenchmarkCatalogSchemas:
+    """Every ``BENCH_*.json`` schema table in ``docs/benchmarks.md``
+    names exactly the keys the corresponding report emits — the catalog
+    cannot drift from the code."""
+
+    @pytest.fixture(scope="class")
+    def catalog(self) -> str:
+        assert BENCH_DOCS.exists(), "docs/benchmarks.md missing"
+        return BENCH_DOCS.read_text()
+
+    def _section(self, catalog: str, artifact: str) -> str:
+        """The catalog text from the heading naming ``artifact`` to the
+        next heading of the same or higher level."""
+        lines = catalog.splitlines()
+        start = next(
+            (
+                i
+                for i, line in enumerate(lines)
+                if line.startswith("#") and artifact in line
+            ),
+            None,
+        )
+        assert start is not None, f"no catalog section for {artifact}"
+        level = len(lines[start]) - len(lines[start].lstrip("#"))
+        for end in range(start + 1, len(lines)):
+            line = lines[end]
+            if line.startswith("#"):
+                if len(line) - len(line.lstrip("#")) <= level:
+                    break
+        else:
+            end = len(lines)
+        return "\n".join(lines[start:end])
+
+    @pytest.mark.parametrize(
+        "artifact, payload_factory",
+        [
+            ("BENCH_serving.json", sample_throughput_report),
+            ("BENCH_sharded_serving.json", sample_sharded_report),
+            ("BENCH_tiered_store.json", sample_tiered_report),
+            ("BENCH_transport.json", sample_transport_report),
+            ("BENCH_solve_engine.json", sample_engine_report),
+        ],
+        ids=["serving", "sharded", "tiered-store", "transport", "engine"],
+    )
+    def test_artifact_keys_catalogued(
+        self, catalog, artifact, payload_factory
+    ):
+        section = self._section(catalog, artifact)
+        payload = payload_factory().as_dict()
+        keys = set(payload)
+        if keys == {"rows"}:  # the engine report nests its schema
+            keys |= set(payload["rows"][0])
+        missing = [key for key in keys if f"`{key}`" not in section]
+        assert not missing, (
+            f"{artifact}: keys missing from its docs/benchmarks.md "
+            f"schema table: {missing}"
+        )
+
+    def test_every_benchmark_script_catalogued(self, catalog):
+        scripts = sorted(
+            p.name for p in (REPO / "benchmarks").glob("bench_*.py")
+        )
+        missing = [name for name in scripts if f"`{name}`" not in catalog]
+        assert not missing, (
+            f"benchmark scripts missing from docs/benchmarks.md: {missing}"
+        )

@@ -1,0 +1,473 @@
+"""Tiered region store: durability, transparency, tier round trips.
+
+Covers the store module's three contracts:
+
+* **durability** — a kill during an append leaves a loadable store (the
+  torn tail frame is detected by its CRC and truncated away); a crash
+  between the record fsync and the index rename is recovered by the
+  tail scan; compaction preserves every live signature while dropping
+  dead bytes; a clean close drains L1 so reopening resumes the full
+  inventory;
+* **bitwise transparency** — interpretations are identical with L2 off,
+  L2 on, and after demote → promote round trips through the mmap'd
+  segments (the paper's Theorem 2 exactness contract, extended to
+  disk);
+* **snapshot interop** — `.npz` region snapshots written by any tier
+  bootstrap the disk tier, bitwise, across shard counts.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.api import PredictionAPI
+from repro.core import CoreParameterEstimate, Interpretation
+from repro.exceptions import ValidationError
+from repro.models.openbox import ground_truth_decision_features
+from repro.serving import (
+    InterpretationService,
+    RegionCache,
+    SegmentStore,
+    ShardedInterpretationService,
+    ShardedRegionCache,
+    TieredRegionStore,
+    zipf_clustered_workload,
+)
+from repro.serving.store import _HEADER, _pack_payload
+
+
+def _affine_interp(x0, W, b, *, target_class=0):
+    """A hand-built certified interpretation claiming log-odds W @ x + b
+    for pairs ``(target, j)`` — full geometric control for store tests."""
+    others = [j for j in range(W.shape[0] + 1) if j != target_class]
+    pairs = {
+        (target_class, j): CoreParameterEstimate(
+            c=target_class, c_prime=j, weights=W[i], intercept=float(b[i]),
+            certified=True,
+        )
+        for i, j in enumerate(others)
+    }
+    return Interpretation(
+        x0=x0, target_class=target_class, decision_features=W.mean(axis=0),
+        pair_estimates=pairs, method="test", final_edge=1.0,
+    )
+
+
+def _probs_for_claims(t):
+    """A probability row whose log-odds ``ln(y_0 / y_j)`` equal ``t[j-1]``."""
+    logits = np.concatenate([[0.0], -np.asarray(t, dtype=np.float64)])
+    z = np.exp(logits - logits.max())
+    return z / z.sum()
+
+
+def _random_records(rng, n, *, d=4, P=2):
+    """``n`` synthetic L2 records keyed by signature ``100 + i``."""
+    records = {}
+    pairs = tuple((0, j + 1) for j in range(P))
+    for i in range(n):
+        records[100 + i] = (
+            0, pairs, rng.normal(size=(P, d)), rng.normal(size=P),
+            rng.normal(size=d), rng.normal(size=d), float(rng.uniform(0.1, 1)),
+        )
+    return records
+
+
+def _fill(store: SegmentStore, records: dict) -> None:
+    for sig, rec in records.items():
+        assert store.append(sig, *rec)
+
+
+def _segment_paths(directory):
+    return sorted(directory.glob("segment-*.seg"))
+
+
+class TestSegmentStoreDurability:
+    def test_append_read_bitwise_and_duplicate_skip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        records = _random_records(rng, 5)
+        store = SegmentStore(tmp_path)
+        _fill(store, records)
+        assert len(store) == 5
+        sig, rec = next(iter(records.items()))
+        assert not store.append(sig, *rec)  # live duplicate skipped
+        for sig, rec in records.items():
+            got = store.read(sig)
+            assert got[0] == rec[0] and got[1] == rec[1]
+            for a, b in zip(got[2:6], rec[2:6]):
+                assert np.asarray(a).tobytes() == np.asarray(b).tobytes()
+            assert got[6] == rec[6]
+        store.close()
+
+    def test_kill_during_append_leaves_loadable_store(self, tmp_path):
+        rng = np.random.default_rng(1)
+        records = _random_records(rng, 4)
+        store = SegmentStore(tmp_path)
+        _fill(store, records)
+        store.close()
+        # Simulate a crash mid-append: a torn frame (valid-looking header,
+        # truncated payload) lands past the indexed tail.
+        seg = _segment_paths(tmp_path)[0]
+        payload = _pack_payload(*records[100])
+        header = _HEADER.pack(b"RGS1", len(payload), zlib.crc32(payload), 999)
+        with open(seg, "ab") as handle:
+            handle.write(header + payload[: len(payload) // 2])
+        torn_size = seg.stat().st_size
+
+        reopened = SegmentStore(tmp_path)
+        assert len(reopened) == 4                       # tail ignored
+        assert 999 not in reopened.live_signatures()
+        assert seg.stat().st_size < torn_size           # tail truncated
+        for sig, rec in records.items():                # data intact
+            assert reopened.read(sig)[2].tobytes() == rec[2].tobytes()
+        # The store keeps working after recovery.
+        assert reopened.append(999, *records[100])
+        assert len(reopened) == 5
+        reopened.close()
+
+    def test_crash_between_fsync_and_index_rename_is_recovered(
+        self, tmp_path
+    ):
+        rng = np.random.default_rng(2)
+        records = _random_records(rng, 3)
+        store = SegmentStore(tmp_path)
+        _fill(store, records)
+        store.close()
+        # Simulate the record fsync landing but the index rename not: a
+        # whole valid frame sits past the indexed tail.
+        extra_sig, extra = 999, records[100]
+        payload = _pack_payload(*extra)
+        header = _HEADER.pack(
+            b"RGS1", len(payload), zlib.crc32(payload), extra_sig
+        )
+        with open(_segment_paths(tmp_path)[0], "ab") as handle:
+            handle.write(header + payload)
+
+        reopened = SegmentStore(tmp_path)
+        assert extra_sig in reopened.live_signatures()
+        assert reopened.read(extra_sig)[2].tobytes() == extra[2].tobytes()
+        reopened.close()
+
+    def test_missing_index_recovers_by_full_scan(self, tmp_path):
+        rng = np.random.default_rng(3)
+        records = _random_records(rng, 4)
+        store = SegmentStore(tmp_path)
+        _fill(store, records)
+        store.close()
+        (tmp_path / "index.json").unlink()
+        reopened = SegmentStore(tmp_path)
+        assert reopened.live_signatures() == set(records)
+        reopened.close()
+
+    def test_orphan_segments_from_interrupted_compaction_are_dropped(
+        self, tmp_path
+    ):
+        rng = np.random.default_rng(4)
+        store = SegmentStore(tmp_path)
+        _fill(store, _random_records(rng, 2))
+        store.close()
+        orphan = tmp_path / "segment-99999.seg"
+        orphan.write_bytes(b"leftover of a crashed compaction")
+        reopened = SegmentStore(tmp_path)
+        assert not orphan.exists()
+        assert len(reopened) == 2
+        reopened.close()
+
+    def test_budget_marks_stalest_dead_and_compaction_preserves_live(
+        self, tmp_path
+    ):
+        rng = np.random.default_rng(5)
+        records = _random_records(rng, 12)
+        probe = SegmentStore(tmp_path / "probe")
+        sig0, rec0 = next(iter(records.items()))
+        probe.append(sig0, *rec0)
+        frame = probe.live_bytes
+        probe.close()
+
+        store = SegmentStore(
+            tmp_path / "bounded", max_bytes=4 * frame, compact_ratio=0.5
+        )
+        _fill(store, records)
+        assert len(store) == 4                    # budget enforced
+        assert store.live_bytes <= 4 * frame
+        assert store.n_compactions >= 1           # dead ratio crossed 0.5
+        assert store.total_bytes <= int(4 * frame / 0.5) + 2 * frame
+        live_before = store.live_signatures()
+        reclaimed = store.compact()
+        assert reclaimed >= 0
+        assert store.live_signatures() == live_before
+        assert store.dead_bytes == 0
+        assert store.n_segments == 1
+        for sig in live_before:                   # payloads survive, bitwise
+            assert store.read(sig)[2].tobytes() == records[sig][2].tobytes()
+        store.close()
+        reopened = SegmentStore(tmp_path / "bounded")
+        assert reopened.live_signatures() == live_before
+        reopened.close()
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValidationError):
+            SegmentStore(tmp_path, max_bytes=0)
+        with pytest.raises(ValidationError):
+            SegmentStore(tmp_path, compact_ratio=1.0)
+        store = SegmentStore(tmp_path)
+        with pytest.raises(ValidationError):
+            store.read(12345)
+        store.close()
+
+
+class TestTieredRegionStore:
+    def test_eviction_demotes_and_lookup_promotes_bitwise(self, tmp_path):
+        rng = np.random.default_rng(6)
+        store = TieredRegionStore(tmp_path, n_shards=2, max_entries=2)
+        interps = []
+        for _ in range(5):
+            interp = _affine_interp(
+                rng.normal(size=4), rng.normal(size=(2, 4)),
+                rng.normal(size=2),
+            )
+            interps.append(interp)
+            assert store.insert(interp)
+        stats = store.stats()
+        assert stats.demotions == 3                 # 5 inserted, L1 holds 2
+        assert stats.l2_entries == 3
+        assert len(store) == 5                      # nothing was dropped
+
+        # The first-inserted region was evicted to disk; serving it again
+        # promotes it back, bitwise.
+        victim = interps[0]
+        claims = np.asarray(
+            [
+                victim.pair_estimates[p].weights @ victim.x0
+                + victim.pair_estimates[p].intercept
+                for p in sorted(victim.pair_estimates)
+            ]
+        )
+        y0 = _probs_for_claims(claims)
+        hit = store.lookup(victim.x0, y0, victim.target_class)
+        assert hit is not None
+        assert (
+            hit.decision_features.tobytes()
+            == victim.decision_features.tobytes()
+        )
+        for pair, est in victim.pair_estimates.items():
+            assert (
+                hit.pair_estimates[pair].weights.tobytes()
+                == est.weights.tobytes()
+            )
+        stats = store.stats()
+        assert stats.l2_hits == 1 and stats.promotions == 1
+        # Promoted: the next same-region lookup is a RAM hit.
+        again = store.lookup(victim.x0, y0, victim.target_class)
+        assert again is not None
+        assert store.stats().l1_hits >= 1
+        store.close()
+
+    def test_close_drains_l1_and_reopen_resumes_inventory(self, tmp_path):
+        rng = np.random.default_rng(7)
+        store = TieredRegionStore(tmp_path, n_shards=2, max_entries=4)
+        interps = [
+            _affine_interp(
+                rng.normal(size=4), rng.normal(size=(2, 4)),
+                rng.normal(size=2),
+            )
+            for _ in range(4)
+        ]
+        for interp in interps:
+            assert store.insert(interp)
+        assert store.stats().l1["size"] > 0         # some only in RAM
+        assert store.stats().l2_entries < 4         # ... not yet on disk
+        store.close()                               # drain persists them
+
+        reopened = TieredRegionStore(tmp_path, n_shards=3, max_entries=4)
+        assert len(reopened) == 4
+        for interp in interps:
+            claims = np.asarray(
+                [
+                    interp.pair_estimates[p].weights @ interp.x0
+                    + interp.pair_estimates[p].intercept
+                    for p in sorted(interp.pair_estimates)
+                ]
+            )
+            hit = reopened.lookup(
+                interp.x0, _probs_for_claims(claims), interp.target_class
+            )
+            assert hit is not None
+            assert (
+                hit.decision_features.tobytes()
+                == interp.decision_features.tobytes()
+            )
+        reopened.close()
+
+    def test_snapshot_bootstraps_l2_across_shard_counts(self, tmp_path):
+        rng = np.random.default_rng(8)
+        store = TieredRegionStore(
+            tmp_path / "src", n_shards=2, max_entries=2
+        )
+        interps = [
+            _affine_interp(
+                rng.normal(size=4), rng.normal(size=(2, 4)),
+                rng.normal(size=2),
+            )
+            for _ in range(5)
+        ]
+        for interp in interps:
+            store.insert(interp)
+        snap = tmp_path / "regions.npz"
+        assert store.save(snap) == 5                # both tiers, deduped
+        store.close()
+
+        for n_shards in (1, 3, 5):
+            boot = TieredRegionStore(
+                tmp_path / f"boot{n_shards}", n_shards=n_shards,
+                max_entries=2,
+            )
+            assert boot.load(snap) == 5
+            assert boot.stats().l2_entries == 5     # cold RAM, warm disk
+            assert len(boot.l1) == 0
+            for interp in interps:
+                claims = np.asarray(
+                    [
+                        interp.pair_estimates[p].weights @ interp.x0
+                        + interp.pair_estimates[p].intercept
+                        for p in sorted(interp.pair_estimates)
+                    ]
+                )
+                hit = boot.lookup(
+                    interp.x0, _probs_for_claims(claims),
+                    interp.target_class,
+                )
+                assert hit is not None
+                assert (
+                    hit.decision_features.tobytes()
+                    == interp.decision_features.tobytes()
+                )
+            boot.close()
+
+    def test_region_cache_snapshot_bootstraps_l2(self, tmp_path):
+        """`.npz` snapshots written by the RAM tiers are L2 bootstrap
+        payloads — the PR's snapshot-rewiring contract."""
+        rng = np.random.default_rng(9)
+        cache = RegionCache()
+        interp = _affine_interp(
+            rng.normal(size=4), rng.normal(size=(2, 4)), rng.normal(size=2)
+        )
+        cache.insert(interp)
+        snap = tmp_path / "cache.npz"
+        cache.save(snap)
+
+        store = TieredRegionStore(tmp_path / "boot", n_shards=2)
+        assert store.load(snap) == 1
+        claims = np.asarray(
+            [
+                interp.pair_estimates[p].weights @ interp.x0
+                + interp.pair_estimates[p].intercept
+                for p in sorted(interp.pair_estimates)
+            ]
+        )
+        hit = store.lookup(
+            interp.x0, _probs_for_claims(claims), interp.target_class
+        )
+        assert hit is not None
+        assert (
+            hit.decision_features.tobytes()
+            == interp.decision_features.tobytes()
+        )
+        store.close()
+
+    def test_load_requires_empty_store(self, tmp_path):
+        rng = np.random.default_rng(10)
+        store = TieredRegionStore(tmp_path / "a", n_shards=2)
+        store.insert(
+            _affine_interp(
+                rng.normal(size=4), rng.normal(size=(2, 4)),
+                rng.normal(size=2),
+            )
+        )
+        snap = tmp_path / "snap.npz"
+        store.save(snap)
+        with pytest.raises(ValidationError):
+            store.load(snap)
+        store.clear()
+        assert len(store) == 0
+        assert store.load(snap) == 1
+        store.close()
+
+    def test_service_rejects_cache_and_store_together(
+        self, relu_model, tmp_path
+    ):
+        api = PredictionAPI(relu_model)
+        store = TieredRegionStore(tmp_path, n_shards=2)
+        with pytest.raises(ValidationError):
+            InterpretationService(api, cache=RegionCache(), store=store)
+        with pytest.raises(ValidationError):
+            InterpretationService(api, store=store, enable_cache=False)
+        with pytest.raises(ValidationError):
+            ShardedInterpretationService(
+                api, cache=ShardedRegionCache(), store=store
+            )
+        store.close()
+
+
+class TestTieredTransparency:
+    """Interpretations identical with L2 off, L2 on, and across the
+    multi-worker service — the PR's acceptance property."""
+
+    def _replay(self, relu_model, blobs3, tmp_path, *, n_workers):
+        requests = zipf_clustered_workload(
+            blobs3.X[:10], 60, exponent=1.5, seed=3
+        )
+        # Arm 1: RAM-only sharded cache (L2 off), unbounded — the
+        # reference in which no region is ever forgotten.  (A *bounded*
+        # RAM arm would re-solve evicted regions; a fresh certified
+        # solve of the same region is exact but not bit-identical to
+        # the first one, so it is not the right bitwise reference.)
+        ram_service = ShardedInterpretationService(
+            PredictionAPI(relu_model), n_workers=1,
+            cache=ShardedRegionCache(n_shards=2, max_entries=1_000_000),
+            max_batch_size=8, seed=0,
+        )
+        ram = ram_service.interpret_many(requests)
+        # Arm 2: tiered store (L2 on) at the same L1 bound.
+        store = TieredRegionStore(tmp_path, n_shards=2, max_entries=4)
+        tiered_service = ShardedInterpretationService(
+            PredictionAPI(relu_model), n_workers=n_workers, store=store,
+            max_batch_size=8, seed=0,
+        )
+        if n_workers > 1:
+            with tiered_service:
+                tiered = tiered_service.interpret_many(requests)
+        else:
+            tiered = tiered_service.interpret_many(requests)
+        return requests, ram, tiered, store
+
+    def test_l2_on_equals_l2_off_bitwise(self, relu_model, blobs3, tmp_path):
+        requests, ram, tiered, store = self._replay(
+            relu_model, blobs3, tmp_path, n_workers=1
+        )
+        assert store.stats().demotions > 0          # the disk tier engaged
+        assert store.stats().l2_hits > 0
+        for a, b in zip(ram, tiered):
+            assert a.ok and b.ok
+            assert (
+                a.interpretation.decision_features.tobytes()
+                == b.interpretation.decision_features.tobytes()
+            )
+        store.close()
+
+    def test_multiworker_store_served_answers_match_ground_truth(
+        self, relu_model, blobs3, tmp_path
+    ):
+        requests, _, tiered, store = self._replay(
+            relu_model, blobs3, tmp_path, n_workers=2
+        )
+        for x0, response in zip(requests, tiered):
+            assert response.ok
+            interp = response.interpretation
+            gt = ground_truth_decision_features(
+                relu_model, x0, interp.target_class
+            )
+            assert np.abs(interp.decision_features - gt).max() < 1e-6
+        store.close()

@@ -227,6 +227,42 @@ class TestServeFlagValidation:
         assert code == 2
         assert "--retries" in err
 
+    def test_l2_flags_require_l2_dir(self, capsys):
+        for flags in (
+            ["--l2-max-bytes", "1048576"],
+            ["--compact-ratio", "0.7"],
+        ):
+            code, err = self.run_serve(capsys, *flags)
+            assert code == 2
+            assert "--l2-dir" in err
+
+    def test_l2_dir_conflicts_with_no_cache(self, capsys):
+        code, err = self.run_serve(capsys, "--no-cache", "--l2-dir", "l2")
+        assert code == 2
+        assert "--no-cache" in err and "--l2-dir" in err
+
+    def test_l2_range_errors_reported(self, capsys):
+        code, err = self.run_serve(
+            capsys, "--l2-dir", "l2", "--l2-max-bytes", "0"
+        )
+        assert code == 2
+        assert "--l2-max-bytes" in err
+        code, err = self.run_serve(
+            capsys, "--l2-dir", "l2", "--compact-ratio", "1.5"
+        )
+        assert code == 2
+        assert "--compact-ratio" in err
+
+    def test_warm_start_allowed_with_l2_dir_alone(self):
+        """The disk tier persists updates itself, so --warm-start no
+        longer demands --snapshot when --l2-dir is given."""
+        from repro.cli import _validate_serve_flags
+
+        args = build_parser().parse_args(
+            ["serve", "--warm-start", "r.npz", "--l2-dir", "l2"]
+        )
+        assert _validate_serve_flags(args) is None
+
     def test_coherent_flags_pass_validation(self):
         from repro.cli import _validate_serve_flags
 
@@ -234,5 +270,14 @@ class TestServeFlagValidation:
             ["serve", "--eviction", "ttl", "--ttl-s", "30",
              "--warm-start", "r.npz", "--snapshot", "r.npz",
              "--broker", "--latency-ms", "2", "--failure-rate", "0.05"]
+        )
+        assert _validate_serve_flags(args) is None
+
+    def test_coherent_l2_flags_pass_validation(self):
+        from repro.cli import _validate_serve_flags
+
+        args = build_parser().parse_args(
+            ["serve", "--l2-dir", "l2", "--l2-max-bytes", "1048576",
+             "--compact-ratio", "0.6", "--shards", "4"]
         )
         assert _validate_serve_flags(args) is None

@@ -12,12 +12,19 @@ definition ``[label]: target`` in the given markdown files:
 * ``http(s)``/``mailto`` links are reported but not fetched (CI must not
   depend on external availability).
 
+Arguments may be markdown files or directories; a directory is checked
+recursively (every ``*.md`` under it), so new docs pages are covered the
+moment they land — no CI edit required.  A directory containing no
+markdown (e.g. ``examples/``) still validates that links *into* it from
+the checked pages resolve.
+
 Exit code 1 when any link is broken — the CI docs job runs this over
-``README.md`` and ``docs/*.md`` so the guides cannot rot silently.
+``README.md``, ``docs/`` and ``examples/`` so the guides cannot rot
+silently.
 
 Usage::
 
-    python tools/check_markdown_links.py README.md docs/*.md
+    python tools/check_markdown_links.py README.md docs/ examples/
 """
 
 from __future__ import annotations
@@ -81,7 +88,7 @@ def check_file(path: Path) -> list[str]:
 def main(argv: list[str]) -> int:
     if not argv:
         print(
-            "usage: check_markdown_links.py FILE.md [FILE.md ...]",
+            "usage: check_markdown_links.py FILE.md|DIR [FILE.md|DIR ...]",
             file=sys.stderr,
         )
         return 2
@@ -92,8 +99,10 @@ def main(argv: list[str]) -> int:
         if not path.exists():
             errors.append(f"{path}: file does not exist")
             continue
-        errors.extend(check_file(path))
-        checked += 1
+        targets = sorted(path.rglob("*.md")) if path.is_dir() else [path]
+        for target in targets:
+            errors.extend(check_file(target))
+            checked += 1
     for error in errors:
         print(f"BROKEN: {error}", file=sys.stderr)
     print(f"{checked} file(s) checked, {len(errors)} broken link(s)")
