@@ -1,0 +1,94 @@
+"""Region sign index: shortlisted vs linear membership scan at scale.
+
+The pruning index's claim (``repro/serving/index.py``): the exact
+one-matmul membership test stays the sole correctness authority, but it
+does not have to run over the whole inventory — a coarse hyperplane-sign
+bucket probe plus a nearest-anchor shortlist narrows the candidate set
+first, and a shortlist miss falls back to the full scan, so answers are
+identical with the index on or off.  This bench builds synthetic region
+inventories of growing size (1M regions at default scale), times the
+production ``RegionCache._scan`` in both arms, and gates:
+
+* **identical winners, always** (``--tiny`` included) — every probe
+  returns a bitwise-equal ``(key, distance)`` winner in both arms;
+* **tiered transparency, always** — one drifting-Zipf stream replayed
+  through two tiered stores (index off/on) at a tiny L1, so eviction,
+  demotion and promotion all fire, must yield identical hit/miss counts
+  and bitwise-identical answers;
+* **sub-linear scaling, at default scale** — the indexed scan must be
+  >= 4x faster than the linear scan at the largest inventory, and its
+  cost growth across the size sweep at most half the linear arm's.
+
+The inventory construction, scale constants and gates live in
+:func:`repro.serving.run_region_index_benchmark`.
+
+Run standalone (the CI smoke uses ``--tiny``)::
+
+    PYTHONPATH=src python benchmarks/bench_region_index.py --tiny
+    PYTHONPATH=src python benchmarks/bench_region_index.py \\
+        --output BENCH_region_index.json
+
+or as a pytest bench: ``pytest benchmarks/bench_region_index.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.io import write_report
+from repro.serving import (
+    region_index_gate_failures,
+    run_region_index_benchmark,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="region sign index: sub-linear membership-scan "
+        "scaling with identical answers index on/off"
+    )
+    parser.add_argument("--index-bits", type=int, default=16)
+    parser.add_argument("--shortlist", type=int, default=64)
+    parser.add_argument("--requests", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke scale (hundreds of regions instead of 1M, "
+        "correctness gates only)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="write the report here (JSON for .json paths, text otherwise)",
+    )
+    args = parser.parse_args(argv)
+
+    report, (min_speedup, max_growth_ratio) = run_region_index_benchmark(
+        index_bits=args.index_bits, index_shortlist=args.shortlist,
+        n_requests=args.requests, seed=args.seed, tiny=args.tiny,
+    )
+    print(report.as_text())
+    if args.output:
+        write_report(args.output, report)
+        print(f"\nreport written to {args.output}")
+
+    failures = region_index_gate_failures(
+        report, min_speedup=min_speedup, max_growth_ratio=max_growth_ratio
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_region_index(record_result):
+    """Pytest-harness entry (``pytest benchmarks/bench_region_index.py``)."""
+    report, (min_speedup, max_growth_ratio) = run_region_index_benchmark()
+    record_result("region_index", report.as_text())
+    failures = region_index_gate_failures(
+        report, min_speedup=min_speedup, max_growth_ratio=max_growth_ratio
+    )
+    assert not failures, failures
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,8 @@ Commands
     through the region cache + micro-batching loop — optionally sharded
     (``--shards``/``--workers``), bounded (``--max-entries``,
     ``--eviction``), disk-tiered (``--l2-dir``/``--l2-max-bytes``/
-    ``--compact-ratio``) and snapshot-persistent
+    ``--compact-ratio``), scan-indexed
+    (``--region-index``/``--index-bits``) and snapshot-persistent
     (``--snapshot``/``--warm-start``) — and print the stats endpoint.
 ``bench-serve``
     The cache-on/off serving throughput comparison
@@ -49,6 +50,7 @@ Examples
         --failure-rate 0.05 --retries 4
     python -m repro serve --l2-dir regions.l2 --max-entries 64 \
         --l2-max-bytes 1048576
+    python -m repro serve --region-index --index-bits 16 --requests 400
     python -m repro bench-serve --tiny --output BENCH_serving.json
     python -m repro bench-store --tiny --output BENCH_tiered_store.json
     python -m repro bench-shard --tiny --output BENCH_sharded_serving.json
@@ -84,6 +86,15 @@ _BROKER_FLAG_DEFAULTS = {
 _L2_FLAG_DEFAULTS = {
     "compact_ratio": 0.5,
 }
+
+#: Defaults of the region-index tuning flags, shared between the parser
+#: and the serve-flag validation for the same reason.  Values mirror
+#: ``repro.serving.index.DEFAULT_INDEX_BITS`` / ``MAX_INDEX_BITS``
+#: (pinned by a test; kept literal so the parser stays import-light).
+_INDEX_FLAG_DEFAULTS = {
+    "index_bits": 16,
+}
+_MAX_INDEX_BITS = 64
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -180,6 +191,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--ttl-s", type=float, default=None,
         help="entry lifetime in seconds (required with --eviction ttl)",
+    )
+    serve.add_argument(
+        "--region-index", action="store_true",
+        help="prune membership scans with the hyperplane-sign region "
+        "index: shortlist candidates before the exact matmul, falling "
+        "back to the full scan on a shortlist miss (identical answers; "
+        "see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--index-bits", type=int,
+        default=_INDEX_FLAG_DEFAULTS["index_bits"],
+        help="sign bits (hyperplanes) of the region index (requires "
+        "--region-index; default: 16)",
     )
     serve.add_argument(
         "--l2-dir", default=None, metavar="DIR",
@@ -486,6 +510,17 @@ def _validate_serve_flags(args: argparse.Namespace) -> str | None:
     if args.no_cache and args.l2_dir:
         return ("--l2-dir selects the tiered region store and requires "
                 "the cache enabled (drop --no-cache)")
+    if args.no_cache and args.region_index:
+        return ("--region-index accelerates the region cache and "
+                "requires the cache enabled (drop --no-cache)")
+    if not 1 <= args.index_bits <= _MAX_INDEX_BITS:
+        return (f"--index-bits must be in [1, {_MAX_INDEX_BITS}], "
+                f"got {args.index_bits}")
+    if (not args.region_index
+            and args.index_bits != _INDEX_FLAG_DEFAULTS["index_bits"]):
+        return ("--index-bits configures the region index and requires "
+                "--region-index (without it it would be silently "
+                "ignored)")
     if args.l2_max_bytes is not None and args.l2_max_bytes < 1:
         return f"--l2-max-bytes must be >= 1, got {args.l2_max_bytes}"
     if not 0.0 < args.compact_ratio < 1.0:
@@ -561,6 +596,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.l2_dir:
         tier += f", tiered (L2: {args.l2_dir})"
+    if args.region_index:
+        tier += f", indexed ({args.index_bits}-bit sign index)"
     broker = None
     if args.broker:
         from repro.api import (
@@ -606,6 +643,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_entries=args.max_entries,
             eviction=args.eviction,
             ttl_s=args.ttl_s,
+            region_index=args.region_index,
+            index_bits=args.index_bits,
         )
         store = None
         if args.l2_dir:

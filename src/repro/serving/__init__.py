@@ -20,6 +20,10 @@ package converts that guarantee into serving machinery:
 * :class:`InterpretationService` — request queue + micro-batching loop
   coalescing concurrent requests into lock-step batch round trips, with
   structured error envelopes and full meter accounting;
+* :class:`RegionSignIndex` (:mod:`repro.serving.index`) — the
+  hyperplane-sign pruning index: shortlists candidates before the exact
+  membership matmul in both tiers, falling back to the full scan on a
+  shortlist miss, so answers are identical with the index on or off;
 * :mod:`repro.serving.workload` — skewed workload generation (Zipf,
   drifting Zipf, multi-tenant, churn) and the serving benchmarks.
 
@@ -33,6 +37,14 @@ from repro.serving.cache import (
     CacheStats,
     RegionCache,
     RegionCacheEntry,
+)
+from repro.serving.index import (
+    DEFAULT_INDEX_BITS,
+    DEFAULT_INDEX_SHORTLIST,
+    INDEX_SEED,
+    MAX_INDEX_BITS,
+    RegionSignIndex,
+    hyperplane_bank,
 )
 from repro.serving.metrics import ServiceMetrics, ServiceStats
 from repro.serving.service import InterpretationService, PendingResponse
@@ -51,12 +63,16 @@ from repro.serving.store import (
 from repro.serving.workload import (
     BOUNDED_RESIDENT_FRACTION,
     DEFAULT_SPEEDUP_THRESHOLD,
+    INDEX_GROWTH_RATIO_THRESHOLD,
+    INDEX_SPEEDUP_THRESHOLD,
     MIN_SPEEDUP_FLOOR,
     SPEEDUP_RETENTION,
     SHARDED_HIT_RATE_RATIO_THRESHOLD,
     SHARDED_SCAN_RATIO_THRESHOLD,
     TIERED_HIT_RETENTION_THRESHOLD,
     TIERED_L1_RESIDENT_FRACTION,
+    IndexScalingRow,
+    RegionIndexReport,
     ScanScalingRow,
     ShardedServingReport,
     ThroughputArm,
@@ -66,6 +82,8 @@ from repro.serving.workload import (
     drifting_zipf_workload,
     measure_scan_scaling,
     multi_tenant_workload,
+    region_index_gate_failures,
+    run_region_index_benchmark,
     run_sharded_benchmark,
     run_standard_benchmark,
     run_throughput_benchmark,
@@ -113,6 +131,18 @@ __all__ = [
     "BOUNDED_RESIDENT_FRACTION",
     "TIERED_L1_RESIDENT_FRACTION",
     "TIERED_HIT_RETENTION_THRESHOLD",
+    "RegionSignIndex",
+    "hyperplane_bank",
+    "INDEX_SEED",
+    "DEFAULT_INDEX_BITS",
+    "DEFAULT_INDEX_SHORTLIST",
+    "MAX_INDEX_BITS",
+    "IndexScalingRow",
+    "RegionIndexReport",
+    "run_region_index_benchmark",
+    "region_index_gate_failures",
+    "INDEX_SPEEDUP_THRESHOLD",
+    "INDEX_GROWTH_RATIO_THRESHOLD",
     "zipf_clustered_workload",
     "drifting_zipf_workload",
     "multi_tenant_workload",

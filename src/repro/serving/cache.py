@@ -28,10 +28,13 @@ The membership scan is fully vectorized: at insert time every entry's
 per-pair ``(D, B)`` is packed into contiguous stacked matrices (grouped
 by target class and pair set), so one lookup evaluates *all* candidate
 claims with a single matmul and all candidate distances with one
-broadcast subtraction.  ``max_candidates`` windows the scan to the
-nearest entries via ``argpartition`` — an O(m) selection, not a full
-O(m log m) sort — because region reuse in real workloads is driven by
-locality (near-duplicate queries, per-user clusters).
+broadcast subtraction.  With ``region_index=True`` a per-group
+:class:`~repro.serving.index.RegionSignIndex` shortlists the nearest
+sign-bucket candidates *before* the matmul, so lookup cost stops growing
+linearly with the resident inventory; a shortlist with no passing
+candidate falls back to the full scan, keeping hit/miss behavior
+identical to the unindexed cache by construction (see
+``docs/architecture.md``).
 
 **Bounded memory.** The region inventory of a production model is large
 but traffic over it is skewed, so the cache enforces a resident bound
@@ -63,6 +66,12 @@ import numpy as np
 from repro.core.equations import DEFAULT_PROB_FLOOR, log_odds
 from repro.core.types import CoreParameterEstimate, Interpretation
 from repro.exceptions import ValidationError
+from repro.serving.index import (
+    DEFAULT_INDEX_BITS,
+    DEFAULT_INDEX_SHORTLIST,
+    RegionSignIndex,
+    check_index_bits,
+)
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -160,20 +169,32 @@ class _PackedGroup:
     ``W`` of shape ``(m, P, d)``, ``b`` of shape ``(m, P)`` and anchors
     ``X0`` of shape ``(m, d)``.  Rows are packed when an entry is added;
     the stacked views are rebuilt lazily after mutations (insertions and
-    evictions are rare next to lookups).
+    evictions are rare next to lookups).  ``index`` optionally carries
+    the group's :class:`~repro.serving.index.RegionSignIndex`, kept in
+    lock-step with membership so the indexed scan path never sees a
+    stale shortlist.
     """
 
-    __slots__ = ("pairs", "cs", "cps", "keys", "_w", "_b", "_x0", "_stacks")
+    __slots__ = (
+        "pairs", "cs", "cps", "keys", "index",
+        "_w", "_b", "_x0", "_stacks", "_pos",
+    )
 
-    def __init__(self, pairs: tuple[tuple[int, int], ...]):
+    def __init__(
+        self,
+        pairs: tuple[tuple[int, int], ...],
+        index: RegionSignIndex | None = None,
+    ):
         self.pairs = pairs
         self.cs = np.asarray([c for c, _ in pairs], dtype=np.intp)
         self.cps = np.asarray([cp for _, cp in pairs], dtype=np.intp)
         self.keys: list[int] = []
+        self.index = index
         self._w: list[np.ndarray] = []
         self._b: list[np.ndarray] = []
         self._x0: list[np.ndarray] = []
         self._stacks: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._pos: dict[int, int] | None = None
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -190,11 +211,24 @@ class _PackedGroup:
         )
         self._x0.append(entry.x0)
         self._stacks = None
+        self._pos = None
+        if self.index is not None:
+            self.index.add(entry.key, entry.x0)
 
     def remove(self, key: int) -> None:
         i = self.keys.index(key)
         del self.keys[i], self._w[i], self._b[i], self._x0[i]
         self._stacks = None
+        self._pos = None
+        if self.index is not None:
+            self.index.discard(key)
+
+    def positions(self) -> dict[int, int]:
+        """Lazily rebuilt ``key -> stacked-row`` map (for the indexed
+        scan, which gathers shortlisted rows out of the packed stacks)."""
+        if self._pos is None:
+            self._pos = {key: i for i, key in enumerate(self.keys)}
+        return self._pos
 
     def stacked(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         if self._stacks is None:
@@ -234,6 +268,16 @@ class CacheStats:
     evictions:
         Entries removed by the eviction policy (LRU capacity or TTL
         expiry).
+    index_hits:
+        Membership scans decided by the sign-index shortlist (the exact
+        matmul ran over shortlisted candidates only).  Always 0 with
+        ``region_index=False``.  Counted per *scan*, so one sharded
+        lookup can contribute up to ``n_shards`` of them.
+    index_fallbacks:
+        Membership scans whose shortlist produced no passing candidate,
+        falling back to the full linear scan (the transparency path —
+        also the count for every scan that ends in a miss, since a miss
+        can only be declared by the full scan).
     size:
         Entries currently resident.
     resident_bytes:
@@ -246,6 +290,8 @@ class CacheStats:
     insertions: int
     duplicates_skipped: int
     evictions: int
+    index_hits: int
+    index_fallbacks: int
     size: int
     resident_bytes: int
 
@@ -317,13 +363,30 @@ class RegionCache:
         Membership tolerance on absolute log-odds error (the certificate
         tolerance of the serving contract).
     max_candidates:
-        Cap on how many nearest entries are membership-checked per lookup
-        (``None`` scans all).  The scan is one matmul over the packed
-        candidate stacks either way; the window is selected with an O(m)
-        ``argpartition`` over squared distances.
+        Cap on how many nearest-anchor candidates the *indexed* scan
+        membership-checks per lookup (the effective shortlist is
+        ``min(max_candidates, index_shortlist)``); ``None`` leaves the
+        shortlist at ``index_shortlist``.  The full (unindexed) scan
+        always tolerance-checks every candidate — its matmul already ran
+        over all of them, so windowing the comparison could only lose
+        recall, never save compute (the PR 6 false-miss fix).
     floor:
         Probability clamp for the log-odds transform (must match the
         interpreter's).
+    region_index:
+        Enable the per-group hyperplane-sign pruning index
+        (:class:`~repro.serving.index.RegionSignIndex`): lookups
+        membership-check a nearest-bucket shortlist first and fall back
+        to the full scan when no shortlisted candidate passes, so
+        hit/miss behavior is identical to the unindexed cache while
+        lookup cost stops growing linearly with the inventory.
+    index_bits:
+        Sign-bucket code width in ``[1, 64]`` (default
+        :data:`~repro.serving.index.DEFAULT_INDEX_BITS`).
+    index_shortlist:
+        Candidates surviving bucket probing into the exact membership
+        matmul (default
+        :data:`~repro.serving.index.DEFAULT_INDEX_SHORTLIST`).
     eviction:
         ``"lru"`` (default) or ``"ttl"`` — see :data:`EVICTION_POLICIES`.
         Both respect ``max_entries``; ``"ttl"`` additionally expires
@@ -384,12 +447,19 @@ class RegionCache:
         on_evict: Callable[
             [RegionCacheEntry, tuple[tuple[int, int], ...]], None
         ] | None = None,
+        region_index: bool = False,
+        index_bits: int = DEFAULT_INDEX_BITS,
+        index_shortlist: int = DEFAULT_INDEX_SHORTLIST,
     ):
         if max_entries < 1:
             raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
         if max_candidates is not None and max_candidates < 1:
             raise ValidationError(
                 f"max_candidates must be >= 1 or None, got {max_candidates}"
+            )
+        if index_shortlist < 1:
+            raise ValidationError(
+                f"index_shortlist must be >= 1, got {index_shortlist}"
             )
         if eviction not in EVICTION_POLICIES:
             raise ValidationError(
@@ -410,6 +480,9 @@ class RegionCache:
         self.tol = check_positive(tol, name="tol")
         self.max_candidates = max_candidates
         self.floor = check_positive(floor, name="floor")
+        self.region_index = bool(region_index)
+        self.index_bits = check_index_bits(index_bits)
+        self.index_shortlist = int(index_shortlist)
         self._clock = clock if clock is not None else time.monotonic
         self.on_evict = on_evict
         self._entries: OrderedDict[int, RegionCacheEntry] = OrderedDict()
@@ -425,6 +498,8 @@ class RegionCache:
         self._insertions = 0
         self._duplicates = 0
         self._evictions = 0
+        self._index_hits = 0
+        self._index_fallbacks = 0
         self._resident_bytes = 0
 
     # ------------------------------------------------------------------ #
@@ -443,8 +518,11 @@ class RegionCache:
 
         Complexity: one ``(m·P, d)`` matmul over the packed candidate
         stacks plus an O(m) distance pass — :math:`O(m P d)` for ``m``
-        resident candidates of the target class (``max_candidates``
-        windows the membership comparison, not the matmul).
+        resident candidates of the target class.  With
+        ``region_index=True`` the matmul runs over the sign-bucket
+        shortlist instead (``bits + 1`` dict probes plus
+        :math:`O(k P d)` for shortlist size ``k``), falling back to the
+        full scan only when no shortlisted candidate passes.
 
         Parameters
         ----------
@@ -491,9 +569,17 @@ class RegionCache:
         """The pure membership scan: ``(entry key, squared distance)`` of
         the nearest passing candidate, or ``None``.
 
-        Mutates nothing — counters, LRU order and TTL leases are the
-        caller's job (:meth:`lookup` here; the sharded tier runs this per
-        shard and serves only the global winner).
+        Mutates only the index meters (shortlist hit/fallback counters)
+        — hit/miss counters, LRU order and TTL leases are the caller's
+        job (:meth:`lookup` here; the sharded tier runs this per shard
+        and serves only the global winner).
+
+        With ``region_index`` on, the sign-bucket shortlist is
+        membership-checked first; any passing shortlisted candidate
+        decides the scan, otherwise the full scan runs — so the scan's
+        hit/miss outcome is identical to the unindexed cache by
+        construction (a winner must pass the exact test either way, and
+        a miss is only ever declared by the full scan).
         """
         groups = [
             g for (tc, _), g in self._groups.items()
@@ -503,6 +589,25 @@ class RegionCache:
             return None
 
         log_y = np.log(np.clip(y0, self.floor, None))
+        if self.region_index:
+            scored = self._scan_shortlisted(groups, x0, log_y)
+            if scored is not None:
+                self._index_hits += 1
+                return scored
+            self._index_fallbacks += 1
+        return self._scan_full(groups, x0, log_y)
+
+    def _scan_full(
+        self, groups: list[_PackedGroup], x0: np.ndarray, log_y: np.ndarray
+    ) -> tuple[int, float] | None:
+        """Exact membership over *every* candidate; nearest passing wins.
+
+        The tolerance filter runs over the full candidate set — never a
+        distance-windowed subset — because the matmul has already been
+        paid for all of them: windowing the comparison could only turn a
+        passing region into a false miss (and a full re-solve) with zero
+        compute saved.
+        """
         errors_parts, dists_parts, keys = [], [], []
         for group in groups:
             actual = log_y[group.cs] - log_y[group.cps]      # (P,)
@@ -514,17 +619,48 @@ class RegionCache:
         errors = np.concatenate(errors_parts)
         dists = np.concatenate(dists_parts)
 
-        if self.max_candidates is not None and dists.size > self.max_candidates:
-            window = np.argpartition(dists, self.max_candidates - 1)[
-                : self.max_candidates
-            ]
-        else:
-            window = np.arange(dists.size)
-        passing = window[errors[window] <= self.tol]
+        passing = np.nonzero(errors <= self.tol)[0]
         if passing.size == 0:
             return None
         best = int(passing[np.argmin(dists[passing])])
         return keys[best], float(dists[best])
+
+    def _scan_shortlisted(
+        self, groups: list[_PackedGroup], x0: np.ndarray, log_y: np.ndarray
+    ) -> tuple[int, float] | None:
+        """Exact membership over each group's sign-index shortlist only.
+
+        Gathers the shortlisted rows out of the packed stacks and runs
+        the same matmul + tolerance test as the full scan, just over
+        ``min(index_shortlist, max_candidates)`` candidates per group
+        instead of all of them.  Returns ``None`` when no shortlisted
+        candidate passes — the caller then falls back to the full scan.
+        """
+        cap = self.index_shortlist
+        if self.max_candidates is not None:
+            cap = min(cap, self.max_candidates)
+        best: tuple[float, int] | None = None  # (dist, key)
+        for group in groups:
+            shortlist = group.index.shortlist(x0, cap)
+            if not shortlist:
+                continue
+            pos = group.positions()
+            rows = np.asarray([pos[k] for k in shortlist], dtype=np.intp)
+            W, b, X0 = group.stacked()
+            Ws, bs, X0s = W[rows], b[rows], X0[rows]
+            m, P, d = Ws.shape
+            actual = log_y[group.cs] - log_y[group.cps]
+            claims = (Ws.reshape(m * P, d) @ x0).reshape(m, P) + bs
+            errors = np.abs(claims - actual).max(axis=1)
+            dists = ((X0s - x0) ** 2).sum(axis=1)
+            passing = np.nonzero(errors <= self.tol)[0]
+            if passing.size:
+                i = int(passing[np.argmin(dists[passing])])
+                if best is None or dists[i] < best[0]:
+                    best = (float(dists[i]), shortlist[i])
+        if best is None:
+            return None
+        return best[1], best[0]
 
     def _serve(self, key: int, x0: np.ndarray) -> Interpretation | None:
         """Count and serve a scan winner (``None`` if it was evicted
@@ -625,7 +761,10 @@ class RegionCache:
             )
         group_key = (entry.target_class, pairs)
         self._entries[entry.key] = entry
-        group = self._groups.setdefault(group_key, _PackedGroup(pairs))
+        group = self._groups.get(group_key)
+        if group is None:
+            group = _PackedGroup(pairs, index=self._new_index(entry.x0))
+            self._groups[group_key] = group
         group.add(entry)
         self._group_of[entry.key] = group_key
         self._dim = entry.x0.shape[0]
@@ -635,6 +774,12 @@ class RegionCache:
         entry.last_touch = self._clock()
         while len(self._entries) > self.max_entries:
             self._evict(next(iter(self._entries)))
+
+    def _new_index(self, x0: np.ndarray) -> RegionSignIndex | None:
+        """A fresh per-group sign index (``None`` with the index off)."""
+        if not self.region_index:
+            return None
+        return RegionSignIndex(x0.shape[0], bits=self.index_bits)
 
     def _touch(self, entry: RegionCacheEntry) -> None:
         """Refresh recency (LRU position) and the TTL lease of an entry."""
@@ -682,6 +827,8 @@ class RegionCache:
             insertions=self._insertions,
             duplicates_skipped=self._duplicates,
             evictions=self._evictions,
+            index_hits=self._index_hits,
+            index_fallbacks=self._index_fallbacks,
             size=len(self._entries),
             resident_bytes=self._resident_bytes,
         )

@@ -60,6 +60,7 @@ from repro.serving.cache import (
     unpack_snapshot,
     _entry_from_record,
 )
+from repro.serving.index import DEFAULT_INDEX_BITS, DEFAULT_INDEX_SHORTLIST
 from repro.serving.service import InterpretationService, InterpretResponse
 from repro.utils.rng import SeedLike, spawn_generators
 
@@ -199,11 +200,12 @@ class ShardedRegionCache:
         ``max_entries``).
     max_entries:
         Global resident-entry budget across all shards.
-    tol, max_candidates, floor, eviction, ttl_s, clock, on_evict:
-        Forwarded to every shard (``max_candidates`` windows each
-        shard's scan independently; ``on_evict`` fires for evictions
-        from any shard, under that shard's lock); see
-        :class:`RegionCache`.
+    tol, max_candidates, floor, eviction, ttl_s, clock, on_evict,
+    region_index, index_bits, index_shortlist:
+        Forwarded to every shard (each shard keeps its own per-group
+        sign indexes over 1/``n_shards`` of the inventory;
+        ``on_evict`` fires for evictions from any shard, under that
+        shard's lock); see :class:`RegionCache`.
 
     Raises
     ------
@@ -244,6 +246,9 @@ class ShardedRegionCache:
         ttl_s: float | None = None,
         clock=None,
         on_evict=None,
+        region_index: bool = False,
+        index_bits: int = DEFAULT_INDEX_BITS,
+        index_shortlist: int = DEFAULT_INDEX_SHORTLIST,
     ):
         if n_shards < 1:
             raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
@@ -262,6 +267,9 @@ class ShardedRegionCache:
                 ttl_s=ttl_s,
                 clock=clock,
                 on_evict=on_evict,
+                region_index=region_index,
+                index_bits=index_bits,
+                index_shortlist=index_shortlist,
             )
             for _ in range(self.n_shards)
         ]
@@ -275,6 +283,8 @@ class ShardedRegionCache:
         self.floor = self._shards[0].floor
         self.eviction = self._shards[0].eviction
         self.ttl_s = self._shards[0].ttl_s
+        self.region_index = self._shards[0].region_index
+        self.index_bits = self._shards[0].index_bits
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -395,6 +405,8 @@ class ShardedRegionCache:
                 s.duplicates_skipped for s in shard_stats
             ),
             evictions=sum(s.evictions for s in shard_stats),
+            index_hits=sum(s.index_hits for s in shard_stats),
+            index_fallbacks=sum(s.index_fallbacks for s in shard_stats),
             size=sum(s.size for s in shard_stats),
             resident_bytes=sum(s.resident_bytes for s in shard_stats),
             n_shards=self.n_shards,

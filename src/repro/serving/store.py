@@ -72,6 +72,12 @@ from repro.serving.cache import (
     pack_snapshot,
     unpack_snapshot,
 )
+from repro.serving.index import (
+    DEFAULT_INDEX_BITS,
+    DEFAULT_INDEX_SHORTLIST,
+    RegionSignIndex,
+    check_index_bits,
+)
 from repro.serving.shard import ShardedRegionCache, region_signature
 from repro.utils.validation import check_positive
 
@@ -117,6 +123,37 @@ class _L2Record:
     frame_len: int        # header + payload bytes
     live: bool
     touch: int            # recency counter (stalest live dies first)
+    #: The region's anchor instance (the x0 of the demoted entry).
+    #: Persisted in the tail index so the sign index rebuilds without
+    #: touching the segment payloads; lazily re-read from the payload
+    #: for rows written before the field existed.
+    anchor: np.ndarray | None = None
+
+
+def _payload_layout(P: int, d: int) -> dict[str, int]:
+    """Byte offsets of every field inside one packed record payload.
+
+    The single source of truth shared by :func:`_unpack_payload` (full
+    record reads) and :meth:`SegmentStore.scan` (partial ``W``/``b``/
+    ``x0`` gathers), so a framing change cannot desync the scan from
+    read/recovery.  Layout (little-endian, after the 24-byte int64
+    ``[target, P, d]`` meta): pairs ``(P, 2)`` int64, then float64
+    ``W (P, d)``, ``b (P,)``, ``x0 (d,)``, ``feats (d,)``, scalar edge.
+    """
+    pairs_off = 24
+    w_off = pairs_off + 16 * P
+    b_off = w_off + 8 * P * d
+    x0_off = b_off + 8 * P
+    feats_off = x0_off + 8 * d
+    edge_off = feats_off + 8 * d
+    return {
+        "pairs": pairs_off,
+        "w": w_off,
+        "b": b_off,
+        "x0": x0_off,
+        "feats": feats_off,
+        "edge": edge_off,
+    }
 
 
 def _pack_payload(
@@ -153,22 +190,24 @@ def _unpack_payload(buf) -> tuple:
     ``(target, pairs, W, b, x0, feats, edge)`` of fresh (owned) arrays."""
     meta = np.frombuffer(buf, dtype="<i8", count=3, offset=0)
     target_class, P, d = (int(v) for v in meta)
-    off = 24
-    pairs_arr = np.frombuffer(buf, dtype="<i8", count=2 * P, offset=off)
+    layout = _payload_layout(P, d)
+    pairs_arr = np.frombuffer(
+        buf, dtype="<i8", count=2 * P, offset=layout["pairs"]
+    )
     pairs = tuple(
         (int(pairs_arr[2 * i]), int(pairs_arr[2 * i + 1])) for i in range(P)
     )
-    off += 16 * P
-    W = np.frombuffer(buf, dtype="<f8", count=P * d, offset=off)
-    W = W.reshape(P, d).copy()
-    off += 8 * P * d
-    b = np.frombuffer(buf, dtype="<f8", count=P, offset=off).copy()
-    off += 8 * P
-    x0 = np.frombuffer(buf, dtype="<f8", count=d, offset=off).copy()
-    off += 8 * d
-    feats = np.frombuffer(buf, dtype="<f8", count=d, offset=off).copy()
-    off += 8 * d
-    edge = float(np.frombuffer(buf, dtype="<f8", count=1, offset=off)[0])
+    W = np.frombuffer(
+        buf, dtype="<f8", count=P * d, offset=layout["w"]
+    ).reshape(P, d).copy()
+    b = np.frombuffer(buf, dtype="<f8", count=P, offset=layout["b"]).copy()
+    x0 = np.frombuffer(buf, dtype="<f8", count=d, offset=layout["x0"]).copy()
+    feats = np.frombuffer(
+        buf, dtype="<f8", count=d, offset=layout["feats"]
+    ).copy()
+    edge = float(
+        np.frombuffer(buf, dtype="<f8", count=1, offset=layout["edge"])[0]
+    )
     return target_class, pairs, W, b, x0, feats, edge
 
 
@@ -195,12 +234,22 @@ class SegmentStore:
         index is a checkpoint, not the source of truth — see
         :meth:`append`).  Tests and bulk loads may disable it for
         speed and :meth:`sync` once at the end.
+    region_index:
+        Keep a per-(class, pair-set) hyperplane-sign index over the live
+        records' anchors and membership-check its shortlist before the
+        full gather+matmul in :meth:`scan` (falling back on a shortlist
+        miss, so hit/miss behavior is unchanged).  Anchors persist in
+        the tail index and the sign buckets are rebuilt deterministically
+        on open, so crash safety is untouched.
+    index_bits, index_shortlist:
+        Sign-code width / shortlist size, as :class:`RegionSignIndex`.
 
     Raises
     ------
     ValidationError
         For a non-positive ``max_bytes``, a ``compact_ratio`` outside
-        ``(0, 1)``, or an unreadable/corrupt index.
+        ``(0, 1)``, an out-of-range ``index_bits``, or an
+        unreadable/corrupt index.
     """
 
     def __init__(
@@ -210,6 +259,9 @@ class SegmentStore:
         max_bytes: int | None = None,
         compact_ratio: float = DEFAULT_COMPACT_RATIO,
         fsync: bool = True,
+        region_index: bool = False,
+        index_bits: int = DEFAULT_INDEX_BITS,
+        index_shortlist: int = DEFAULT_INDEX_SHORTLIST,
     ):
         if max_bytes is not None and max_bytes < 1:
             raise ValidationError(
@@ -219,19 +271,38 @@ class SegmentStore:
             raise ValidationError(
                 f"compact_ratio must be in (0, 1), got {compact_ratio}"
             )
+        if index_shortlist < 1:
+            raise ValidationError(
+                f"index_shortlist must be >= 1, got {index_shortlist}"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
         self.compact_ratio = float(compact_ratio)
         self.fsync = bool(fsync)
+        self.region_index = bool(region_index)
+        self.index_bits = check_index_bits(index_bits)
+        self.index_shortlist = int(index_shortlist)
         self._segments: list[str] = []
         self._records: list[_L2Record] = []     # append order
         self._by_sig: dict[int, _L2Record] = {}  # live records only
+        # Live records grouped by (target class, pair set) — maintained
+        # incrementally on adopt/mark_dead/compact/wipe so scan never
+        # rebuilds the grouping per miss.
+        self._live_groups: dict[
+            tuple[int, tuple[tuple[int, int], ...]], dict[int, _L2Record]
+        ] = {}
+        # Per-group sign indexes over live anchors (region_index only).
+        self._group_indexes: dict[
+            tuple[int, tuple[tuple[int, int], ...]], RegionSignIndex
+        ] = {}
         self._mmaps: dict[int, mmap.mmap] = {}
         self._touch = 0
         self._live_bytes = 0
         self._dead_bytes = 0
         self._n_compactions = 0
+        self._index_hits = 0
+        self._index_fallbacks = 0
         self._seg_counter = 0   # monotone: segment names never recycle
         self._dim: int | None = None
         self._min_classes: int | None = None
@@ -277,7 +348,10 @@ class SegmentStore:
             tails = [int(t) for t in payload["tails"]]
             self._touch = int(payload["next_touch"])
             for row in payload["records"]:
-                sig, target, pairs, d, seg, offset, frame_len, live, touch = row
+                # Rows written before the anchor field have 9 elements.
+                (sig, target, pairs, d, seg, offset, frame_len, live,
+                 touch) = row[:9]
+                anchor = row[9] if len(row) > 9 else None
                 record = _L2Record(
                     signature=int(sig),
                     target_class=int(target),
@@ -288,6 +362,11 @@ class SegmentStore:
                     frame_len=int(frame_len),
                     live=bool(live),
                     touch=int(touch),
+                    anchor=(
+                        np.asarray(anchor, dtype=np.float64)
+                        if anchor is not None
+                        else None
+                    ),
                 )
                 self._adopt(record)
         else:
@@ -325,10 +404,48 @@ class SegmentStore:
                 prior.live = False
                 self._live_bytes -= prior.frame_len
                 self._dead_bytes += prior.frame_len
+                self._ungroup(prior)
             self._by_sig[record.signature] = record
             self._live_bytes += record.frame_len
+            self._group(record)
         else:
             self._dead_bytes += record.frame_len
+
+    def _group(self, record: _L2Record) -> None:
+        """Add a live record to its (class, pair-set) group + sign index."""
+        key = (record.target_class, record.pairs)
+        self._live_groups.setdefault(key, {})[record.signature] = record
+        if self.region_index:
+            index = self._group_indexes.get(key)
+            if index is None:
+                index = RegionSignIndex(record.d, bits=self.index_bits)
+                self._group_indexes[key] = index
+            index.add(record.signature, self._anchor_of(record))
+
+    def _ungroup(self, record: _L2Record) -> None:
+        """Remove a no-longer-live record from its group + sign index."""
+        key = (record.target_class, record.pairs)
+        members = self._live_groups.get(key)
+        if members is not None:
+            members.pop(record.signature, None)
+            if not members:
+                del self._live_groups[key]
+        index = self._group_indexes.get(key)
+        if index is not None:
+            index.discard(record.signature)
+            if not len(index):
+                del self._group_indexes[key]
+
+    def _anchor_of(self, record: _L2Record) -> np.ndarray:
+        """The record's anchor, lazily re-read from the mmap'd payload
+        for index rows written before the anchor field existed."""
+        if record.anchor is None:
+            layout = _payload_layout(len(record.pairs), record.d)
+            record.anchor = np.frombuffer(
+                self._view(record), dtype="<f8", count=record.d,
+                offset=layout["x0"],
+            ).copy()
+        return record.anchor
 
     def _recover_tail(self, seg: int, indexed_tail: int) -> None:
         """Scan one segment past its indexed tail; truncate a torn frame."""
@@ -349,7 +466,7 @@ class SegmentStore:
             payload = data[offset + _HEADER.size:end]
             if zlib.crc32(payload) != crc:
                 break
-            target, pairs, W, *_ = _unpack_payload(payload)
+            target, pairs, W, _b, x0, *_ = _unpack_payload(payload)
             self._adopt(
                 _L2Record(
                     signature=int(sig),
@@ -361,6 +478,7 @@ class SegmentStore:
                     frame_len=end - offset,
                     live=True,
                     touch=self._next_touch(),
+                    anchor=x0,
                 )
             )
             offset = good_end = end
@@ -387,6 +505,13 @@ class SegmentStore:
                     record.frame_len,
                     record.live,
                     record.touch,
+                    # json round-trips float64 exactly (repr shortest),
+                    # so persisted anchors rebuild identical sign codes.
+                    (
+                        record.anchor.tolist()
+                        if record.anchor is not None
+                        else None
+                    ),
                 ]
             )
             tails[record.seg] = max(
@@ -467,6 +592,7 @@ class SegmentStore:
             frame_len=len(header) + len(payload),
             live=True,
             touch=self._next_touch(),
+            anchor=np.ascontiguousarray(x0, dtype=np.float64),
         )
         self._adopt(record)
         stale = self._mmaps.pop(seg, None)  # mapping stale past its size
@@ -502,6 +628,7 @@ class SegmentStore:
         record.live = False
         self._live_bytes -= record.frame_len
         self._dead_bytes += record.frame_len
+        self._ungroup(record)
         return True
 
     def _enforce_budget(self) -> None:
@@ -565,45 +692,91 @@ class SegmentStore:
         """Membership-scan the live records: the signature and squared
         distance of the nearest passing candidate, or ``None``.
 
-        Same mathematics as :meth:`RegionCache._scan` — group live
-        records by (target class, pair set), evaluate every candidate's
-        per-pair affine claim with one matmul per group, accept within
-        ``tol``.  The stacks are gathered *transiently* from the mmap'd
-        segments (scratch for this call only): resident memory stays
-        bounded by L1 while the OS page cache absorbs the hot disk
-        pages.  Complexity: :math:`O(m P d)` gather + matmul over the
-        ``m`` live same-class records.
+        Same mathematics as :meth:`RegionCache._scan` — live records are
+        grouped by (target class, pair set) incrementally as they are
+        adopted/retired (never rebuilt per call), every candidate's
+        per-pair affine claim is evaluated with one matmul per group,
+        and candidates within ``tol`` pass.  The stacks are gathered
+        *transiently* from the mmap'd segments (scratch for this call
+        only): resident memory stays bounded by L1 while the OS page
+        cache absorbs the hot disk pages.  Complexity: :math:`O(m P d)`
+        gather + matmul over the ``m`` live same-class records; with
+        ``region_index`` on, over each group's sign-bucket shortlist
+        instead, falling back to the full gather only when no
+        shortlisted candidate passes (so hit/miss behavior is identical
+        either way).
         """
         check_lookup_shapes(
             x0, y0, dim=self._dim, min_classes=self._min_classes
         )
-        groups: dict[tuple, list[_L2Record]] = {}
-        for record in self._by_sig.values():
-            if record.target_class == target_class:
-                groups.setdefault(record.pairs, []).append(record)
-        if not groups:
+        if not any(
+            tc == target_class and members
+            for (tc, _), members in self._live_groups.items()
+        ):
             return None
         log_y = np.log(np.clip(y0, floor, None))
+        if self.region_index:
+            best = self._scan_groups(
+                x0, log_y, target_class, tol, shortlist=True
+            )
+            if best is not None:
+                self._index_hits += 1
+                return best
+            self._index_fallbacks += 1
+        return self._scan_groups(
+            x0, log_y, target_class, tol, shortlist=False
+        )
+
+    def _scan_groups(
+        self,
+        x0: np.ndarray,
+        log_y: np.ndarray,
+        target_class: int,
+        tol: float,
+        *,
+        shortlist: bool,
+    ) -> tuple[int, float] | None:
+        """One pass of the membership scan over the live groups.
+
+        With ``shortlist=True`` each group contributes only its sign
+        index's nearest-bucket candidates; otherwise every live member
+        is gathered.  Returns the nearest passing ``(signature,
+        squared distance)`` or ``None``.
+        """
+        cap = self.index_shortlist
         best: tuple[float, int] | None = None  # (dist, signature)
-        for pairs, members in groups.items():
+        for (tc, pairs), group_members in self._live_groups.items():
+            if tc != target_class or not group_members:
+                continue
+            if shortlist:
+                index = self._group_indexes.get((tc, pairs))
+                if index is None:
+                    continue
+                members = [
+                    group_members[sig]
+                    for sig in index.shortlist(x0, cap)
+                ]
+            else:
+                members = list(group_members.values())
+            if not members:
+                continue
             P = len(pairs)
             d = x0.shape[0]
             m = len(members)
+            layout = _payload_layout(P, d)
             W = np.empty((m, P, d))
             B = np.empty((m, P))
             X0 = np.empty((m, d))
             for i, record in enumerate(members):
                 buf = self._view(record)
-                off = 24 + 16 * P
                 W[i] = np.frombuffer(
-                    buf, dtype="<f8", count=P * d, offset=off
+                    buf, dtype="<f8", count=P * d, offset=layout["w"]
                 ).reshape(P, d)
                 B[i] = np.frombuffer(
-                    buf, dtype="<f8", count=P, offset=off + 8 * P * d
+                    buf, dtype="<f8", count=P, offset=layout["b"]
                 )
                 X0[i] = np.frombuffer(
-                    buf, dtype="<f8", count=d,
-                    offset=off + 8 * P * d + 8 * P,
+                    buf, dtype="<f8", count=d, offset=layout["x0"]
                 )
             cs = np.asarray([c for c, _ in pairs], dtype=np.intp)
             cps = np.asarray([cp for _, cp in pairs], dtype=np.intp)
@@ -660,6 +833,7 @@ class SegmentStore:
                         frame_len=len(header) + len(payload),
                         live=True,
                         touch=record.touch,
+                        anchor=record.anchor,
                     )
                 )
                 offset += len(header) + len(payload)
@@ -673,6 +847,7 @@ class SegmentStore:
         self._segments = [new_name]
         self._records = rewritten
         self._by_sig = {r.signature: r for r in rewritten}
+        self._rebuild_groups()
         self._dead_bytes = 0
         self._n_compactions += 1
         self._persist_index()
@@ -682,6 +857,15 @@ class SegmentStore:
         # Keep segment numbering monotone: rename-free, the next append
         # continues into the compacted segment.
         return reclaimed
+
+    def _rebuild_groups(self) -> None:
+        """Re-derive the live grouping (and sign indexes) from
+        ``_by_sig`` — only after wholesale rewrites (compaction); the
+        steady state maintains both incrementally."""
+        self._live_groups = {}
+        self._group_indexes = {}
+        for record in self._by_sig.values():
+            self._group(record)
 
     def wipe(self) -> None:
         """Delete every record and segment (the index becomes empty)."""
@@ -693,6 +877,8 @@ class SegmentStore:
         self._segments = []
         self._records = []
         self._by_sig = {}
+        self._live_groups = {}
+        self._group_indexes = {}
         self._live_bytes = 0
         self._dead_bytes = 0
         self._dim = None
@@ -739,6 +925,17 @@ class SegmentStore:
         return self._n_compactions
 
     @property
+    def index_hits(self) -> int:
+        """Scans decided by the sign-index shortlist (0 with it off)."""
+        return self._index_hits
+
+    @property
+    def index_fallbacks(self) -> int:
+        """Scans that fell back to the full gather (includes every
+        miss, which only the full scan may declare)."""
+        return self._index_fallbacks
+
+    @property
     def max_record_bytes(self) -> int:
         """The largest record frame resident (0 when empty); the slack
         term of the disk-growth bound the churn benchmark gates."""
@@ -783,6 +980,13 @@ class TieredStoreStats:
         Segment files on disk.
     l2_compactions:
         Compaction passes performed over the store's lifetime.
+    l2_index_hits:
+        L2 membership scans decided by the sign-index shortlist (always
+        0 with ``region_index`` off).  The L1 equivalents live in the
+        nested ``l1`` dict (``index_hits`` / ``index_fallbacks``).
+    l2_index_fallbacks:
+        L2 scans whose shortlist had no passing candidate, falling back
+        to the full gather+matmul (includes every L2 miss).
     """
 
     l1: dict
@@ -797,6 +1001,8 @@ class TieredStoreStats:
     l2_dead_ratio: float
     l2_segments: int
     l2_compactions: int
+    l2_index_hits: int
+    l2_index_fallbacks: int
 
     @property
     def hit_rate(self) -> float:
@@ -842,6 +1048,15 @@ class TieredRegionStore:
     fsync:
         Fsync appended records before indexing them (durability; tests
         may disable for speed).
+    region_index:
+        Enable the hyperplane-sign pruning index in *both* tiers: each
+        L1 shard and the L2 segment store shortlist candidates before
+        their exact membership matmuls, falling back to the full scan
+        on a shortlist miss — identical hit/miss behavior, sub-linear
+        lookup cost (the ``serve --region-index`` flag).
+    index_bits, index_shortlist:
+        Sign-code width / shortlist size, forwarded to both tiers (see
+        :class:`~repro.serving.index.RegionSignIndex`).
 
     Raises
     ------
@@ -889,15 +1104,23 @@ class TieredRegionStore:
         l2_max_bytes: int | None = None,
         compact_ratio: float = DEFAULT_COMPACT_RATIO,
         fsync: bool = True,
+        region_index: bool = False,
+        index_bits: int = DEFAULT_INDEX_BITS,
+        index_shortlist: int = DEFAULT_INDEX_SHORTLIST,
     ):
         self.tol = check_positive(tol, name="tol")
         self.floor = check_positive(floor, name="floor")
+        self.region_index = bool(region_index)
+        self.index_bits = check_index_bits(index_bits)
         self._lock = threading.RLock()
         self._l2 = SegmentStore(
             directory,
             max_bytes=l2_max_bytes,
             compact_ratio=compact_ratio,
             fsync=fsync,
+            region_index=region_index,
+            index_bits=index_bits,
+            index_shortlist=index_shortlist,
         )
         self._l1 = ShardedRegionCache(
             n_shards=n_shards,
@@ -909,6 +1132,9 @@ class TieredRegionStore:
             ttl_s=ttl_s,
             clock=clock,
             on_evict=self._demote,
+            region_index=region_index,
+            index_bits=index_bits,
+            index_shortlist=index_shortlist,
         )
         self._l2_hits = 0
         self._l2_misses = 0
@@ -1078,6 +1304,8 @@ class TieredRegionStore:
                 l2_dead_ratio=float(self._l2.dead_ratio),
                 l2_segments=self._l2.n_segments,
                 l2_compactions=self._l2.n_compactions,
+                l2_index_hits=self._l2.index_hits,
+                l2_index_fallbacks=self._l2.index_fallbacks,
             )
 
     # ------------------------------------------------------------------ #

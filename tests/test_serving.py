@@ -178,7 +178,13 @@ class TestRegionCacheVectorized:
         assert cache.stats().misses == 1
 
     def test_scan_matches_per_entry_reference(self):
-        """One-matmul membership scan == the per-entry claim_errors loop."""
+        """One-matmul membership scan == the per-entry claim_errors loop.
+
+        The reference filters by tolerance over *all* candidates and
+        serves the nearest passing one; ``max_candidates`` must not
+        change the outcome of the full scan (it only caps the indexed
+        shortlist), so both parametrizations share the same reference.
+        """
         rng = np.random.default_rng(3)
         for max_candidates in (None, 3):
             cache, entries = self._filled_cache(
@@ -192,19 +198,15 @@ class TestRegionCacheVectorized:
                 x0, W, b, _ = entries[rng.integers(len(entries))]
                 y = _probs_for_claims(W @ x + b)
 
-                candidates = sorted(
-                    cache._entries.values(),
+                passing = [
+                    e for e in cache._entries.values()
+                    if e.claim_errors(x, y, floor=cache.floor).max()
+                    <= cache.tol
+                ]
+                expected = min(
+                    passing,
                     key=lambda e: float(np.sum((e.x0 - x) ** 2)),
-                )
-                if max_candidates is not None:
-                    candidates = candidates[:max_candidates]
-                expected = next(
-                    (
-                        e for e in candidates
-                        if e.claim_errors(x, y, floor=cache.floor).max()
-                        <= cache.tol
-                    ),
-                    None,
+                    default=None,
                 )
                 served = cache.lookup(x, y, 0)
                 if expected is None:
@@ -215,9 +217,13 @@ class TestRegionCacheVectorized:
                         served.decision_features, expected.decision_features
                     )
 
-    def test_max_candidates_windows_nearest(self):
-        """An entry outside the nearest-k window must not hit even if its
-        claims match (locality contract of the windowed scan)."""
+    def test_max_candidates_does_not_cause_false_miss(self):
+        """Regression (PR 6): the full scan pays the membership matmul
+        for *every* candidate, so windowing the tolerance comparison to
+        the nearest ``max_candidates`` could only turn a passing region
+        into a false miss (and a full re-solve) with zero compute saved.
+        The old ``_scan`` failed this test; the fixed one filters by
+        tolerance first and serves the nearest passing entry."""
         rng = np.random.default_rng(4)
         d = 4
         W_far = rng.normal(size=(2, d))
@@ -232,11 +238,21 @@ class TestRegionCacheVectorized:
         windowed = RegionCache(max_candidates=1)
         windowed.insert(far)
         windowed.insert(near)
-        assert windowed.lookup(x, y, 0) is not None  # far is the nearest
+        served = windowed.lookup(x, y, 0)  # far is nearest and passes
+        assert served is not None
+        assert np.array_equal(served.decision_features, far.decision_features)
 
-        x_near_miss = np.full(d, 0.5)  # nearest is `near`, whose claims differ
+        # The probe nearest `near` (whose claims differ) while only
+        # `far` passes: the old window kept only `near` and reported a
+        # false miss; the passing entry must be served regardless of
+        # its distance rank.
+        x_near_miss = np.full(d, 0.5)
         y2 = _probs_for_claims(W_far @ x_near_miss + b_far)
-        assert windowed.lookup(x_near_miss, y2, 0) is None
+        served = windowed.lookup(x_near_miss, y2, 0)
+        assert served is not None
+        assert np.array_equal(served.decision_features, far.decision_features)
+        assert windowed.stats().misses == 0
+
         unwindowed = RegionCache(max_candidates=None)
         unwindowed.insert(far)
         unwindowed.insert(near)

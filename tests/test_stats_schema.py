@@ -28,7 +28,9 @@ import pytest
 from repro.core.engine import EngineBenchReport, EngineBenchRow
 from repro.serving import (
     CacheStats,
+    IndexScalingRow,
     RegionCache,
+    RegionIndexReport,
     ScanScalingRow,
     ServiceMetrics,
     ServiceStats,
@@ -85,7 +87,8 @@ def sample_tiered_stats() -> TieredStoreStats:
         l1=sample_sharded_stats().as_dict(), l1_hits=3, l2_hits=2,
         l2_misses=1, demotions=4, promotions=2, l2_entries=4,
         l2_live_bytes=1024, l2_total_bytes=1536, l2_dead_ratio=1 / 3,
-        l2_segments=1, l2_compactions=1,
+        l2_segments=1, l2_compactions=1, l2_index_hits=2,
+        l2_index_fallbacks=1,
     )
 
 
@@ -133,6 +136,28 @@ def sample_tiered_report() -> TieredStoreReport:
         churn_l2_max_bytes=1024, churn_compactions=2,
         churn_max_total_bytes=1800, churn_bytes_bound=2304,
         churn_bounded=True, churn_store=sample_tiered_stats().as_dict(),
+    )
+
+
+def sample_index_row() -> IndexScalingRow:
+    return IndexScalingRow(
+        n_entries=1000, n_probes=16, linear_scan_s=1e-3,
+        indexed_scan_s=1e-4, speedup=10.0, identical_winners=True,
+        index_hits=16, index_fallbacks=0,
+    )
+
+
+def sample_region_index_report() -> RegionIndexReport:
+    row = sample_index_row()
+    return RegionIndexReport(
+        d=8, n_pairs=2, index_bits=16, index_shortlist=64,
+        rows=(row, row), linear_growth=10.0, indexed_growth=1.5,
+        growth_ratio=0.15, max_scale_speedup=10.0,
+        identical_winners=True, tiered_requests=120,
+        tiered_l1_max_entries=4, tiered_hit_rate_off=0.8,
+        tiered_hit_rate_on=0.8, tiered_counts_identical=True,
+        tiered_answers_identical=True, tiered_bitwise_consistent=True,
+        tiered_store=sample_tiered_stats().as_dict(),
     )
 
 
@@ -216,6 +241,16 @@ class TestAsDictMatchesFields:
 
     def test_scan_scaling_row(self):
         assert set(sample_scan_row().as_dict()) == field_names(ScanScalingRow)
+
+    def test_index_scaling_row(self):
+        assert set(sample_index_row().as_dict()) == field_names(
+            IndexScalingRow
+        )
+
+    def test_region_index_report(self):
+        payload = sample_region_index_report().as_dict()
+        assert set(payload) == field_names(RegionIndexReport)
+        json.dumps(payload, allow_nan=False)
 
     def test_tiered_store_stats(self):
         payload = sample_tiered_stats().as_dict()
@@ -330,8 +365,12 @@ class TestBenchmarkCatalogSchemas:
             ("BENCH_tiered_store.json", sample_tiered_report),
             ("BENCH_transport.json", sample_transport_report),
             ("BENCH_solve_engine.json", sample_engine_report),
+            ("BENCH_region_index.json", sample_region_index_report),
         ],
-        ids=["serving", "sharded", "tiered-store", "transport", "engine"],
+        ids=[
+            "serving", "sharded", "tiered-store", "transport", "engine",
+            "region-index",
+        ],
     )
     def test_artifact_keys_catalogued(
         self, catalog, artifact, payload_factory
@@ -339,7 +378,7 @@ class TestBenchmarkCatalogSchemas:
         section = self._section(catalog, artifact)
         payload = payload_factory().as_dict()
         keys = set(payload)
-        if keys == {"rows"}:  # the engine report nests its schema
+        if payload.get("rows"):  # per-row schemas nest under "rows"
             keys |= set(payload["rows"][0])
         missing = [key for key in keys if f"`{key}`" not in section]
         assert not missing, (

@@ -253,6 +253,42 @@ class TestServeFlagValidation:
         assert code == 2
         assert "--compact-ratio" in err
 
+    def test_index_bits_requires_region_index(self, capsys):
+        code, err = self.run_serve(capsys, "--index-bits", "8")
+        assert code == 2
+        assert "--index-bits" in err and "--region-index" in err
+
+    def test_region_index_conflicts_with_no_cache(self, capsys):
+        code, err = self.run_serve(capsys, "--no-cache", "--region-index")
+        assert code == 2
+        assert "--no-cache" in err and "--region-index" in err
+
+    def test_index_bits_range_enforced(self, capsys):
+        for bits in ("0", "65"):
+            code, err = self.run_serve(
+                capsys, "--region-index", "--index-bits", bits
+            )
+            assert code == 2
+            assert "--index-bits" in err and "[1, 64]" in err
+
+    def test_coherent_index_flags_pass_validation(self):
+        from repro.cli import _validate_serve_flags
+
+        args = build_parser().parse_args(
+            ["serve", "--region-index", "--index-bits", "12",
+             "--shards", "2", "--l2-dir", "l2"]
+        )
+        assert _validate_serve_flags(args) is None
+
+    def test_index_flag_defaults_mirror_serving_constants(self):
+        """The parser keeps literal copies of the serving-layer index
+        constants (to stay import-light); they must not drift."""
+        from repro.cli import _INDEX_FLAG_DEFAULTS, _MAX_INDEX_BITS
+        from repro.serving.index import DEFAULT_INDEX_BITS, MAX_INDEX_BITS
+
+        assert _INDEX_FLAG_DEFAULTS["index_bits"] == DEFAULT_INDEX_BITS
+        assert _MAX_INDEX_BITS == MAX_INDEX_BITS
+
     def test_warm_start_allowed_with_l2_dir_alone(self):
         """The disk tier persists updates itself, so --warm-start no
         longer demands --snapshot when --l2-dir is given."""
