@@ -1,0 +1,314 @@
+"""Array-backend throughput: the seam's hot kernels per backend.
+
+Every backend registered with :mod:`repro.core.backend` that is
+importable on this host runs the two kernels the seam exists for — the
+engine's batched normal-equations solve
+(:func:`repro.core.engine.solve_pair_systems_stacked`) and the serving
+tiers' membership scan (:meth:`ArrayBackend.membership_scan`) — and
+reports throughput plus a speedup row against the numpy reference.
+``numpy`` and ``stub`` always run (the stub is the seam-discipline
+backend CI exercises without GPU hardware; its timings cost one array
+tag per adapter call, so its speedup hovers at ~1x); ``cupy``/``torch``
+rows appear whenever the library imports.
+
+Acceptance gates (enforced at every scale, including ``--tiny``):
+
+* every backend's engine weights agree with the reference loop to
+  :data:`repro.core.engine.MAX_ENGINE_WEIGHT_DIFF`;
+* every backend's per-pair certificate verdicts are *identical* to the
+  reference's — the paper's consistency certificate is the
+  cross-backend exactness oracle, so a wrong device solve cannot pass.
+
+There is deliberately **no speedup gate**: accelerators only win at
+scales CI does not run, and the stub's tagging overhead is the point,
+not a regression.
+
+Run standalone (the CI smoke uses ``--tiny``)::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py --tiny
+    PYTHONPATH=src python benchmarks/bench_backend.py \
+        --output BENCH_backend.json
+
+or as a pytest bench: ``pytest benchmarks/bench_backend.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.backend import available_backends, resolve_backend
+from repro.core.engine import (
+    MAX_ENGINE_WEIGHT_DIFF,
+    _bench_problem,
+    reference_solve_all_pairs,
+    solve_pair_systems_stacked,
+)
+
+#: Default benchmark shape ``(n_instances, d, C)`` and the membership
+#: scan's candidate count / pair count.
+_DEFAULT_SHAPE = (64, 16, 10)
+_DEFAULT_SCAN = (4096, 9)
+
+#: CI smoke shapes.
+_TINY_SHAPE = (8, 5, 3)
+_TINY_SCAN = (64, 2)
+
+
+@dataclass(frozen=True)
+class BackendBenchRow:
+    """One backend's kernel throughput and correctness gates."""
+
+    requested: str
+    effective: str
+    n_instances: int
+    d: int
+    C: int
+    engine_solves_per_s: float
+    scan_candidates_per_s: float
+    engine_speedup_vs_numpy: float
+    scan_speedup_vs_numpy: float
+    max_weight_diff: float
+    certificates_identical: bool
+
+    def as_dict(self) -> dict[str, float | int | bool | str]:
+        return {
+            "requested": self.requested,
+            "effective": self.effective,
+            "n_instances": self.n_instances,
+            "d": self.d,
+            "C": self.C,
+            "engine_solves_per_s": self.engine_solves_per_s,
+            "scan_candidates_per_s": self.scan_candidates_per_s,
+            "engine_speedup_vs_numpy": self.engine_speedup_vs_numpy,
+            "scan_speedup_vs_numpy": self.scan_speedup_vs_numpy,
+            "max_weight_diff": self.max_weight_diff,
+            "certificates_identical": self.certificates_identical,
+        }
+
+
+@dataclass(frozen=True)
+class BackendBenchReport:
+    """One row per importable backend plus the host's availability list."""
+
+    rows: tuple[BackendBenchRow, ...]
+    backends_available: tuple[str, ...]
+    gates_passed: bool
+
+    def as_text(self) -> str:
+        lines = [
+            "array-backend throughput: engine solve + membership scan "
+            "per backend",
+            f"available on this host: {', '.join(self.backends_available)}",
+            "",
+            f"{'backend':>8} {'runs on':>8} {'engine/s':>10} "
+            f"{'scan cand/s':>12} {'eng. vs np':>10} {'scan vs np':>10} "
+            f"{'max |dW|':>10} {'certs':>6}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.requested:>8} {row.effective:>8} "
+                f"{row.engine_solves_per_s:>10.0f} "
+                f"{row.scan_candidates_per_s:>12.0f} "
+                f"{row.engine_speedup_vs_numpy:>9.2f}x "
+                f"{row.scan_speedup_vs_numpy:>9.2f}x "
+                f"{row.max_weight_diff:>10.2e} "
+                f"{'ok' if row.certificates_identical else 'DIFF':>6}"
+            )
+        lines.append("")
+        lines.append(
+            f"gates: {'passed' if self.gates_passed else 'FAILED'} "
+            f"(weights vs reference <= {MAX_ENGINE_WEIGHT_DIFF:.0e}, "
+            "certificate verdicts identical)"
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "rows": [row.as_dict() for row in self.rows],
+            "backends_available": list(self.backends_available),
+            "gates_passed": self.gates_passed,
+        }
+
+
+def _scan_problem(m: int, P: int, d: int, seed: int):
+    """Synthetic membership-scan stacks shaped like a packed group."""
+    rng = np.random.default_rng(seed)
+    W = rng.normal(size=(m, P, d))
+    b = rng.normal(size=(m, P))
+    X0 = rng.normal(size=(m, d))
+    x0 = rng.normal(size=d)
+    actual = rng.normal(size=P)
+    return W, b, X0, x0, actual
+
+
+def _best_time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_backend_benchmark(
+    *, tiny: bool = False, repeats: int = 10, seed: int = 0
+) -> BackendBenchReport:
+    """Run every importable backend over the two seam kernels.
+
+    The reference solutions (weights and certificate verdicts) come
+    from :func:`reference_solve_all_pairs` — the pre-engine per-instance
+    loop — so every backend, numpy included, is gated against the same
+    oracle.
+    """
+    n_instances, d, C = _TINY_SHAPE if tiny else _DEFAULT_SHAPE
+    scan_m, scan_P = _TINY_SCAN if tiny else _DEFAULT_SCAN
+    n_points = d + 2
+    points, probs, classes, centers = _bench_problem(
+        n_instances, n_points, d, C, seed
+    )
+    reference = [
+        reference_solve_all_pairs(
+            points[b], probs[b], int(classes[b]), center=centers[b]
+        )
+        for b in range(n_instances)
+    ]
+    W, b_stack, X0, x0, actual = _scan_problem(scan_m, scan_P, d, seed)
+
+    rows: list[BackendBenchRow] = []
+    baselines: dict[str, float] = {}
+    for name in available_backends():
+        be = resolve_backend(name)
+
+        def engine_pass():
+            return solve_pair_systems_stacked(
+                points, probs, classes, centers=centers, backend=be
+            )
+
+        engine_out = engine_pass()          # warm-up + correctness probe
+        max_diff = 0.0
+        certs_identical = True
+        for eng, ref in zip(engine_out, reference):
+            for pair, sol in ref.items():
+                diff = np.abs(
+                    eng[pair].result.weights - sol.result.weights
+                ).max()
+                max_diff = max(max_diff, float(diff))
+                if eng[pair].certified != sol.certified:
+                    certs_identical = False
+
+        # The serving tiers cache device stacks per group (see
+        # _PackedGroup.device_stacked), so the transfer sits outside the
+        # timed kernel here too; only the query vector moves per call.
+        W_dev = be.asarray(W)
+        b_dev = be.asarray(b_stack)
+        X0_dev = be.asarray(X0)
+        actual_dev = be.asarray(actual)
+
+        def scan_pass():
+            return be.membership_scan(
+                W_dev, b_dev, X0_dev, be.asarray(x0), actual_dev
+            )
+
+        scan_pass()                         # warm-up
+        t_engine = _best_time(engine_pass, repeats)
+        t_scan = _best_time(scan_pass, max(repeats, 20))
+        if name == "numpy":
+            baselines["engine"] = t_engine
+            baselines["scan"] = t_scan
+        rows.append(
+            BackendBenchRow(
+                requested=name,
+                effective=be.name,
+                n_instances=n_instances,
+                d=d,
+                C=C,
+                engine_solves_per_s=n_instances / t_engine,
+                scan_candidates_per_s=scan_m / t_scan,
+                engine_speedup_vs_numpy=baselines["engine"] / t_engine,
+                scan_speedup_vs_numpy=baselines["scan"] / t_scan,
+                max_weight_diff=max_diff,
+                certificates_identical=certs_identical,
+            )
+        )
+    gates_passed = all(
+        row.max_weight_diff <= MAX_ENGINE_WEIGHT_DIFF
+        and row.certificates_identical
+        for row in rows
+    )
+    return BackendBenchReport(
+        rows=tuple(rows),
+        backends_available=tuple(available_backends()),
+        gates_passed=gates_passed,
+    )
+
+
+def benchmark_gate_failures(report: BackendBenchReport) -> list[str]:
+    """Human-readable gate violations (empty when the report is clean)."""
+    failures = []
+    for row in report.rows:
+        if row.max_weight_diff > MAX_ENGINE_WEIGHT_DIFF:
+            failures.append(
+                f"backend {row.requested}: max weight diff "
+                f"{row.max_weight_diff:.2e} vs reference exceeds "
+                f"{MAX_ENGINE_WEIGHT_DIFF:.0e}"
+            )
+        if not row.certificates_identical:
+            failures.append(
+                f"backend {row.requested}: certificate verdicts differ "
+                "from the reference solve"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="array-backend kernel throughput across importable "
+        "backends"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=10,
+        help="timed repetitions per kernel (best-of reported)",
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke scale (small shapes; correctness gates still apply)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="also write the rows as a JSON artifact (e.g. "
+        "BENCH_backend.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_backend_benchmark(
+        tiny=args.tiny, repeats=args.repeats, seed=args.seed
+    )
+    print(report.as_text())
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"\nJSON artifact written to {args.output}")
+
+    failures = benchmark_gate_failures(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_backend_bench(record_result):
+    """Pytest-harness entry (``pytest benchmarks/bench_backend.py``)."""
+    report = run_backend_benchmark(tiny=True)
+    record_result("backend", report.as_text())
+    assert benchmark_gate_failures(report) == []
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

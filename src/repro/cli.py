@@ -96,6 +96,13 @@ _INDEX_FLAG_DEFAULTS = {
 }
 _MAX_INDEX_BITS = 64
 
+#: Backend names the serve ``--backend`` flag accepts.  Mirrors
+#: ``repro.core.backend.BACKEND_NAMES`` (pinned by a test; kept literal
+#: so the parser stays import-light).  Requesting an accelerator whose
+#: library is absent degrades to numpy with one warning — the stats
+#: endpoint reports the *effective* backend.
+_BACKEND_CHOICES = ("numpy", "cupy", "torch")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
@@ -204,6 +211,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=_INDEX_FLAG_DEFAULTS["index_bits"],
         help="sign bits (hyperplanes) of the region index (requires "
         "--region-index; default: 16)",
+    )
+    serve.add_argument(
+        "--backend", default="numpy", choices=_BACKEND_CHOICES,
+        help="array backend for the hot kernels (batched solves, "
+        "membership-scan matmuls, sign-index projections); an "
+        "unavailable accelerator falls back to numpy with a warning "
+        "and the stats endpoint reports the effective backend "
+        "(default: numpy)",
     )
     serve.add_argument(
         "--l2-dir", default=None, metavar="DIR",
@@ -598,6 +613,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tier += f", tiered (L2: {args.l2_dir})"
     if args.region_index:
         tier += f", indexed ({args.index_bits}-bit sign index)"
+    if args.backend != "numpy":
+        tier += f", {args.backend} backend requested"
     broker = None
     if args.broker:
         from repro.api import (
@@ -645,6 +662,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ttl_s=args.ttl_s,
             region_index=args.region_index,
             index_bits=args.index_bits,
+            backend=args.backend,
         )
         store = None
         if args.l2_dir:
@@ -668,6 +686,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_batch_size=args.batch_size,
                 broker=broker,
                 seed=args.seed,
+                backend=args.backend,
             )
         else:
             service = InterpretationService(
@@ -677,6 +696,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_batch_size=args.batch_size,
                 broker=broker,
                 seed=args.seed,
+                backend=args.backend,
             )
         if args.warm_start:
             loaded = service.cache.load(args.warm_start)

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.backend import ArrayBackend, as_float64, resolve_backend
 from repro.core.equations import (
     DEFAULT_PROB_FLOOR,
     PairSystemSolution,
@@ -118,6 +119,7 @@ def solve_pair_systems_stacked(
     atol: float = DEFAULT_CERTIFICATE_ATOL,
     floor: float = DEFAULT_PROB_FLOOR,
     check_certificate: bool = True,
+    backend: str | ArrayBackend | None = None,
 ) -> list[dict[tuple[int, int], PairSystemSolution]]:
     """Solve every class pair of every stacked instance in one fused pass.
 
@@ -139,6 +141,15 @@ def solve_pair_systems_stacked(
     check_certificate:
         When false every solution reports ``certified=False`` (the naive
         determined-system path).
+    backend:
+        The :class:`~repro.core.backend.ArrayBackend` (or its name) that
+        runs the batched device section — the Gram/RHS matmuls, the
+        ``eigvalsh`` conditioning screen, the batched ``solve`` and the
+        per-block ``lstsq`` fallback.  ``None`` resolves the process
+        default (:func:`~repro.core.backend.resolve_backend`).  Design
+        construction, residual norms and certificate verdicts always run
+        host-side in numpy, so verdicts are decided by one code path for
+        every backend.
 
     Returns
     -------
@@ -164,8 +175,9 @@ def solve_pair_systems_stacked(
     Degenerate blocks add one per-block SVD ``lstsq``
     (:math:`O(n (d+1)^2)` each).
     """
-    points = np.asarray(points, dtype=np.float64)
-    probs = np.asarray(probs, dtype=np.float64)
+    be = resolve_backend(backend)
+    points = as_float64(points)
+    probs = as_float64(probs)
     target_classes = np.asarray(target_classes, dtype=np.intp)
     if points.ndim != 3:
         raise ValidationError(f"points must be 3-D (k, n, d), got shape {points.shape}")
@@ -191,7 +203,7 @@ def solve_pair_systems_stacked(
     if centers is None:
         centers_arr = points.mean(axis=1)
     else:
-        centers_arr = np.asarray(centers, dtype=np.float64)
+        centers_arr = as_float64(centers)
         if centers_arr.shape != (k, d):
             raise ValidationError(
                 f"centers must have shape ({k}, {d}), got {centers_arr.shape}"
@@ -208,13 +220,18 @@ def solve_pair_systems_stacked(
     design = np.concatenate(
         [np.ones((k, n, 1)), offsets / scale[:, None, None]], axis=2
     )
-    design_t = design.transpose(0, 2, 1)
-    gram = design_t @ design            # (k, d+1, d+1)
-    rhs = design_t @ targets            # (k, d+1, C-1)
+
+    # Device section: the contiguous stacks cross the backend seam once;
+    # the conditioning screen and routing masks stay host-side.
+    design_dev = be.asarray(design)
+    targets_dev = be.asarray(targets)
+    design_t = be.bT(design_dev)
+    gram = be.matmul(design_t, design_dev)      # (k, d+1, d+1)
+    rhs = be.matmul(design_t, targets_dev)      # (k, d+1, C-1)
 
     # Conditioning screen: Gram eigenvalues are the squared design
-    # singular values, one batched LAPACK sweep for the whole stack.
-    eigs = np.linalg.eigvalsh(gram)
+    # singular values, one batched sweep for the whole stack.
+    eigs = be.to_host(be.eigvalsh(gram))
     fast = eigs[:, 0] > (GRAM_CONDITION_RTOL**2) * eigs[:, -1]
 
     betas = np.empty((k, d + 1, C - 1))
@@ -222,18 +239,19 @@ def solve_pair_systems_stacked(
     singular_values = np.sqrt(np.clip(eigs[:, ::-1], 0.0, None))
     if fast.all():
         try:
-            betas = np.linalg.solve(gram, rhs)
-        except np.linalg.LinAlgError:  # pragma: no cover — screened above
+            betas = be.to_host(be.solve(gram, rhs))
+        except be.linalg_error:  # pragma: no cover — screened above
             fast = np.zeros(k, dtype=bool)
     elif fast.any():
-        betas[fast] = np.linalg.solve(gram[fast], rhs[fast])
+        idx = np.nonzero(fast)[0]
+        betas[fast] = be.to_host(
+            be.solve(be.take(gram, idx), be.take(rhs, idx))
+        )
     for b in np.nonzero(~fast)[0]:
         # Degenerate block: the SVD path reproduces the pre-engine
         # reference exactly, rank and singular values included.
-        beta_b, _, rank_b, sv_b = np.linalg.lstsq(
-            design[b], targets[b], rcond=None
-        )
-        betas[b] = beta_b
+        beta_b, rank_b, sv_b = be.lstsq(design_dev[b], targets_dev[b])
+        betas[b] = be.to_host(beta_b)
         ranks[b] = rank_b
         singular_values[b] = sv_b
 
@@ -354,8 +372,8 @@ def reference_solve_all_pairs(
     ``lstsq`` — the same arithmetic as one engine block, but dispatched
     per instance from Python (the overhead the engine amortizes away).
     """
-    points = np.asarray(points, dtype=np.float64)
-    probs = np.asarray(probs, dtype=np.float64)
+    points = as_float64(points)
+    probs = as_float64(probs)
     if points.ndim != 2:
         raise ValidationError(f"points must be 2-D, got shape {points.shape}")
     n, d = points.shape
@@ -369,7 +387,7 @@ def reference_solve_all_pairs(
     if center is None:
         center_vec = points.mean(axis=0)
     else:
-        center_vec = np.asarray(center, dtype=np.float64)
+        center_vec = as_float64(center)
         if center_vec.shape != (d,):
             raise ValidationError(
                 f"center must have shape ({d},), got {center_vec.shape}"

@@ -63,6 +63,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.backend import ArrayBackend, as_float64, resolve_backend
 from repro.core.equations import DEFAULT_PROB_FLOOR, log_odds
 from repro.core.types import CoreParameterEstimate, Interpretation
 from repro.exceptions import ValidationError
@@ -172,28 +173,34 @@ class _PackedGroup:
     evictions are rare next to lookups).  ``index`` optionally carries
     the group's :class:`~repro.serving.index.RegionSignIndex`, kept in
     lock-step with membership so the indexed scan path never sees a
-    stale shortlist.
+    stale shortlist.  ``backend`` is the
+    :class:`~repro.core.backend.ArrayBackend` running the claim matmuls;
+    the device copies of the stacks are cached alongside the host stacks
+    and invalidated together (identity copies under numpy).
     """
 
     __slots__ = (
-        "pairs", "cs", "cps", "keys", "index",
-        "_w", "_b", "_x0", "_stacks", "_pos",
+        "pairs", "cs", "cps", "keys", "index", "backend",
+        "_w", "_b", "_x0", "_stacks", "_dev", "_pos",
     )
 
     def __init__(
         self,
         pairs: tuple[tuple[int, int], ...],
         index: RegionSignIndex | None = None,
+        backend: str | ArrayBackend | None = None,
     ):
         self.pairs = pairs
         self.cs = np.asarray([c for c, _ in pairs], dtype=np.intp)
         self.cps = np.asarray([cp for _, cp in pairs], dtype=np.intp)
         self.keys: list[int] = []
         self.index = index
+        self.backend = resolve_backend(backend)
         self._w: list[np.ndarray] = []
         self._b: list[np.ndarray] = []
         self._x0: list[np.ndarray] = []
         self._stacks: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._dev: tuple | None = None
         self._pos: dict[int, int] | None = None
 
     def __len__(self) -> int:
@@ -211,6 +218,7 @@ class _PackedGroup:
         )
         self._x0.append(entry.x0)
         self._stacks = None
+        self._dev = None
         self._pos = None
         if self.index is not None:
             self.index.add(entry.key, entry.x0)
@@ -219,6 +227,7 @@ class _PackedGroup:
         i = self.keys.index(key)
         del self.keys[i], self._w[i], self._b[i], self._x0[i]
         self._stacks = None
+        self._dev = None
         self._pos = None
         if self.index is not None:
             self.index.discard(key)
@@ -237,11 +246,20 @@ class _PackedGroup:
             )
         return self._stacks
 
+    def device_stacked(self) -> tuple:
+        """Device copies of :meth:`stacked`, cached until the next
+        mutation (identity views under the numpy backend)."""
+        if self._dev is None:
+            be = self.backend
+            W, b, X0 = self.stacked()
+            self._dev = (be.asarray(W), be.asarray(b), be.asarray(X0))
+        return self._dev
+
     def claims_at(self, x0: np.ndarray) -> np.ndarray:
         """Every member's per-pair affine claim at ``x0`` — one matmul."""
-        W, b, _ = self.stacked()
-        m, P, d = W.shape
-        return (W.reshape(m * P, d) @ x0).reshape(m, P) + b
+        be = self.backend
+        W, b, _ = self.device_stacked()
+        return be.to_host(be.affine_claims(W, b, be.asarray(x0)))
 
 
 @dataclass(frozen=True)
@@ -395,6 +413,12 @@ class RegionCache:
         Entry lifetime in seconds for the ``"ttl"`` policy, measured from
         the entry's last touch (insert or serve).  Required iff
         ``eviction="ttl"``.
+    backend:
+        The :class:`~repro.core.backend.ArrayBackend` (or its name)
+        running the packed claim matmuls, distance scans and sign-index
+        projections; ``None`` resolves the process default (numpy unless
+        ``REPRO_BACKEND`` says otherwise).  The pass/argmin decisions,
+        eviction bookkeeping and entry payloads stay host-side.
     clock:
         Monotonic time source for TTL bookkeeping (injectable for
         deterministic tests); defaults to :func:`time.monotonic`.
@@ -450,6 +474,7 @@ class RegionCache:
         region_index: bool = False,
         index_bits: int = DEFAULT_INDEX_BITS,
         index_shortlist: int = DEFAULT_INDEX_SHORTLIST,
+        backend: str | ArrayBackend | None = None,
     ):
         if max_entries < 1:
             raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
@@ -483,6 +508,7 @@ class RegionCache:
         self.region_index = bool(region_index)
         self.index_bits = check_index_bits(index_bits)
         self.index_shortlist = int(index_shortlist)
+        self.backend = resolve_backend(backend)
         self._clock = clock if clock is not None else time.monotonic
         self.on_evict = on_evict
         self._entries: OrderedDict[int, RegionCacheEntry] = OrderedDict()
@@ -550,8 +576,8 @@ class RegionCache:
             On shape/dimensionality mismatches (see
             :func:`check_lookup_shapes`).
         """
-        x0 = np.asarray(x0, dtype=np.float64)
-        y0 = np.asarray(y0, dtype=np.float64)
+        x0 = as_float64(x0)
+        y0 = as_float64(y0)
         self._check_lookup_shapes(x0, y0)
         self._purge_expired()
         scored = self._scan(x0, y0, target_class)
@@ -608,13 +634,17 @@ class RegionCache:
         passing region into a false miss (and a full re-solve) with zero
         compute saved.
         """
+        be = self.backend
+        x0_dev = be.asarray(x0)
         errors_parts, dists_parts, keys = [], [], []
         for group in groups:
             actual = log_y[group.cs] - log_y[group.cps]      # (P,)
-            claims = group.claims_at(x0)                     # (m, P)
-            errors_parts.append(np.abs(claims - actual).max(axis=1))
-            _, _, X0 = group.stacked()
-            dists_parts.append(((X0 - x0) ** 2).sum(axis=1))
+            W, b, X0 = group.device_stacked()
+            errors, dists = be.membership_scan(
+                W, b, X0, x0_dev, be.asarray(actual)
+            )
+            errors_parts.append(errors)
+            dists_parts.append(dists)
             keys.extend(group.keys)
         errors = np.concatenate(errors_parts)
         dists = np.concatenate(dists_parts)
@@ -639,6 +669,8 @@ class RegionCache:
         cap = self.index_shortlist
         if self.max_candidates is not None:
             cap = min(cap, self.max_candidates)
+        be = self.backend
+        x0_dev = be.asarray(x0)
         best: tuple[float, int] | None = None  # (dist, key)
         for group in groups:
             shortlist = group.index.shortlist(x0, cap)
@@ -647,12 +679,11 @@ class RegionCache:
             pos = group.positions()
             rows = np.asarray([pos[k] for k in shortlist], dtype=np.intp)
             W, b, X0 = group.stacked()
-            Ws, bs, X0s = W[rows], b[rows], X0[rows]
-            m, P, d = Ws.shape
             actual = log_y[group.cs] - log_y[group.cps]
-            claims = (Ws.reshape(m * P, d) @ x0).reshape(m, P) + bs
-            errors = np.abs(claims - actual).max(axis=1)
-            dists = ((X0s - x0) ** 2).sum(axis=1)
+            errors, dists = be.membership_scan(
+                be.asarray(W[rows]), be.asarray(b[rows]),
+                be.asarray(X0[rows]), x0_dev, be.asarray(actual),
+            )
             passing = np.nonzero(errors <= self.tol)[0]
             if passing.size:
                 i = int(passing[np.argmin(dists[passing])])
@@ -763,7 +794,9 @@ class RegionCache:
         self._entries[entry.key] = entry
         group = self._groups.get(group_key)
         if group is None:
-            group = _PackedGroup(pairs, index=self._new_index(entry.x0))
+            group = _PackedGroup(
+                pairs, index=self._new_index(entry.x0), backend=self.backend
+            )
             self._groups[group_key] = group
         group.add(entry)
         self._group_of[entry.key] = group_key
@@ -779,7 +812,9 @@ class RegionCache:
         """A fresh per-group sign index (``None`` with the index off)."""
         if not self.region_index:
             return None
-        return RegionSignIndex(x0.shape[0], bits=self.index_bits)
+        return RegionSignIndex(
+            x0.shape[0], bits=self.index_bits, backend=self.backend
+        )
 
     def _touch(self, entry: RegionCacheEntry) -> None:
         """Refresh recency (LRU position) and the TTL lease of an entry."""
@@ -1043,9 +1078,9 @@ def _entry_from_record(
     }
     return RegionCacheEntry(
         key=key,
-        x0=np.asarray(x0, dtype=np.float64),
+        x0=as_float64(x0),
         target_class=target_class,
         pair_estimates=estimates,
-        decision_features=np.asarray(feats, dtype=np.float64),
+        decision_features=as_float64(feats),
         final_edge=edge,
     )

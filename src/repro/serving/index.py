@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backend import ArrayBackend, resolve_backend
 from repro.exceptions import ValidationError
 
 __all__ = [
@@ -171,6 +172,12 @@ class RegionSignIndex:
     bits:
         Number of sign hyperplanes (bucket-code bits), in
         ``[1, MAX_INDEX_BITS]``.
+    backend:
+        The :class:`~repro.core.backend.ArrayBackend` (or its name)
+        running the bank projections, code packing and shortlist
+        ranking; ``None`` resolves the process default.  The bank and
+        the bucket bookkeeping stay host-side — only projections cross
+        the seam.
 
     Raises
     ------
@@ -188,14 +195,23 @@ class RegionSignIndex:
     True
     """
 
-    __slots__ = ("d", "bits", "_bank", "_buckets", "_code_of")
+    __slots__ = (
+        "d", "bits", "_bank", "_bank_dev", "_backend", "_buckets", "_code_of",
+    )
 
-    def __init__(self, d: int, bits: int = DEFAULT_INDEX_BITS):
+    def __init__(
+        self,
+        d: int,
+        bits: int = DEFAULT_INDEX_BITS,
+        backend: str | ArrayBackend | None = None,
+    ):
         if d < 1:
             raise ValidationError(f"d must be >= 1, got {d}")
         self.d = int(d)
         self.bits = check_index_bits(bits)
+        self._backend = resolve_backend(backend)
         self._bank = hyperplane_bank(self.d, self.bits)
+        self._bank_dev = self._backend.asarray(self._bank)
         self._buckets: dict[int, _Bucket] = {}
         self._code_of: dict = {}
 
@@ -208,18 +224,13 @@ class RegionSignIndex:
 
     def code(self, x: np.ndarray) -> int:
         """The packed sign-bit bucket code of one instance."""
-        signs = (self._bank @ x) >= 0.0
-        return int(
-            signs.astype(np.uint64)
-            @ (np.uint64(1) << np.arange(self.bits, dtype=np.uint64))
-        )
+        be = self._backend
+        return be.sign_code(self._bank_dev, be.asarray(x))
 
     def codes(self, X: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`code` over ``(n, d)`` rows → ``(n,)`` uint64."""
-        signs = (X @ self._bank.T) >= 0.0
-        return signs.astype(np.uint64) @ (
-            np.uint64(1) << np.arange(self.bits, dtype=np.uint64)
-        )
+        be = self._backend
+        return be.sign_codes(be.asarray(X), self._bank_dev)
 
     def add(self, key, anchor: np.ndarray) -> None:
         """Index one entry (replacing any previous anchor for ``key``)."""
@@ -289,8 +300,8 @@ class RegionSignIndex:
         if len(keys) <= k:
             return keys
         anchors = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
-        dists = ((anchors - x) ** 2).sum(axis=1)
-        nearest = np.argpartition(dists, k - 1)[:k]
+        be = self._backend
+        nearest = be.nearest_k(be.asarray(anchors), be.asarray(x), k)
         return [keys[i] for i in nearest]
 
     def _probes(self, code: int):

@@ -53,6 +53,7 @@ from repro.api.service import (
     PredictionAPI,
 )
 from repro.api.transport import QueryBroker, QueryClient
+from repro.core.backend import resolve_backend
 from repro.core.batch import BatchOpenAPIInterpreter
 from repro.exceptions import (
     APIBudgetExceededError,
@@ -132,6 +133,17 @@ class InterpretationService:
         exhausted transport retries come back as structured
         ``transport_failed`` envelopes.  Meter accounting keeps reading
         the underlying API, so the lifetime totals stay exact.
+    backend:
+        The :class:`~repro.core.backend.ArrayBackend` (or its name) for
+        the hot array kernels — it configures the default region cache
+        and is recorded as the service's *effective* backend
+        (``self.backend``; surfaces in
+        :meth:`~repro.serving.metrics.ServiceStats.as_dict` under
+        ``"backend"``).  When a pre-built ``cache``/``store`` is passed,
+        *its* backend is the effective one — the tier that runs the
+        kernels decides.  ``None`` resolves the process default;
+        requesting an unavailable accelerator warns once and serves
+        numpy.
 
     Raises
     ------
@@ -165,6 +177,7 @@ class InterpretationService:
         max_wait_s: float = 0.002,
         broker: QueryBroker | None = None,
         seed: SeedLike = None,
+        backend=None,
         **interpreter_kwargs,
     ):
         if max_batch_size < 1:
@@ -191,6 +204,7 @@ class InterpretationService:
                 )
         self.api = api
         self.broker = broker
+        resolved_backend = resolve_backend(backend)
         self.interpreter = interpreter or BatchOpenAPIInterpreter(
             seed=seed, **interpreter_kwargs
         )
@@ -203,14 +217,23 @@ class InterpretationService:
             (
                 store
                 if store is not None
-                else (cache if cache is not None else RegionCache())
+                else (
+                    cache
+                    if cache is not None
+                    else RegionCache(backend=resolved_backend)
+                )
             )
             if enable_cache
             else None
         )
+        # The effective backend is whatever the region tier actually runs
+        # its kernels on (a pre-built cache/store carries its own).
+        self.backend = (
+            getattr(self.cache, "backend", None) or resolved_backend
+        )
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_s)
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(backend=self.backend.name)
 
         self._queue: deque[PendingResponse] = deque()
         self._cv = threading.Condition()

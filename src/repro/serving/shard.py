@@ -46,6 +46,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.api.service import PredictionAPI
+from repro.core.backend import as_float64, resolve_backend
 from repro.core.batch import BatchOpenAPIInterpreter
 from repro.core.equations import DEFAULT_PROB_FLOOR
 from repro.core.types import Interpretation
@@ -201,11 +202,12 @@ class ShardedRegionCache:
     max_entries:
         Global resident-entry budget across all shards.
     tol, max_candidates, floor, eviction, ttl_s, clock, on_evict,
-    region_index, index_bits, index_shortlist:
+    region_index, index_bits, index_shortlist, backend:
         Forwarded to every shard (each shard keeps its own per-group
         sign indexes over 1/``n_shards`` of the inventory;
         ``on_evict`` fires for evictions from any shard, under that
-        shard's lock); see :class:`RegionCache`.
+        shard's lock; the backend resolves once and every shard shares
+        the instance); see :class:`RegionCache`.
 
     Raises
     ------
@@ -249,6 +251,7 @@ class ShardedRegionCache:
         region_index: bool = False,
         index_bits: int = DEFAULT_INDEX_BITS,
         index_shortlist: int = DEFAULT_INDEX_SHORTLIST,
+        backend=None,
     ):
         if n_shards < 1:
             raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
@@ -257,6 +260,7 @@ class ShardedRegionCache:
         self.n_shards = int(n_shards)
         self.max_entries = int(max_entries)
         per_shard = -(-self.max_entries // self.n_shards)  # ceil division
+        backend = resolve_backend(backend)
         self._shards = [
             RegionCache(
                 max_entries=per_shard,
@@ -270,6 +274,7 @@ class ShardedRegionCache:
                 region_index=region_index,
                 index_bits=index_bits,
                 index_shortlist=index_shortlist,
+                backend=backend,
             )
             for _ in range(self.n_shards)
         ]
@@ -285,6 +290,7 @@ class ShardedRegionCache:
         self.ttl_s = self._shards[0].ttl_s
         self.region_index = self._shards[0].region_index
         self.index_bits = self._shards[0].index_bits
+        self.backend = self._shards[0].backend
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -317,8 +323,8 @@ class ShardedRegionCache:
             On shape/dimensionality mismatches (checked at the sharded
             level so empty shards cannot mask an inconsistent query).
         """
-        x0 = np.asarray(x0, dtype=np.float64)
-        y0 = np.asarray(y0, dtype=np.float64)
+        x0 = as_float64(x0)
+        y0 = as_float64(y0)
         check_lookup_shapes(
             x0, y0, dim=self._dim, min_classes=self._min_classes
         )
@@ -510,12 +516,14 @@ class ShardedInterpretationService(InterpretationService):
         ``cache``; see :class:`InterpretationService`).
     max_queue:
         Bound on queued-but-unflushed requests (backpressure threshold).
-    max_batch_size, max_wait_s, broker, seed, interpreter_kwargs:
+    max_batch_size, max_wait_s, broker, seed, backend, interpreter_kwargs:
         As in :class:`InterpretationService`; worker ``i`` derives its
         interpreter seed deterministically from ``seed``.  With a
         ``broker``, each flush worker takes its own
         :class:`~repro.api.BrokerHandle`, so the concurrent workers'
         probe and lock-step rounds fuse into shared round trips.
+        ``backend`` reaches the default sharded cache (and the solve
+        engine via the service).
 
     Raises
     ------
@@ -538,6 +546,7 @@ class ShardedInterpretationService(InterpretationService):
         max_queue: int = 1024,
         broker=None,
         seed: SeedLike = None,
+        backend=None,
         **interpreter_kwargs,
     ):
         if n_workers < 1:
@@ -545,7 +554,7 @@ class ShardedInterpretationService(InterpretationService):
         if max_queue < 1:
             raise ValidationError(f"max_queue must be >= 1, got {max_queue}")
         if cache is None and store is None and enable_cache:
-            cache = ShardedRegionCache(n_shards=n_shards)
+            cache = ShardedRegionCache(n_shards=n_shards, backend=backend)
         super().__init__(
             api,
             cache=cache,
@@ -555,6 +564,7 @@ class ShardedInterpretationService(InterpretationService):
             max_wait_s=max_wait_s,
             broker=broker,
             seed=seed,
+            backend=backend,
             **interpreter_kwargs,
         )
         self.n_workers = int(n_workers)

@@ -60,6 +60,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.backend import ArrayBackend, as_float64, resolve_backend
 from repro.core.equations import DEFAULT_PROB_FLOOR
 from repro.core.types import CoreParameterEstimate, Interpretation
 from repro.exceptions import ValidationError
@@ -243,6 +244,12 @@ class SegmentStore:
         on open, so crash safety is untouched.
     index_bits, index_shortlist:
         Sign-code width / shortlist size, as :class:`RegionSignIndex`.
+    backend:
+        The :class:`~repro.core.backend.ArrayBackend` (or its name)
+        running the gathered-stack membership matmuls; ``None`` resolves
+        the process default.  The mmap'd segments, CRC framing, tail
+        index JSON and compaction all stay host-side — only the gathered
+        per-scan stacks cross the seam.
 
     Raises
     ------
@@ -262,6 +269,7 @@ class SegmentStore:
         region_index: bool = False,
         index_bits: int = DEFAULT_INDEX_BITS,
         index_shortlist: int = DEFAULT_INDEX_SHORTLIST,
+        backend: str | ArrayBackend | None = None,
     ):
         if max_bytes is not None and max_bytes < 1:
             raise ValidationError(
@@ -283,6 +291,7 @@ class SegmentStore:
         self.region_index = bool(region_index)
         self.index_bits = check_index_bits(index_bits)
         self.index_shortlist = int(index_shortlist)
+        self.backend = resolve_backend(backend)
         self._segments: list[str] = []
         self._records: list[_L2Record] = []     # append order
         self._by_sig: dict[int, _L2Record] = {}  # live records only
@@ -363,9 +372,7 @@ class SegmentStore:
                     live=bool(live),
                     touch=int(touch),
                     anchor=(
-                        np.asarray(anchor, dtype=np.float64)
-                        if anchor is not None
-                        else None
+                        as_float64(anchor) if anchor is not None else None
                     ),
                 )
                 self._adopt(record)
@@ -418,7 +425,9 @@ class SegmentStore:
         if self.region_index:
             index = self._group_indexes.get(key)
             if index is None:
-                index = RegionSignIndex(record.d, bits=self.index_bits)
+                index = RegionSignIndex(
+                    record.d, bits=self.index_bits, backend=self.backend
+                )
                 self._group_indexes[key] = index
             index.add(record.signature, self._anchor_of(record))
 
@@ -744,6 +753,8 @@ class SegmentStore:
         squared distance)`` or ``None``.
         """
         cap = self.index_shortlist
+        be = self.backend
+        x0_dev = be.asarray(x0)
         best: tuple[float, int] | None = None  # (dist, signature)
         for (tc, pairs), group_members in self._live_groups.items():
             if tc != target_class or not group_members:
@@ -781,9 +792,10 @@ class SegmentStore:
             cs = np.asarray([c for c, _ in pairs], dtype=np.intp)
             cps = np.asarray([cp for _, cp in pairs], dtype=np.intp)
             actual = log_y[cs] - log_y[cps]
-            claims = (W.reshape(m * P, d) @ x0).reshape(m, P) + B
-            errors = np.abs(claims - actual).max(axis=1)
-            dists = ((X0 - x0) ** 2).sum(axis=1)
+            errors, dists = be.membership_scan(
+                be.asarray(W), be.asarray(B), be.asarray(X0),
+                x0_dev, be.asarray(actual),
+            )
             passing = np.nonzero(errors <= tol)[0]
             if passing.size:
                 i = int(passing[np.argmin(dists[passing])])
@@ -1057,6 +1069,10 @@ class TieredRegionStore:
     index_bits, index_shortlist:
         Sign-code width / shortlist size, forwarded to both tiers (see
         :class:`~repro.serving.index.RegionSignIndex`).
+    backend:
+        The :class:`~repro.core.backend.ArrayBackend` (or its name) for
+        *both* tiers' membership kernels, resolved once and shared
+        (``None`` = process default); surfaces as ``self.backend``.
 
     Raises
     ------
@@ -1107,11 +1123,13 @@ class TieredRegionStore:
         region_index: bool = False,
         index_bits: int = DEFAULT_INDEX_BITS,
         index_shortlist: int = DEFAULT_INDEX_SHORTLIST,
+        backend: str | ArrayBackend | None = None,
     ):
         self.tol = check_positive(tol, name="tol")
         self.floor = check_positive(floor, name="floor")
         self.region_index = bool(region_index)
         self.index_bits = check_index_bits(index_bits)
+        self.backend = resolve_backend(backend)
         self._lock = threading.RLock()
         self._l2 = SegmentStore(
             directory,
@@ -1121,6 +1139,7 @@ class TieredRegionStore:
             region_index=region_index,
             index_bits=index_bits,
             index_shortlist=index_shortlist,
+            backend=self.backend,
         )
         self._l1 = ShardedRegionCache(
             n_shards=n_shards,
@@ -1135,6 +1154,7 @@ class TieredRegionStore:
             region_index=region_index,
             index_bits=index_bits,
             index_shortlist=index_shortlist,
+            backend=self.backend,
         )
         self._l2_hits = 0
         self._l2_misses = 0
@@ -1198,8 +1218,8 @@ class TieredRegionStore:
         hit = self._l1.lookup(x0, y0, target_class)
         if hit is not None:
             return hit
-        x0 = np.asarray(x0, dtype=np.float64)
-        y0 = np.asarray(y0, dtype=np.float64)
+        x0 = as_float64(x0)
+        y0 = as_float64(y0)
         with self._lock:
             scored = self._l2.scan(
                 x0, y0, target_class, tol=self.tol, floor=self.floor
@@ -1415,9 +1435,9 @@ def _interpretation_from_record(record: tuple, method: str) -> Interpretation:
         for i, pair in enumerate(pairs)
     }
     return Interpretation(
-        x0=np.asarray(x0, dtype=np.float64),
+        x0=as_float64(x0),
         target_class=target_class,
-        decision_features=np.asarray(feats, dtype=np.float64),
+        decision_features=as_float64(feats),
         pair_estimates=estimates,
         method=method,
         iterations=0,

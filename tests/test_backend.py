@@ -1,0 +1,233 @@
+"""Unit tests for the array-backend seam: resolution, fallback, coercion.
+
+The adapter-contract and cross-backend equivalence tests live in
+``tests/test_backend_conformance.py``; this module covers the seam's
+plumbing — :func:`resolve_backend` semantics, the warn-once numpy
+fallback for absent accelerators, the ``as_float64`` entry coercion
+(including the float32-upcast property across engine / cache / store
+entry points), and the CLI's choice-list pin.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import _BACKEND_CHOICES
+from repro.core import OpenAPIInterpreter
+from repro.core.backend import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    ArrayBackend,
+    NumpyBackend,
+    StubBackend,
+    as_float64,
+    available_backends,
+    backend_available,
+    pack_sign_bits,
+    resolve_backend,
+    reset_backend_state,
+)
+from repro.core.engine import solve_pair_systems_stacked, _bench_problem
+from repro.exceptions import ValidationError
+from repro.serving import InterpretationService, RegionCache
+from repro.serving.store import TieredRegionStore
+
+
+@pytest.fixture()
+def clean_backend_state():
+    """Run with (and leave behind) pristine singleton/warning state."""
+    reset_backend_state()
+    yield
+    reset_backend_state()
+
+
+class TestAsFloat64:
+    def test_float64_passes_through_without_copy(self):
+        a = np.arange(6, dtype=np.float64)
+        assert as_float64(a) is a
+
+    def test_list_and_float32_coerce(self):
+        assert as_float64([1, 2]).dtype == np.float64
+        assert as_float64(np.ones(3, dtype=np.float32)).dtype == np.float64
+
+    @given(
+        st.lists(
+            st.floats(
+                allow_nan=False, allow_infinity=False, width=32,
+                min_value=-1e6, max_value=1e6,
+            ),
+            min_size=1, max_size=32,
+        )
+    )
+    def test_float32_upcast_is_lossless(self, values):
+        """Upcasting float32 input is exact: coercing at the seam gives
+        bitwise the same array as the caller upcasting beforehand."""
+        x32 = np.asarray(values, dtype=np.float32)
+        seam = as_float64(x32)
+        assert seam.dtype == np.float64
+        assert np.array_equal(seam, x32.astype(np.float64))
+
+
+class TestPackSignBits:
+    def test_known_codes(self):
+        signs = np.array([[True, False, True], [False, False, False]])
+        codes = pack_sign_bits(signs)
+        assert codes.dtype == np.uint64
+        assert codes.tolist() == [0b101, 0]
+
+    def test_bit_64_boundary(self):
+        signs = np.zeros(64, dtype=bool)
+        signs[63] = True
+        assert int(pack_sign_bits(signs)) == 1 << 63
+
+
+class TestResolveBackend:
+    def test_instance_passes_through(self):
+        be = NumpyBackend()
+        assert resolve_backend(be) is be
+
+    def test_names_resolve_to_singletons(self, clean_backend_state):
+        assert resolve_backend("numpy") is resolve_backend("numpy")
+        assert resolve_backend("stub") is resolve_backend("stub")
+        assert isinstance(resolve_backend("stub"), StubBackend)
+
+    def test_name_is_normalized(self, clean_backend_state):
+        assert resolve_backend("  NumPy ") is resolve_backend("numpy")
+
+    def test_none_reads_environment(self, clean_backend_state, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "stub")
+        assert resolve_backend(None).name == "stub"
+        monkeypatch.delenv(BACKEND_ENV_VAR)
+        assert resolve_backend(None).name == "numpy"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValidationError, match="unknown array backend"):
+            resolve_backend("jax")
+
+    def test_availability_predicates(self):
+        assert backend_available("numpy")
+        assert backend_available("stub")
+        assert not backend_available("not-a-backend")
+        names = available_backends()
+        assert names[:2] == ["numpy", "stub"]
+        for name in names:
+            assert isinstance(resolve_backend(name), ArrayBackend)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        pytest.param(
+            "cupy",
+            marks=pytest.mark.skipif(
+                backend_available("cupy"), reason="cupy installed"
+            ),
+        ),
+        pytest.param(
+            "torch",
+            marks=pytest.mark.skipif(
+                backend_available("torch"), reason="torch installed"
+            ),
+        ),
+    ],
+)
+class TestMissingBackendFallback:
+    def test_warns_exactly_once_then_serves_numpy(
+        self, name, clean_backend_state
+    ):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = resolve_backend(name)
+        assert first.name == "numpy"
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, RuntimeWarning)
+        assert "falling back to numpy" in str(caught[0].message)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            second = resolve_backend(name)
+        assert second is first
+        assert caught == []
+
+    def test_effective_name_surfaces_in_service_stats(
+        self, name, clean_backend_state, relu_api
+    ):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            service = InterpretationService(relu_api, backend=name)
+        with service:
+            payload = service.stats().as_dict()
+        assert payload["backend"] == "numpy"
+
+
+class TestCliChoicePin:
+    def test_cli_choices_mirror_backend_names(self):
+        """``cli._BACKEND_CHOICES`` is a literal (kept import-light);
+        this pin keeps it synchronized with the seam's registry."""
+        assert _BACKEND_CHOICES == BACKEND_NAMES
+
+
+class TestFloat32UpcastEquivalence:
+    """Entering any hot layer with float32 gives the float64 answer."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_engine_entry(self, seed):
+        points, probs, classes, centers = _bench_problem(3, 6, 4, 3, seed)
+        p32 = points.astype(np.float32)
+        q32 = probs.astype(np.float32)
+        c32 = centers.astype(np.float32)
+        # float32 inputs are not the same real numbers as the float64
+        # originals, so the oracle is the caller upcasting beforehand:
+        # the seam's coercion must be equivalent to that, bitwise.
+        out32 = solve_pair_systems_stacked(p32, q32, classes, centers=c32)
+        ref = solve_pair_systems_stacked(
+            p32.astype(np.float64),
+            q32.astype(np.float64),
+            classes,
+            centers=c32.astype(np.float64),
+        )
+        for eng, exp in zip(out32, ref):
+            assert eng.keys() == exp.keys()
+            for pair in exp:
+                assert np.array_equal(
+                    eng[pair].result.weights, exp[pair].result.weights
+                )
+                assert eng[pair].certified == exp[pair].certified
+
+    def test_cache_entry(self, relu_api, blobs3):
+        x0 = blobs3.X[0]
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, x0)
+        cache = RegionCache()
+        assert cache.insert(interp)
+        y0 = relu_api.predict_proba(x0)
+        x32 = x0.astype(np.float32)
+        y32 = y0.astype(np.float32)
+        hit32 = cache.lookup(x32, y32, interp.target_class)
+        ref = cache.lookup(
+            x32.astype(np.float64), y32.astype(np.float64),
+            interp.target_class,
+        )
+        assert hit32 is not None and ref is not None
+        assert np.array_equal(hit32.decision_features, ref.decision_features)
+
+    def test_store_entry(self, relu_api, blobs3, tmp_path):
+        x0 = blobs3.X[0]
+        interp = OpenAPIInterpreter(seed=0).interpret(relu_api, x0)
+        store = TieredRegionStore(directory=tmp_path / "l2", fsync=False)
+        assert store.insert(interp)
+        y0 = relu_api.predict_proba(x0)
+        x32 = x0.astype(np.float32)
+        y32 = y0.astype(np.float32)
+        hit32 = store.lookup(x32, y32, interp.target_class)
+        ref = store.lookup(
+            x32.astype(np.float64), y32.astype(np.float64),
+            interp.target_class,
+        )
+        assert hit32 is not None and ref is not None
+        assert np.array_equal(hit32.decision_features, ref.decision_features)
