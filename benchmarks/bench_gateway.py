@@ -1,0 +1,92 @@
+"""Multi-process gateway: worker-fleet scaling with bitwise identity.
+
+The gateway's claim (``repro/serving/gateway.py``): interpretation
+serving parallelizes across *processes* without changing a single
+answer byte.  Workers train the demo PLNN independently (deterministic
+recipe), solve with per-instance seeding (every certified solve a pure
+function of ``(seed, x0)``), and share one mmap'd L2 segment directory
+a single writer appends to — so whichever worker, tier, or epoch
+serves a request, the payload is bitwise the sequential single-process
+service's.  This bench replays one drifting-Zipf stream over
+region-distinct anchors through the reference and two fleet arms and
+gates:
+
+* **bitwise identity, always** (``--tiny`` included) — every fleet
+  response payload equals the single-process reference's, request by
+  request, at every worker count;
+* **fleet scaling** (full scale, >= 2 cores) — the 4-worker fleet must
+  serve >= ``min(2.0, 0.5 * min(4, cores))`` times the 1-worker
+  fleet's throughput.
+
+The workload, arms and gates live in
+:func:`repro.serving.run_gateway_benchmark`, shared with the
+``python -m repro serve --gateway`` path's machinery.
+
+Run standalone (the CI smoke uses ``--tiny``)::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py --tiny
+    PYTHONPATH=src python benchmarks/bench_gateway.py \\
+        --output BENCH_gateway.json
+
+or as a pytest bench: ``pytest benchmarks/bench_gateway.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.io import write_report
+from repro.serving import gateway_gate_failures, run_gateway_benchmark
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="multi-process gateway: worker-fleet throughput "
+        "scaling under a bitwise-identity gate"
+    )
+    parser.add_argument("--requests", type=int, default=240)
+    parser.add_argument("--anchors", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--concurrency", type=int, default=8,
+        help="concurrent HTTP client threads during the replay "
+        "(default: 8)",
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke scale (small model, 48 requests, 1- and 4-worker "
+        "fleets, bitwise gates only)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="write the report here (JSON for .json paths, text "
+        "otherwise)",
+    )
+    args = parser.parse_args(argv)
+
+    report, min_speedup = run_gateway_benchmark(
+        n_requests=args.requests, n_anchors=args.anchors,
+        seed=args.seed, tiny=args.tiny, concurrency=args.concurrency,
+    )
+    print(report.as_text())
+    if args.output:
+        write_report(args.output, report)
+        print(f"\nreport written to {args.output}")
+
+    failures = gateway_gate_failures(report, min_speedup=min_speedup)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_gateway_bench(record_result):
+    """Pytest-harness entry (``pytest benchmarks/bench_gateway.py``)."""
+    report, min_speedup = run_gateway_benchmark()
+    record_result("gateway", report.as_text())
+    failures = gateway_gate_failures(report, min_speedup=min_speedup)
+    assert not failures, failures
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

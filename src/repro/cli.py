@@ -66,9 +66,8 @@ import numpy as np
 
 from repro.api import PredictionAPI
 from repro.core import OpenAPIInterpreter, verify_interpretation
-from repro.data import available_datasets, load_dataset, train_test_split
+from repro.data import available_datasets
 from repro.eval.runner import EXPERIMENT_IDS, resolve_config, run_experiments
-from repro.models import ReLUNetwork, TrainingConfig, train_network
 
 __all__ = ["main", "build_parser"]
 
@@ -85,6 +84,13 @@ _BROKER_FLAG_DEFAULTS = {
 #: and the serve-flag validation for the same reason.
 _L2_FLAG_DEFAULTS = {
     "compact_ratio": 0.5,
+}
+
+#: Defaults of the multi-process gateway flags, shared between the
+#: parser and the serve-flag validation for the same reason.
+_GATEWAY_FLAG_DEFAULTS = {
+    "gateway_workers": 2,
+    "port": 0,
 }
 
 #: Defaults of the region-index tuning flags, shared between the parser
@@ -186,6 +192,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=1,
         help="concurrent flush workers for the sharded tier (default: 1)",
+    )
+    serve.add_argument(
+        "--gateway", action="store_true",
+        help="serve over the multi-process gateway: an asyncio HTTP/JSON "
+        "front end routing requests across a fleet of worker processes, "
+        "each a full interpretation service over a shared read-only view "
+        "of the --l2-dir disk tier (requires --l2-dir; see "
+        "docs/serving.md)",
+    )
+    serve.add_argument(
+        "--gateway-workers", type=int,
+        default=_GATEWAY_FLAG_DEFAULTS["gateway_workers"],
+        help="worker processes in the gateway fleet (requires --gateway; "
+        "default: 2)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=_GATEWAY_FLAG_DEFAULTS["port"],
+        help="gateway TCP port (requires --gateway; default: 0 = "
+        "ephemeral, the bound port is printed on startup)",
     )
     serve.add_argument(
         "--max-entries", type=int, default=512,
@@ -470,15 +495,16 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _train_demo_model(dataset: str, seed: int, *, epochs: int = 120):
     """Train the quickstart PLNN over a named dataset (shared by the
-    interactive and serving commands)."""
-    data = load_dataset(dataset, 800, seed=seed)
-    train, test = train_test_split(data, test_fraction=0.25, seed=seed)
-    model = ReLUNetwork([data.n_features, 32, 16, data.n_classes], seed=seed)
-    train_network(
-        model, train.X, train.y,
-        TrainingConfig(epochs=epochs, learning_rate=3e-3, seed=seed),
-    )
-    return data, test, model
+    interactive and serving commands).
+
+    Delegates to :func:`repro.serving.worker.train_worker_model` — the
+    same deterministic recipe every gateway worker process runs — so
+    the model the CLI serves in-process is bitwise the model the
+    multi-process fleet serves.
+    """
+    from repro.serving.worker import train_worker_model
+
+    return train_worker_model(dataset, seed, epochs=epochs)
 
 
 _WORKLOADS = {
@@ -505,6 +531,51 @@ def _validate_serve_flags(args: argparse.Namespace) -> str | None:
         return "--shards and --workers must be >= 1"
     if args.max_entries < 1:
         return "--max-entries must be >= 1"
+    if args.gateway_workers < 1:
+        return f"--gateway-workers must be >= 1, got {args.gateway_workers}"
+    if not 0 <= args.port <= 65535:
+        return f"--port must be in [0, 65535], got {args.port}"
+    if not args.gateway:
+        gateway_flags = []
+        for attr, default in _GATEWAY_FLAG_DEFAULTS.items():
+            if getattr(args, attr) != default:
+                gateway_flags.append(f"--{attr.replace('_', '-')}")
+        if gateway_flags:
+            return (f"{'/'.join(gateway_flags)} configure the "
+                    "multi-process gateway and require --gateway "
+                    "(without it they would be silently ignored)")
+    else:
+        if not args.l2_dir:
+            return ("--gateway serves a worker-process fleet over one "
+                    "shared disk tier and requires --l2-dir DIR (the "
+                    "gateway's single writer owns that directory)")
+        if args.no_cache:
+            return ("--gateway workers serve from the shared region "
+                    "tier; --no-cache contradicts it (drop --no-cache)")
+        if args.broker:
+            return ("--broker coalesces queries inside one process; "
+                    "with --gateway the queries run in worker processes "
+                    "(drop --broker)")
+        if args.shards != 1 or args.workers != 1:
+            return ("--shards/--workers select the in-process sharded "
+                    "tier; with --gateway the parallelism is the worker "
+                    "fleet (use --gateway-workers)")
+        if args.snapshot or args.warm_start:
+            return ("--snapshot/--warm-start act on the in-process "
+                    "cache; with --gateway the shared --l2-dir already "
+                    "persists every harvested region (drop them)")
+        if args.eviction == "ttl":
+            return ("--eviction ttl configures the in-process cache; "
+                    "--gateway workers run an LRU L1 over the shared L2 "
+                    "(drop --eviction)")
+        if args.l2_max_bytes is not None:
+            return ("--l2-max-bytes bounds the in-process tiered store; "
+                    "the gateway's writer appends without an online "
+                    "byte budget (drop --l2-max-bytes)")
+        if args.compact_ratio != _L2_FLAG_DEFAULTS["compact_ratio"]:
+            return ("--compact-ratio tunes in-process compaction; the "
+                    "gateway's writer never compacts while readers hold "
+                    "the segments (drop --compact-ratio)")
     if args.no_cache and (args.snapshot or args.warm_start):
         return ("--snapshot/--warm-start require the cache enabled "
                 "(drop --no-cache)")
@@ -595,6 +666,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if error is not None:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.gateway:
+        return _cmd_serve_gateway(args)
     try:
         data, test, model = _train_demo_model(args.dataset, args.seed)
     except ValidationError as exc:
@@ -736,6 +809,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.store.close()
         print(f"\nL2 tier persisted to {args.l2_dir} "
               f"({drained} L1 entries drained to disk at shutdown)")
+    return 0 if not errors else 1
+
+
+def _cmd_serve_gateway(args: argparse.Namespace) -> int:
+    """The ``serve --gateway`` path: spawn the worker fleet, replay the
+    workload over HTTP, report the aggregated fleet stats."""
+    from repro import serving
+    from repro.exceptions import ValidationError
+    from repro.serving.gateway import Gateway, replay_workload
+    from repro.serving.worker import train_worker_model
+
+    try:
+        data, test, _model = train_worker_model(args.dataset, args.seed)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    anchors = test.X[: min(args.clusters, test.n_samples)]
+    workload_fn = getattr(serving, _WORKLOADS[args.workload])
+    requests = workload_fn(anchors, args.requests, seed=args.seed)
+    print(f"dataset: {data.name} (d={data.n_features}, "
+          f"C={data.n_classes})")
+    print(f"starting gateway fleet: {args.gateway_workers} worker "
+          f"process(es) over shared L2 at {args.l2_dir} "
+          f"(each trains the demo PLNN independently and "
+          f"deterministically)")
+    try:
+        gateway = Gateway(
+            n_workers=args.gateway_workers,
+            l2_dir=args.l2_dir,
+            dataset=args.dataset,
+            seed=args.seed,
+            port=args.port,
+            max_entries=args.max_entries,
+            region_index=args.region_index,
+            index_bits=args.index_bits if args.region_index else None,
+            backend=args.backend,
+        )
+        gateway.start()
+    except (ValidationError, OSError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(f"gateway listening on http://{gateway.host}:{gateway.port}")
+        print(f"replaying {args.requests} {args.workload} requests over "
+              f"{anchors.shape[0]} anchor instances\n")
+        responses, elapsed = replay_workload(
+            gateway.host, gateway.port, requests,
+        )
+        errors = [r for r in responses if not r.get("ok")]
+        print(f"{len(responses) - len(errors)} interpretations served, "
+              f"{len(errors)} errors in {elapsed:.2f}s")
+        print("\n--- gateway stats ---")
+        print(gateway.stats().as_text())
+    finally:
+        gateway.stop()
     return 0 if not errors else 1
 
 

@@ -21,7 +21,11 @@ from repro.core.backend import (
     resolve_backend,
 )
 from repro.core.types import Attribution, CoreParameterEstimate, Interpretation
-from repro.core.sampling import sample_hypercube, HypercubeSampler
+from repro.core.sampling import (
+    sample_hypercube,
+    instance_generator,
+    HypercubeSampler,
+)
 from repro.core.equations import (
     log_odds,
     pairwise_log_odds_targets,
@@ -70,6 +74,7 @@ __all__ = [
     "CoreParameterEstimate",
     "Interpretation",
     "sample_hypercube",
+    "instance_generator",
     "HypercubeSampler",
     "log_odds",
     "pairwise_log_odds_targets",

@@ -491,6 +491,11 @@ _OPTIONAL = ("cupy", "torch")
 _lock = threading.Lock()
 _instances: dict[str, ArrayBackend] = {}
 _warned: set[str] = set()
+#: Pid that populated ``_instances``.  A forked child inherits the
+#: parent's singletons — for device-holding backends (torch/cupy) those
+#: wrap CUDA contexts that are invalid across ``fork``, so resolution
+#: discards inherited state when it notices the pid changed.
+_owner_pid = os.getpid()
 
 
 def backend_available(name: str) -> bool:
@@ -540,6 +545,7 @@ def resolve_backend(backend: "str | ArrayBackend | None" = None) -> ArrayBackend
             f"{(*BACKEND_NAMES, 'stub')}"
         )
     with _lock:
+        _discard_foreign_state()
         instance = _instances.get(name)
         if instance is None:
             if name in _OPTIONAL and not backend_available(name):
@@ -562,9 +568,26 @@ def resolve_backend(backend: "str | ArrayBackend | None" = None) -> ArrayBackend
         return instance
 
 
+def _discard_foreign_state() -> None:
+    """Drop singletons inherited from another process (call under
+    ``_lock``).  After ``fork`` the child's ``_instances`` still holds
+    the parent's objects; re-resolving them fresh makes worker processes
+    honor their own :data:`BACKEND_ENV_VAR` and rebuild any
+    device-holding backend instead of reusing a context that does not
+    survive the fork."""
+    global _owner_pid
+    pid = os.getpid()
+    if pid != _owner_pid:
+        _instances.clear()
+        _warned.clear()
+        _owner_pid = pid
+
+
 def reset_backend_state() -> None:
     """Forget cached backend singletons and fallback warnings (tests
     use this to re-observe the warn-once behavior)."""
+    global _owner_pid
     with _lock:
         _instances.clear()
         _warned.clear()
+        _owner_pid = os.getpid()

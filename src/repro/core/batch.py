@@ -43,7 +43,11 @@ import numpy as np
 from repro.api.transport import QueryClient
 from repro.core.equations import DEFAULT_PROB_FLOOR
 from repro.core.rounds import build_interpretation, run_solve_rounds_batched
-from repro.core.sampling import HypercubeSampler
+from repro.core.sampling import (
+    HypercubeSampler,
+    instance_generator,
+    sample_hypercube,
+)
 from repro.core.types import Interpretation
 from repro.exceptions import (
     APIBudgetExceededError,
@@ -68,6 +72,7 @@ class _InstanceState:
     iterations: int = 0
     done: bool = False
     result: Interpretation | None = None
+    rng: np.random.Generator | None = None  # per_instance_seed mode only
 
 
 @dataclass(frozen=True)
@@ -111,7 +116,20 @@ class BatchOpenAPIInterpreter:
     """Lock-step OpenAPI over a batch of instances (same math, fewer trips).
 
     Constructor parameters mirror
-    :class:`~repro.core.openapi.OpenAPIInterpreter`.
+    :class:`~repro.core.openapi.OpenAPIInterpreter`, plus:
+
+    per_instance_seed:
+        When True, every instance draws its samples from a private
+        generator derived from ``(seed, x0 bytes)``
+        (:func:`~repro.core.sampling.instance_generator`) instead of the
+        interpreter's shared advancing stream.  Results then depend only
+        on the instance and the seed — not on solve order, batch
+        composition, or which process ran the solve — which is the
+        property the multi-process serving fleet's bitwise-identity
+        guarantee rests on.  Requires an integer (or ``None``) seed so
+        the derivation is reproducible across processes.  Off by
+        default: the shared-stream behaviour (and its exact sample
+        sequences) is unchanged for existing callers.
     """
 
     method_name = "openapi"
@@ -127,6 +145,7 @@ class BatchOpenAPIInterpreter:
         prob_floor: float = DEFAULT_PROB_FLOOR,
         clip_box: tuple[float, float] | None = None,
         seed: SeedLike = None,
+        per_instance_seed: bool = False,
     ):
         if max_iterations < 1:
             raise ValidationError(f"max_iterations must be >= 1, got {max_iterations}")
@@ -136,6 +155,16 @@ class BatchOpenAPIInterpreter:
         self.rtol = check_positive(rtol, name="rtol")
         self.atol = check_positive(atol, name="atol")
         self.prob_floor = check_positive(prob_floor, name="prob_floor")
+        self.per_instance_seed = bool(per_instance_seed)
+        if self.per_instance_seed and not (
+            seed is None or isinstance(seed, (int, np.integer))
+        ):
+            raise ValidationError(
+                "per_instance_seed requires an integer (or None) seed — "
+                "the per-instance derivation must be reproducible in any "
+                f"process, got {type(seed).__name__}"
+            )
+        self._seed = seed
         self._sampler = HypercubeSampler(seed, clip_box=clip_box)
 
     # ------------------------------------------------------------------ #
@@ -246,6 +275,11 @@ class BatchOpenAPIInterpreter:
                 _InstanceState(
                     x0=X[i], y0=y0_all[i], target_class=c,
                     edge=self.initial_edge,
+                    rng=(
+                        instance_generator(self._seed, X[i])
+                        if self.per_instance_seed
+                        else None
+                    ),
                 )
             )
 
@@ -260,7 +294,13 @@ class BatchOpenAPIInterpreter:
             # (through a broker handle it additionally fuses with other
             # callers' concurrent rounds — same rows, fewer trips).
             sample_blocks = [
-                self._sampler.draw(s.x0, s.edge, d + 1) for s in active
+                sample_hypercube(
+                    s.x0, s.edge, d + 1, s.rng,
+                    clip_box=self._sampler.clip_box,
+                )
+                if s.rng is not None
+                else self._sampler.draw(s.x0, s.edge, d + 1)
+                for s in active
             ]
             stacked = np.vstack(sample_blocks)
             try:

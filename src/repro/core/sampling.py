@@ -14,13 +14,44 @@ satisfying a foreign region's linear identity (Theorems 1-2).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive, check_vector
 
-__all__ = ["sample_hypercube", "HypercubeSampler"]
+__all__ = ["sample_hypercube", "instance_generator", "HypercubeSampler"]
+
+
+def instance_generator(seed: int | None, x0: np.ndarray) -> np.random.Generator:
+    """A generator derived purely from ``(seed, x0 bytes)``.
+
+    A shared, advancing RNG makes solve outputs depend on *solve order*:
+    the samples an instance sees are whatever the stream happens to hold
+    when its turn comes, so two services given the same requests in a
+    different order (or split across processes) disagree at the ULP
+    level — even on certified solves.  Hashing the instance itself into
+    the seed removes the ordering from the equation: any process, any
+    batch composition, any request interleaving draws the *same* sample
+    sequence for the same ``(seed, x0)``, which is what makes fleet
+    responses bitwise-reproducible against a single-process run.
+
+    The digest is computed over the little-endian float64 bytes of
+    ``x0`` (keyed by the integer ``seed``), so it is stable across
+    platforms, processes and sessions.
+    """
+    x0 = np.ascontiguousarray(np.asarray(x0, dtype="<f8"))
+    digest = hashlib.blake2b(
+        x0.tobytes(),
+        digest_size=16,
+        key=str(0 if seed is None else int(seed)).encode("ascii"),
+    ).digest()
+    words = [
+        int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)
+    ]
+    return np.random.default_rng(np.random.SeedSequence(words))
 
 
 def sample_hypercube(

@@ -24,6 +24,13 @@ package converts that guarantee into serving machinery:
   hyperplane-sign pruning index: shortlists candidates before the exact
   membership matmul in both tiers, falling back to the full scan on a
   shortlist miss, so answers are identical with the index on or off;
+* :class:`Gateway` (:mod:`repro.serving.gateway`) — the multi-process
+  tier: an asyncio HTTP/JSON front end routing requests across a fleet
+  of worker processes (:mod:`repro.serving.worker`), each an
+  :class:`InterpretationService` over an :class:`L2ReaderCache` — a
+  private RAM L1 above a *shared read-only* view of one L2 segment
+  directory, which the gateway's single writer appends to and
+  publishes (epoch-bumped atomic index renames);
 * :mod:`repro.serving.workload` — skewed workload generation (Zipf,
   drifting Zipf, multi-tenant, churn) and the serving benchmarks.
 
@@ -46,6 +53,12 @@ from repro.serving.index import (
     RegionSignIndex,
     hyperplane_bank,
 )
+from repro.serving.gateway import (
+    Gateway,
+    GatewayClient,
+    GatewayStats,
+    replay_workload,
+)
 from repro.serving.metrics import ServiceMetrics, ServiceStats
 from repro.serving.service import InterpretationService, PendingResponse
 from repro.serving.shard import (
@@ -56,6 +69,7 @@ from repro.serving.shard import (
     signature_of,
 )
 from repro.serving.store import (
+    L2ReaderCache,
     SegmentStore,
     TieredRegionStore,
     TieredStoreStats,
@@ -63,6 +77,7 @@ from repro.serving.store import (
 from repro.serving.workload import (
     BOUNDED_RESIDENT_FRACTION,
     DEFAULT_SPEEDUP_THRESHOLD,
+    GATEWAY_SPEEDUP_THRESHOLD,
     INDEX_GROWTH_RATIO_THRESHOLD,
     INDEX_SPEEDUP_THRESHOLD,
     MIN_SPEEDUP_FLOOR,
@@ -71,6 +86,8 @@ from repro.serving.workload import (
     SHARDED_SCAN_RATIO_THRESHOLD,
     TIERED_HIT_RETENTION_THRESHOLD,
     TIERED_L1_RESIDENT_FRACTION,
+    GatewayBenchArm,
+    GatewayBenchReport,
     IndexScalingRow,
     RegionIndexReport,
     ScanScalingRow,
@@ -80,7 +97,9 @@ from repro.serving.workload import (
     TieredStoreReport,
     churn_workload,
     drifting_zipf_workload,
+    gateway_gate_failures,
     measure_scan_scaling,
+    run_gateway_benchmark,
     multi_tenant_workload,
     region_index_gate_failures,
     run_region_index_benchmark,
@@ -103,8 +122,18 @@ __all__ = [
     "ShardedCacheStats",
     "ShardedInterpretationService",
     "SegmentStore",
+    "L2ReaderCache",
     "TieredRegionStore",
     "TieredStoreStats",
+    "Gateway",
+    "GatewayClient",
+    "GatewayStats",
+    "replay_workload",
+    "GatewayBenchArm",
+    "GatewayBenchReport",
+    "run_gateway_benchmark",
+    "gateway_gate_failures",
+    "GATEWAY_SPEEDUP_THRESHOLD",
     "region_signature",
     "signature_of",
     "ServiceMetrics",

@@ -1,0 +1,915 @@
+"""Multi-process serving: an asyncio HTTP/JSON gateway over a worker fleet.
+
+This is the tier that takes the serving stack across the GIL boundary.
+A :class:`Gateway` owns
+
+* **a fleet of worker processes** (`python -m repro.serving.worker`),
+  each a complete :class:`~repro.serving.service.InterpretationService`
+  over the *same* deterministically-trained model, with an
+  :class:`~repro.serving.store.L2ReaderCache` reading one shared,
+  mmap'd L2 segment directory;
+* **the fleet's single writer** — the only process (this one) that ever
+  appends to that directory.  Workers return fresh certified solves
+  alongside their responses as exact packed record bytes; a dedicated
+  writer thread appends them, dedupes by region signature, and
+  publishes a new tail index (epoch bump) via the store's atomic
+  tmp+``os.replace`` rename.  Readers notice the bump on their next
+  miss (one ``stat``) and refresh without dropping in-flight scans;
+* **a hand-rolled HTTP/1.1 front end** on stdlib ``asyncio`` streams —
+  no new runtime dependencies — speaking JSON:
+  ``POST /interpret``, ``GET /stats``, ``GET /healthz``.
+
+The correctness story is Theorem 2's: a certified region is canonical,
+so *which* worker solves it (or serves it from whichever tier) cannot
+change a single byte of the answer.  That is what makes scale-out
+free of coordination: round-robin routing, independent per-worker RAM
+caches, and write-behind harvesting are all invisible in the response
+bytes — a property pinned across real process boundaries by
+``tests/test_gateway.py`` and gated by ``benchmarks/bench_gateway.py``.
+
+A worker crash (even ``SIGKILL`` mid-request) is absorbed: the gateway
+marks the connection dead, retries the request on the remaining
+workers, and keeps serving until none are left (then ``503``).  A
+writer crash is the store's crash-safety story — readers keep serving
+their loaded epoch, and a restarted writer recovers every fsynced
+record.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import queue
+import select
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from repro.exceptions import ValidationError
+from repro.serving.store import SegmentStore, _unpack_payload
+
+__all__ = [
+    "Gateway",
+    "GatewayStats",
+    "GatewayClient",
+    "replay_workload",
+]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Upper bound on an HTTP request body the gateway will read.
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class GatewayStats:
+    """Fleet-level snapshot aggregated from the workers and the writer.
+
+    Field names are pinned one-to-one to the keys of :meth:`as_dict`
+    (and to the glossary in ``docs/serving.md``) by
+    ``tests/test_stats_schema.py``.
+
+    Attributes
+    ----------
+    n_requests, n_ok, n_errors:
+        ``POST /interpret`` outcomes at the gateway (``ok`` is the
+        service-level verdict; a request that exhausted every worker
+        counts as an error).
+    n_workers:
+        Fleet size as configured.
+    workers_alive:
+        Workers currently serving (a killed worker is detected on its
+        next routed request and excluded thereafter).
+    uptime_s:
+        Seconds since the gateway started serving.
+    requests_per_s:
+        ``n_requests / uptime_s`` (0.0 before the first request).
+    writer_epoch:
+        The writer's published index epoch — the fleet's source of
+        truth for the shared L2 inventory.
+    min_worker_epoch:
+        The most-behind live worker's adopted epoch (0 with no live
+        workers).  Workers refresh lazily, on their next L1+L2 miss.
+    max_epoch_lag:
+        ``writer_epoch - min_worker_epoch`` — how far the laziest
+        reader trails the writer's publishes.
+    harvested:
+        Fresh certified regions appended to the shared L2 from worker
+        responses.
+    harvest_duplicates:
+        Harvested regions skipped because their signature was already
+        live (two workers solving the same region concurrently — the
+        bytes are identical by Theorem 2, so dropping one is lossless).
+    l2_records:
+        Live records in the shared L2 store.
+    hit_rate:
+        Fleet-wide cache hit fraction: worker cache hits over worker
+        requests (0.0 before any request).
+    per_worker:
+        One dict per worker slot: ``worker`` (slot), ``pid``, ``alive``,
+        and — for live workers — ``epoch`` plus nested ``service``
+        (:class:`~repro.serving.metrics.ServiceStats` ``as_dict``) and
+        ``tier`` (:meth:`~repro.serving.store.L2ReaderCache.stats`)
+        dicts, each documented under its own glossary.
+    """
+
+    n_requests: int
+    n_ok: int
+    n_errors: int
+    n_workers: int
+    workers_alive: int
+    uptime_s: float
+    requests_per_s: float
+    writer_epoch: int
+    min_worker_epoch: int
+    max_epoch_lag: int
+    harvested: int
+    harvest_duplicates: int
+    l2_records: int
+    hit_rate: float
+    per_worker: list
+
+    def as_dict(self) -> dict:
+        """JSON-safe rendering; key set pinned to the field names by
+        ``tests/test_stats_schema.py``."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def as_text(self) -> str:
+        """Aligned key/value rendering for the CLI."""
+        rows = [
+            ("requests", f"{self.n_requests}"),
+            ("ok / errors", f"{self.n_ok} / {self.n_errors}"),
+            ("workers", f"{self.workers_alive}/{self.n_workers} alive"),
+            ("uptime", f"{self.uptime_s:.1f}s"),
+            ("requests/s", f"{self.requests_per_s:.1f}"),
+            ("writer epoch", f"{self.writer_epoch}"),
+            ("worker epoch lag", f"{self.max_epoch_lag}"),
+            ("harvested regions", f"{self.harvested} "
+                                  f"(+{self.harvest_duplicates} dup)"),
+            ("L2 records", f"{self.l2_records}"),
+            ("fleet hit rate", f"{100.0 * self.hit_rate:.1f}%"),
+        ]
+        width = max(len(label) for label, _ in rows)
+        return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)
+
+
+class _WorkerHandle:
+    """One worker slot: its process, socket streams, and serialization
+    lock (the JSON-lines protocol is strictly request/reply per
+    connection, so calls to one worker are serialized; calls to
+    different workers interleave freely on the event loop)."""
+
+    def __init__(self, slot: int, proc: subprocess.Popen, port: int,
+                 pid: int, stderr_path: Path):
+        self.slot = slot
+        self.proc = proc
+        self.port = port
+        self.pid = pid
+        self.stderr_path = stderr_path
+        self.alive = True
+        self.lock: asyncio.Lock | None = None   # created on the loop
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self.lock = asyncio.Lock()
+        self.reader, self.writer = await asyncio.open_connection(
+            "127.0.0.1", self.port
+        )
+
+    async def call(self, payload: dict, timeout: float) -> dict:
+        """One JSON-lines round trip; raises ``ConnectionError`` when
+        the worker is gone or wedged past ``timeout``."""
+        if not self.alive or self.writer is None:
+            raise ConnectionError(f"worker {self.slot} is not serving")
+        async with self.lock:
+            self.writer.write(json.dumps(payload).encode() + b"\n")
+            await self.writer.drain()
+            line = await asyncio.wait_for(
+                self.reader.readline(), timeout=timeout
+            )
+        if not line:
+            raise ConnectionError(f"worker {self.slot} closed the stream")
+        return json.loads(line)
+
+    async def aclose(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            with contextlib.suppress(Exception):
+                await self.writer.wait_closed()
+            self.writer = None
+
+
+def _read_ready_line(proc: subprocess.Popen, timeout: float,
+                     stderr_path: Path) -> dict:
+    """Block (with a deadline) on a worker's one-line ready handshake."""
+    fd = proc.stdout.fileno()
+    os.set_blocking(fd, False)
+    deadline = time.monotonic() + timeout
+    buf = b""
+    while b"\n" not in buf:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            proc.kill()
+            raise TimeoutError(
+                f"worker (pid {proc.pid}) did not become ready within "
+                f"{timeout:.0f}s; stderr: {_tail(stderr_path)}"
+            )
+        readable, _, _ = select.select([fd], [], [], min(remaining, 0.25))
+        if not readable:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"worker exited with {proc.returncode} before "
+                    f"becoming ready; stderr: {_tail(stderr_path)}"
+                )
+            continue
+        chunk = os.read(fd, 65536)
+        if not chunk:
+            raise RuntimeError(
+                f"worker (pid {proc.pid}) closed stdout before the "
+                f"ready line; stderr: {_tail(stderr_path)}"
+            )
+        buf += chunk
+    line, _, _ = buf.partition(b"\n")
+    return json.loads(line)
+
+
+def _tail(path: Path, limit: int = 2000) -> str:
+    try:
+        return path.read_text(errors="replace")[-limit:]
+    except OSError:
+        return "<unavailable>"
+
+
+class Gateway:
+    """The fleet front end (see the module docstring for the design).
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes to spawn.
+    l2_dir:
+        The shared L2 segment directory.  Opened here with the
+        exclusive writer lock; every worker opens it read-only.
+    dataset, seed, train_size, epochs, hidden:
+        The deterministic demo-model recipe, forwarded verbatim to
+        every worker (see
+        :func:`~repro.serving.worker.train_worker_model`).
+    host, port:
+        HTTP bind address (port 0 = ephemeral; read ``self.port`` after
+        :meth:`start`).
+    max_entries, region_index, index_bits, backend:
+        Worker-side tier knobs, forwarded to each worker's
+        :class:`~repro.serving.store.L2ReaderCache` (``region_index``
+        and ``index_bits`` also configure the writer store so its
+        published index serves both).
+    fsync:
+        Writer-side durability of harvested records.
+    request_timeout_s:
+        Per-request ceiling on one worker round trip; a worker that
+        exceeds it is declared dead and the request retried elsewhere.
+    startup_timeout_s:
+        Ceiling on each worker's train-and-listen handshake.
+
+    Raises
+    ------
+    ValidationError
+        For a non-positive worker count, or when another process holds
+        the directory's writer lock.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_workers: int = 2,
+        l2_dir,
+        dataset: str = "credit-scoring",
+        seed: int = 0,
+        train_size: int = 800,
+        epochs: int = 120,
+        hidden: tuple[int, ...] = (32, 16),
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_entries: int = 512,
+        region_index: bool = False,
+        index_bits: int | None = None,
+        backend: str | None = None,
+        fsync: bool = True,
+        request_timeout_s: float = 120.0,
+        startup_timeout_s: float = 300.0,
+    ):
+        if n_workers < 1:
+            raise ValidationError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        self.n_workers = int(n_workers)
+        self.l2_dir = Path(l2_dir)
+        self.dataset = str(dataset)
+        self.seed = int(seed)
+        self.train_size = int(train_size)
+        self.epochs = int(epochs)
+        self.hidden = tuple(int(h) for h in hidden)
+        self.host = host
+        self.port = int(port)
+        self.max_entries = int(max_entries)
+        self.region_index = bool(region_index)
+        self.index_bits = index_bits
+        self.backend = backend
+        self.fsync = bool(fsync)
+        self.request_timeout_s = float(request_timeout_s)
+        self.startup_timeout_s = float(startup_timeout_s)
+
+        self._workers: list[_WorkerHandle] = []
+        self._rr = 0
+        self._n_requests = 0
+        self._n_ok = 0
+        self._n_errors = 0
+        self._started_at: float | None = None
+
+        self._store: SegmentStore | None = None
+        self._writer_lock = threading.Lock()
+        self._harvest_queue: queue.Queue = queue.Queue()
+        self._harvested = 0
+        self._harvest_duplicates = 0
+        self._writer_thread: threading.Thread | None = None
+
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._server: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Acquire the writer lock, spawn and await the fleet, bind the
+        HTTP server.  Blocks until everything serves (or raises after
+        cleaning up whatever partially started)."""
+        try:
+            self._store = SegmentStore(
+                self.l2_dir,
+                exclusive=True,
+                fsync=self.fsync,
+                region_index=self.region_index,
+                **(
+                    {"index_bits": self.index_bits}
+                    if self.index_bits is not None else {}
+                ),
+            )
+            self._spawn_workers()
+            self._writer_thread = threading.Thread(
+                target=self._writer_loop, name="l2-writer", daemon=True
+            )
+            self._writer_thread.start()
+            self._start_loop()
+            self._started_at = time.monotonic()
+        except BaseException:
+            self.stop()
+            raise
+
+    def _worker_argv(self) -> list[str]:
+        argv = [
+            sys.executable, "-m", "repro.serving.worker",
+            "--dataset", self.dataset,
+            "--seed", str(self.seed),
+            "--train-size", str(self.train_size),
+            "--epochs", str(self.epochs),
+            "--hidden", ",".join(str(h) for h in self.hidden),
+            "--l2-dir", str(self.l2_dir),
+            "--max-entries", str(self.max_entries),
+        ]
+        if self.region_index:
+            argv.append("--region-index")
+        if self.index_bits is not None:
+            argv += ["--index-bits", str(self.index_bits)]
+        if self.backend is not None:
+            argv += ["--backend", str(self.backend)]
+        return argv
+
+    def _spawn_workers(self) -> None:
+        import repro
+
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        argv = self._worker_argv()
+        procs: list[tuple[subprocess.Popen, Path]] = []
+        for slot in range(self.n_workers):
+            stderr_path = self.l2_dir / f"worker-{slot}.stderr"
+            procs.append((
+                subprocess.Popen(
+                    argv,
+                    stdout=subprocess.PIPE,
+                    stderr=open(stderr_path, "wb"),
+                    env=env,
+                ),
+                stderr_path,
+            ))
+        # All workers train concurrently; collect the handshakes after.
+        for slot, (proc, stderr_path) in enumerate(procs):
+            ready = _read_ready_line(
+                proc, self.startup_timeout_s, stderr_path
+            )
+            self._workers.append(_WorkerHandle(
+                slot, proc, int(ready["port"]), int(ready["pid"]),
+                stderr_path,
+            ))
+
+    def _start_loop(self) -> None:
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        async def _bring_up():
+            for handle in self._workers:
+                await handle.connect()
+            self._server = await asyncio.start_server(
+                self._handle_http, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+
+        def _run():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(_bring_up())
+            except BaseException as exc:  # surface to start()
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._loop_thread = threading.Thread(
+            target=_run, name="gateway-loop", daemon=True
+        )
+        self._loop_thread.start()
+        started.wait()
+        if failure:
+            raise failure[0]
+
+    def stop(self) -> None:
+        """Tear everything down (idempotent): HTTP server, fleet,
+        writer thread, writer store."""
+        if self._loop is not None and self._loop.is_running():
+            async def _bring_down():
+                if self._server is not None:
+                    self._server.close()
+                    with contextlib.suppress(Exception):
+                        await self._server.wait_closed()
+                for handle in self._workers:
+                    if handle.alive and handle.writer is not None:
+                        with contextlib.suppress(Exception):
+                            await asyncio.wait_for(
+                                handle.call({"op": "shutdown"}, 5.0),
+                                timeout=5.0,
+                            )
+                    await handle.aclose()
+                # Keep-alive connection handlers outlive server.close();
+                # cancel them so the loop shuts down without destroying
+                # pending tasks.
+                pending = [
+                    t for t in asyncio.all_tasks()
+                    if t is not asyncio.current_task()
+                ]
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+
+            with contextlib.suppress(Exception):
+                asyncio.run_coroutine_threadsafe(
+                    _bring_down(), self._loop
+                ).result(timeout=30)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=30)
+            self._loop_thread = None
+            self._loop = None
+            self._server = None
+        for handle in self._workers:
+            if handle.proc.poll() is None:
+                handle.proc.terminate()
+        for handle in self._workers:
+            try:
+                handle.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                handle.proc.kill()
+                handle.proc.wait(timeout=10)
+            if handle.proc.stdout is not None:
+                handle.proc.stdout.close()
+        self._workers = []
+        if self._writer_thread is not None:
+            self._harvest_queue.put(None)
+            self._writer_thread.join(timeout=30)
+            self._writer_thread = None
+        if self._store is not None:
+            with self._writer_lock:
+                self._store.close()
+            self._store = None
+
+    def __enter__(self) -> "Gateway":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # The single writer
+    # ------------------------------------------------------------------ #
+    def _writer_loop(self) -> None:
+        """Drain harvested regions into the store; one atomic index
+        publish (epoch bump) per drained batch, not per record."""
+        while True:
+            item = self._harvest_queue.get()
+            if item is None:
+                return
+            batch = [item]
+            while True:
+                try:
+                    extra = self._harvest_queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is None:
+                    self._harvest_queue.put(None)  # re-arm the sentinel
+                    break
+                batch.append(extra)
+            appended = False
+            with self._writer_lock:
+                if self._store is None:
+                    return
+                for signature, payload in batch:
+                    record = _unpack_payload(payload)
+                    if self._store.append(int(signature), *record):
+                        self._harvested += 1
+                        appended = True
+                    else:
+                        self._harvest_duplicates += 1
+                if appended:
+                    self._store.persist_index()
+
+    # ------------------------------------------------------------------ #
+    # HTTP front end (runs on the loop thread)
+    # ------------------------------------------------------------------ #
+    async def _handle_http(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                try:
+                    status, payload = await self._dispatch(
+                        method, path, body
+                    )
+                except Exception as exc:  # a bug, not a client error
+                    status, payload = 500, {
+                        "ok": False,
+                        "error": {
+                            "code": "internal_error",
+                            "message": f"{type(exc).__name__}: {exc}",
+                            "retryable": True,
+                        },
+                    }
+                data = json.dumps(payload).encode()
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                        f"Content-Type: application/json\r\n"
+                        f"Content-Length: {len(data)}\r\n"
+                        f"Connection: "
+                        f"{'keep-alive' if keep_alive else 'close'}\r\n"
+                        f"\r\n"
+                    ).encode() + data
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError, ConnectionError, ValueError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels still-open keep-alive handlers; for a
+            # connection handler that is a normal close, not an error
+            # (re-raising would trip the stream protocol's done-callback).
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        """Parse one HTTP/1.1 request (request line, headers, body)."""
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ValueError("malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = header.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        if length > _MAX_BODY_BYTES:
+            raise ValueError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> tuple[int, dict]:
+        path = path.split("?", 1)[0]
+        if path == "/interpret":
+            if method != "POST":
+                return 405, _error_body(
+                    "method_not_allowed", f"{method} /interpret"
+                )
+            return await self._dispatch_interpret(body)
+        if path == "/stats":
+            if method != "GET":
+                return 405, _error_body(
+                    "method_not_allowed", f"{method} /stats"
+                )
+            stats = await self._collect_stats()
+            return 200, stats.as_dict()
+        if path == "/healthz":
+            alive = sum(1 for w in self._workers if w.alive)
+            status = 200 if alive else 503
+            return status, {"ok": bool(alive), "workers_alive": alive}
+        return 404, _error_body("not_found", path)
+
+    async def _dispatch_interpret(self, body: bytes) -> tuple[int, dict]:
+        try:
+            request = json.loads(body)
+            if not isinstance(request, dict) or "x0" not in request:
+                raise ValueError("body must be a JSON object with 'x0'")
+        except (json.JSONDecodeError, ValueError, UnicodeDecodeError) as exc:
+            return 400, _error_body("invalid_request", str(exc))
+        self._n_requests += 1
+        call = {
+            "op": "interpret",
+            "x0": request["x0"],
+            "target_class": request.get("target_class"),
+        }
+        reply, slot = await self._route(call)
+        if reply is None:
+            self._n_errors += 1
+            return 503, _error_body(
+                "no_workers", "every worker in the fleet is gone",
+                retryable=True,
+            )
+        region = reply.pop("region", None)
+        if region is not None:
+            import base64
+
+            self._harvest_queue.put((
+                region["signature"],
+                base64.b64decode(region["payload_b64"]),
+            ))
+        if reply.get("ok"):
+            self._n_ok += 1
+        else:
+            self._n_errors += 1
+        reply["worker"] = slot
+        return 200, reply
+
+    async def _route(self, call: dict) -> tuple[dict | None, int]:
+        """Round-robin across live workers, failing over on a dead or
+        wedged one until every slot has been tried once."""
+        for _ in range(len(self._workers)):
+            live = [w for w in self._workers if w.alive]
+            if not live:
+                break
+            handle = live[self._rr % len(live)]
+            self._rr += 1
+            try:
+                reply = await handle.call(call, self.request_timeout_s)
+                return reply, handle.slot
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError, json.JSONDecodeError):
+                handle.alive = False
+                await handle.aclose()
+        return None, -1
+
+    # ------------------------------------------------------------------ #
+    # Stats
+    # ------------------------------------------------------------------ #
+    async def _collect_stats(self) -> GatewayStats:
+        per_worker: list[dict] = []
+        for handle in self._workers:
+            row: dict = {
+                "worker": handle.slot,
+                "pid": handle.pid,
+                "alive": handle.alive,
+            }
+            if handle.alive:
+                try:
+                    reply = await handle.call({"op": "stats"}, 30.0)
+                    row["epoch"] = int(reply["epoch"])
+                    row["service"] = reply["service"]
+                    row["tier"] = reply["tier"]
+                except (ConnectionError, OSError, asyncio.TimeoutError,
+                        KeyError, json.JSONDecodeError):
+                    handle.alive = False
+                    row["alive"] = False
+                    await handle.aclose()
+            per_worker.append(row)
+        live = [row for row in per_worker if row["alive"]]
+        with self._writer_lock:
+            writer_epoch = self._store.epoch if self._store else 0
+            l2_records = len(self._store) if self._store else 0
+            harvested = self._harvested
+            duplicates = self._harvest_duplicates
+        min_epoch = min((row["epoch"] for row in live), default=0)
+        fleet_requests = sum(
+            row["service"]["n_requests"] for row in live
+        )
+        fleet_hits = sum(row["service"]["cache_hits"] for row in live)
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None else 0.0
+        )
+        return GatewayStats(
+            n_requests=self._n_requests,
+            n_ok=self._n_ok,
+            n_errors=self._n_errors,
+            n_workers=self.n_workers,
+            workers_alive=len(live),
+            uptime_s=float(uptime),
+            requests_per_s=(
+                self._n_requests / uptime if uptime > 0 else 0.0
+            ),
+            writer_epoch=writer_epoch,
+            min_worker_epoch=min_epoch,
+            max_epoch_lag=max(0, writer_epoch - min_epoch),
+            harvested=harvested,
+            harvest_duplicates=duplicates,
+            l2_records=l2_records,
+            hit_rate=(
+                fleet_hits / fleet_requests if fleet_requests else 0.0
+            ),
+            per_worker=per_worker,
+        )
+
+    def stats(self) -> GatewayStats:
+        """Thread-safe snapshot for in-process callers (the CLI)."""
+        if self._loop is None or not self._loop.is_running():
+            raise ValidationError("gateway is not running")
+        return asyncio.run_coroutine_threadsafe(
+            self._collect_stats(), self._loop
+        ).result(timeout=60)
+
+    # ------------------------------------------------------------------ #
+    # Test hooks
+    # ------------------------------------------------------------------ #
+    def kill_worker(self, slot: int) -> int:
+        """SIGKILL one worker process (crash-test hook); returns its
+        pid.  The gateway discovers the death on the next request
+        routed to it and fails over."""
+        handle = self._workers[slot]
+        handle.proc.kill()
+        handle.proc.wait(timeout=30)
+        return handle.pid
+
+
+def _error_body(code: str, message: str, *, retryable: bool = False) -> dict:
+    return {
+        "ok": False,
+        "error": {
+            "code": code, "message": message, "retryable": retryable,
+        },
+    }
+
+
+class GatewayClient:
+    """Minimal blocking JSON client over one persistent HTTP connection
+    (stdlib ``http.client``) — what the CLI, benchmarks, and tests use
+    to talk to a :class:`Gateway`.  Not thread-safe; give each thread
+    its own client."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 120.0):
+        import http.client
+
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._http = http.client
+        self._conn = http.client.HTTPConnection(
+            host, self.port, timeout=self.timeout
+        )
+
+    def request(self, method: str, path: str,
+                payload: dict | None = None) -> tuple[int, dict]:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"}
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        except (ConnectionError, self._http.HTTPException, OSError):
+            # One reconnect: the server may have closed an idle
+            # keep-alive connection under us.
+            self._conn.close()
+            self._conn = self._http.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        return response.status, json.loads(data) if data else {}
+
+    def interpret(self, x0, target_class: int | None = None) -> dict:
+        """POST one instance; returns the response body (its ``ok``
+        field is the service-level verdict)."""
+        x0_list = x0.tolist() if hasattr(x0, "tolist") else list(x0)
+        _status, body = self.request(
+            "POST", "/interpret",
+            {"x0": x0_list, "target_class": target_class},
+        )
+        return body
+
+    def stats(self) -> dict:
+        _status, body = self.request("GET", "/stats")
+        return body
+
+    def healthz(self) -> tuple[int, dict]:
+        return self.request("GET", "/healthz")
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def replay_workload(
+    host: str,
+    port: int,
+    X,
+    *,
+    targets=None,
+    concurrency: int = 4,
+    timeout: float = 120.0,
+) -> tuple[list[dict], float]:
+    """Replay instances against a gateway from ``concurrency`` client
+    threads; returns ``(responses in request order, elapsed seconds)``.
+
+    The thread fan-out is what makes multi-process scaling observable
+    from one test process: a single blocking client would serialize the
+    fleet behind its own round trips.
+    """
+    n = len(X)
+    results: list[dict | None] = [None] * n
+    counter = iter(range(n))
+    counter_lock = threading.Lock()
+
+    def _drain():
+        client = GatewayClient(host, port, timeout=timeout)
+        try:
+            while True:
+                with counter_lock:
+                    try:
+                        i = next(counter)
+                    except StopIteration:
+                        return
+                target = None if targets is None else targets[i]
+                results[i] = client.interpret(X[i], target)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=_drain, name=f"replay-{t}")
+        for t in range(max(1, int(concurrency)))
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return [r if r is not None else _error_body("no_response", "")
+            for r in results], elapsed

@@ -84,6 +84,7 @@ from repro.utils.validation import check_positive
 
 __all__ = [
     "SegmentStore",
+    "L2ReaderCache",
     "TieredRegionStore",
     "TieredStoreStats",
     "RECORD_MAGIC",
@@ -109,6 +110,7 @@ _HEADER = struct.Struct("<4sIIQ")
 
 _INDEX_NAME = "index.json"
 _SEGMENT_FMT = "segment-{:05d}.seg"
+_WRITER_LOCK_NAME = "writer.lock"
 
 
 @dataclass
@@ -250,13 +252,29 @@ class SegmentStore:
         the process default.  The mmap'd segments, CRC framing, tail
         index JSON and compaction all stay host-side — only the gathered
         per-scan stacks cross the seam.
+    read_only:
+        Open a *reader* view onto a directory another process writes:
+        the published tail index is loaded as-is (a torn tail or
+        not-yet-indexed append from the live writer is ignored, never
+        truncated; orphan segments are left for the writer to reap) and
+        every mutator raises.  Readers follow the writer through
+        :meth:`maybe_refresh`, which reloads state only when the index
+        file's identity changed — the single-writer / multi-reader
+        discipline of the multi-process gateway.
+    exclusive:
+        Take an OS-level advisory lock (``flock``) on the directory's
+        ``writer.lock`` before opening, and fail fast if another
+        exclusive writer holds it.  The lock dies with the process
+        (including ``SIGKILL``), so a restarted writer can always
+        re-acquire.  Mutually exclusive with ``read_only``.
 
     Raises
     ------
     ValidationError
         For a non-positive ``max_bytes``, a ``compact_ratio`` outside
-        ``(0, 1)``, an out-of-range ``index_bits``, or an
-        unreadable/corrupt index.
+        ``(0, 1)``, an out-of-range ``index_bits``, an
+        unreadable/corrupt index, or an ``exclusive`` open of a
+        directory whose writer lock another process holds.
     """
 
     def __init__(
@@ -270,7 +288,14 @@ class SegmentStore:
         index_bits: int = DEFAULT_INDEX_BITS,
         index_shortlist: int = DEFAULT_INDEX_SHORTLIST,
         backend: str | ArrayBackend | None = None,
+        read_only: bool = False,
+        exclusive: bool = False,
     ):
+        if read_only and exclusive:
+            raise ValidationError(
+                "read_only and exclusive are mutually exclusive "
+                "(the writer lock is a writer's concern)"
+            )
         if max_bytes is not None and max_bytes < 1:
             raise ValidationError(
                 f"max_bytes must be >= 1 or None, got {max_bytes}"
@@ -285,6 +310,10 @@ class SegmentStore:
             )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.read_only = bool(read_only)
+        self._lock_handle = None
+        if exclusive:
+            self._acquire_writer_lock()
         self.max_bytes = max_bytes
         self.compact_ratio = float(compact_ratio)
         self.fsync = bool(fsync)
@@ -315,6 +344,8 @@ class SegmentStore:
         self._seg_counter = 0   # monotone: segment names never recycle
         self._dim: int | None = None
         self._min_classes: int | None = None
+        self._epoch = 0
+        self._index_stat: tuple[int, int, int] | None = None
         self._open()
 
     # ------------------------------------------------------------------ #
@@ -322,6 +353,38 @@ class SegmentStore:
     # ------------------------------------------------------------------ #
     def _seg_path(self, name: str) -> Path:
         return self.directory / name
+
+    def _acquire_writer_lock(self) -> None:
+        """Hold ``writer.lock`` exclusively for this store's lifetime.
+
+        ``flock`` locks belong to the open file description: the kernel
+        releases them when the process dies, however it dies — so a
+        ``SIGKILL``'d writer never wedges the directory, and a restarted
+        writer re-acquires immediately.
+        """
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX platform
+            return
+        handle = open(self.directory / _WRITER_LOCK_NAME, "a+")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            handle.close()
+            raise ValidationError(
+                f"another writer holds the L2 store lock for "
+                f"{self.directory} (single-writer discipline: only one "
+                f"process may open a store directory exclusively)"
+            ) from exc
+        self._lock_handle = handle
+
+    def _require_writable(self, operation: str) -> None:
+        if self.read_only:
+            raise ValidationError(
+                f"{operation} requires a writable store; this one was "
+                f"opened read_only (readers follow the writer via "
+                f"maybe_refresh)"
+            )
 
     def _open(self) -> None:
         """Load the tail index, recover unindexed appends, drop orphans.
@@ -340,6 +403,10 @@ class SegmentStore:
         index, being renamed atomically, is always a consistent view).
         """
         index_path = self._seg_path(_INDEX_NAME)
+        # Stat before reading: if the writer republishes in between, the
+        # cached stat differs from the file on disk and the next
+        # maybe_refresh() reloads — the reader converges, never wedges.
+        self._index_stat = self._stat_index()
         tails: list[int] = []
         if index_path.exists():
             try:
@@ -356,6 +423,8 @@ class SegmentStore:
             self._segments = list(payload["segments"])
             tails = [int(t) for t in payload["tails"]]
             self._touch = int(payload["next_touch"])
+            # Indexes written before the epoch existed read as epoch 0.
+            self._epoch = int(payload.get("epoch", 0))
             for row in payload["records"]:
                 # Rows written before the anchor field have 9 elements.
                 (sig, target, pairs, d, seg, offset, frame_len, live,
@@ -384,16 +453,21 @@ class SegmentStore:
                 p.name for p in self.directory.glob("segment-*.seg")
             )
             tails = [0] * len(self._segments)
-        known = set(self._segments) | {_INDEX_NAME}
-        for path in self.directory.glob("segment-*.seg"):
-            if path.name not in known:
-                path.unlink()
+        if not self.read_only:
+            # Orphan segments (interrupted compaction) are the writer's
+            # to reap — a reader racing a live compaction must not
+            # delete the segment the writer is about to publish.
+            known = set(self._segments) | {_INDEX_NAME}
+            for path in self.directory.glob("segment-*.seg"):
+                if path.name not in known:
+                    path.unlink()
         self._seg_counter = 1 + max(
             (int(name[8:13]) for name in self._segments), default=-1
         )
         for seg, name in enumerate(self._segments):
             self._recover_tail(seg, tails[seg] if seg < len(tails) else 0)
-        self._persist_index()
+        if not self.read_only:
+            self._persist_index()
 
     def _adopt(self, record: _L2Record) -> None:
         """Install one index row into the in-memory maps and meters."""
@@ -491,15 +565,21 @@ class SegmentStore:
                 )
             )
             offset = good_end = end
-        if indexed_tail + good_end < size:
+        # A torn (or writer-in-flight) trailing frame: the writer owns
+        # truncation; a reader simply stops at the last whole record.
+        if not self.read_only and indexed_tail + good_end < size:
             with open(path, "r+b") as handle:
                 handle.truncate(indexed_tail + good_end)
 
     def persist_index(self) -> None:
         """Atomically replace the tail index with the current state."""
+        self._require_writable("persist_index")
         self._persist_index()
 
     def _persist_index(self) -> None:
+        # Every publish bumps the epoch: readers compare epochs (and the
+        # index file's stat identity) to detect that the writer moved.
+        self._epoch += 1
         tails = [0] * len(self._segments)
         rows = []
         for record in self._records:
@@ -528,6 +608,7 @@ class SegmentStore:
             )
         payload = {
             "version": INDEX_VERSION,
+            "epoch": self._epoch,
             "segments": self._segments,
             "tails": tails,
             "next_touch": self._touch,
@@ -540,6 +621,63 @@ class SegmentStore:
             if self.fsync:
                 os.fsync(handle.fileno())
         os.replace(tmp, self._seg_path(_INDEX_NAME))
+        self._index_stat = self._stat_index()
+
+    # ------------------------------------------------------------------ #
+    # Reader-side refresh (multi-process followers)
+    # ------------------------------------------------------------------ #
+    @property
+    def epoch(self) -> int:
+        """Publish counter of the loaded index (0 for a pre-epoch or
+        absent index).  Writers bump it on every index publish; readers
+        report it so a fleet's epoch lag is observable."""
+        return self._epoch
+
+    def _stat_index(self) -> tuple[int, int, int] | None:
+        """Identity of the index file on disk — ``os.replace`` swaps in
+        a new inode, so ``(st_ino, st_mtime_ns, st_size)`` changes on
+        every publish even within one mtime granule."""
+        try:
+            st = os.stat(self._seg_path(_INDEX_NAME))
+        except FileNotFoundError:
+            return None
+        return (st.st_ino, st.st_mtime_ns, st.st_size)
+
+    def refresh(self) -> None:
+        """Drop the in-memory view and reload the published index.
+
+        The reader-side counterpart of the writer's atomic index
+        publish: mmaps are closed (in-flight reads already materialized
+        their bytes), every map and meter is rebuilt from the index on
+        disk, and fsynced-but-unindexed appends are re-adopted by the
+        tail scan exactly as a writer restart would.
+        """
+        for mm in self._mmaps.values():
+            mm.close()
+        self._mmaps.clear()
+        self._segments = []
+        self._records = []
+        self._by_sig = {}
+        self._live_groups = {}
+        self._group_indexes = {}
+        self._touch = 0
+        self._live_bytes = 0
+        self._dead_bytes = 0
+        self._dim = None
+        self._min_classes = None
+        self._epoch = 0
+        self._open()
+
+    def maybe_refresh(self) -> bool:
+        """Reload only if the writer published since the last load.
+
+        Cheap enough for a lookup path — one ``stat`` when idle — and
+        returns whether a reload happened.
+        """
+        if self._stat_index() == self._index_stat:
+            return False
+        self.refresh()
+        return True
 
     # ------------------------------------------------------------------ #
     # Appending, liveness, budget
@@ -552,6 +690,14 @@ class SegmentStore:
         if not self._segments:
             self._segments.append(_SEGMENT_FMT.format(self._seg_counter))
             self._seg_counter += 1
+            # Register the segment (tail 0) in the index *before* any
+            # record lands in it: recovery distinguishes compaction
+            # orphans from live segments by index membership, so an
+            # unregistered segment full of fsynced records would be
+            # reaped as an orphan on the next open.  Segment creation is
+            # rare (fresh store, or first append after a wipe), so this
+            # never taxes the append hot path.
+            self._persist_index()
         return len(self._segments) - 1
 
     def append(
@@ -577,6 +723,7 @@ class SegmentStore:
         demotions drive it — costs one write + one fsync, never an
         O(records) index dump.
         """
+        self._require_writable("append")
         if signature in self._by_sig:
             return False
         payload = _pack_payload(target_class, pairs, W, b, x0, feats, edge)
@@ -616,6 +763,7 @@ class SegmentStore:
         index — the bulk-append counterpart of per-append fsync (used by
         :meth:`TieredRegionStore.load`, which disables ``fsync`` for the
         duration of a bootstrap and syncs once at the end)."""
+        self._require_writable("sync")
         for name in self._segments:
             path = self._seg_path(name)
             if path.exists():
@@ -624,13 +772,17 @@ class SegmentStore:
         self._persist_index()
 
     def touch(self, signature: int) -> None:
-        """Refresh a live record's recency (promotions renew the lease)."""
+        """Refresh a live record's recency (promotions renew the lease).
+        A no-op on read-only stores — recency is writer-side state."""
+        if self.read_only:
+            return
         record = self._by_sig.get(signature)
         if record is not None:
             record.touch = self._next_touch()
 
     def mark_dead(self, signature: int) -> bool:
         """Retire a live record (its bytes are reclaimed at compaction)."""
+        self._require_writable("mark_dead")
         record = self._by_sig.pop(signature, None)
         if record is None:
             return False
@@ -819,6 +971,7 @@ class SegmentStore:
 
         Returns the number of dead bytes reclaimed.
         """
+        self._require_writable("compact")
         reclaimed = self._dead_bytes
         new_name = _SEGMENT_FMT.format(self._seg_counter)
         self._seg_counter += 1
@@ -881,6 +1034,7 @@ class SegmentStore:
 
     def wipe(self) -> None:
         """Delete every record and segment (the index becomes empty)."""
+        self._require_writable("wipe")
         for mm in self._mmaps.values():
             mm.close()
         self._mmaps.clear()
@@ -898,11 +1052,16 @@ class SegmentStore:
         self._persist_index()
 
     def close(self) -> None:
-        """Persist the index and release the mmap handles."""
-        self._persist_index()
+        """Persist the index (writers) and release OS handles.  A
+        read-only close touches nothing on disk."""
+        if not self.read_only:
+            self._persist_index()
         for mm in self._mmaps.values():
             mm.close()
         self._mmaps.clear()
+        if self._lock_handle is not None:
+            self._lock_handle.close()   # releases the flock
+            self._lock_handle = None
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -1445,3 +1604,153 @@ def _interpretation_from_record(record: tuple, method: str) -> Interpretation:
         n_queries=1,
         samples=None,
     )
+
+
+class L2ReaderCache:
+    """A worker process's region tier: private RAM L1 over a *shared*
+    read-only L2 directory another process writes.
+
+    This is the reader half of the gateway's single-writer discipline
+    (:mod:`repro.serving.gateway`): each worker process keeps its own
+    in-memory :class:`~repro.serving.cache.RegionCache` for the hot set,
+    and on an L1 miss scans the mmap'd segments that the fleet's one
+    writer appends to.  Lookups interleave a :meth:`SegmentStore.maybe_refresh`
+    — one ``stat`` per miss when the writer is idle — so every worker
+    converges on each published epoch without coordination.  Promotions
+    move the record's exact float64 bytes, so a region solved by worker
+    A and harvested by the writer is served bitwise-identically by
+    worker B.
+
+    Inserts land in the private L1 only; the worker never writes the
+    shared directory.  Durability of fresh solves is the writer's job
+    (the gateway harvests response payloads and appends them centrally).
+
+    Drop-in for the ``cache`` surface of
+    :class:`~repro.serving.service.InterpretationService`
+    (``lookup`` / ``insert`` / ``stats``).  Thread-safe for the
+    service's flush workers: L2 state mutates under one lock, and the
+    lock is never held across calls into L1.
+    """
+
+    #: Same ``method`` tag as every other serving tier — by Theorem 2
+    #: the bytes are canonical, so the tiers are indistinguishable.
+    served_method = RegionCache.served_method
+
+    def __init__(
+        self,
+        directory,
+        *,
+        max_entries: int = 512,
+        tol: float = DEFAULT_MEMBERSHIP_TOL,
+        floor: float = DEFAULT_PROB_FLOOR,
+        region_index: bool = False,
+        index_bits: int = DEFAULT_INDEX_BITS,
+        index_shortlist: int = DEFAULT_INDEX_SHORTLIST,
+        backend: str | ArrayBackend | None = None,
+    ):
+        self.tol = check_positive(tol, name="tol")
+        self.floor = check_positive(floor, name="floor")
+        self.backend = resolve_backend(backend)
+        self._lock = threading.RLock()
+        self._l1 = RegionCache(
+            max_entries=max_entries,
+            tol=tol,
+            floor=floor,
+            region_index=region_index,
+            index_bits=index_bits,
+            index_shortlist=index_shortlist,
+            backend=self.backend,
+        )
+        self._l2 = SegmentStore(
+            directory,
+            read_only=True,
+            region_index=region_index,
+            index_bits=index_bits,
+            index_shortlist=index_shortlist,
+            backend=self.backend,
+        )
+        self._l1_hits = 0
+        self._l2_hits = 0
+        self._l2_misses = 0
+        self._refreshes = 0
+
+    @property
+    def epoch(self) -> int:
+        """The L2 epoch this reader has caught up to."""
+        return self._l2.epoch
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._l1) + len(self._l2)
+
+    def lookup(self, x0, y0, target_class: int):
+        """Serve from private RAM, else from the shared disk tier.
+
+        The miss path refreshes the reader's view when the writer
+        published a new epoch, and retries once through a full refresh
+        if a concurrent compaction unlinked a segment mid-scan (the
+        published index is always consistent, so the retry sees either
+        the old inventory via still-open mmaps or the new one).
+        """
+        hit = self._l1.lookup(x0, y0, target_class)
+        if hit is not None:
+            with self._lock:
+                self._l1_hits += 1
+            return hit
+        x0 = as_float64(x0)
+        y0 = as_float64(y0)
+        with self._lock:
+            if self._l2.maybe_refresh():
+                self._refreshes += 1
+            try:
+                record = self._l2_read(x0, y0, target_class)
+            except (OSError, ValidationError):
+                # Raced the writer's compaction: a referenced segment
+                # vanished between index load and mmap.  Reload the
+                # (atomically published, hence consistent) index once.
+                self._l2.refresh()
+                self._refreshes += 1
+                record = self._l2_read(x0, y0, target_class)
+            if record is None:
+                self._l2_misses += 1
+                return None
+            self._l2_hits += 1
+        promoted = _interpretation_from_record(record, self.served_method)
+        self._l1.insert(promoted)
+        return replace(promoted, x0=x0)
+
+    def _l2_read(self, x0, y0, target_class: int):
+        scored = self._l2.scan(
+            x0, y0, target_class, tol=self.tol, floor=self.floor
+        )
+        if scored is None:
+            return None
+        return self._l2.read(scored[0])
+
+    def insert(self, interpretation: Interpretation) -> bool:
+        """Install a certified region into the *private* L1 (the shared
+        directory is the writer's; workers never append to it)."""
+        return self._l1.insert(interpretation)
+
+    def stats(self) -> dict:
+        """JSON-safe meter snapshot (keys documented in
+        ``docs/serving.md``; surfaced per-worker by ``GatewayStats``)."""
+        with self._lock:
+            return {
+                "l1": self._l1.stats().as_dict(),
+                "l1_hits": self._l1_hits,
+                "l2_hits": self._l2_hits,
+                "l2_misses": self._l2_misses,
+                "l2_records": len(self._l2),
+                "refreshes": self._refreshes,
+                "epoch": self._l2.epoch,
+            }
+
+    def clear(self) -> None:
+        """Drop the private L1 (the shared disk tier is untouched)."""
+        self._l1.clear()
+
+    def close(self) -> None:
+        """Release the reader's mmap handles (nothing is written)."""
+        with self._lock:
+            self._l2.close()

@@ -35,6 +35,7 @@ match the OpenBox ground truth.
 
 from __future__ import annotations
 
+import os
 import tempfile
 import time
 from dataclasses import dataclass
@@ -89,6 +90,11 @@ __all__ = [
     "region_index_gate_failures",
     "INDEX_SPEEDUP_THRESHOLD",
     "INDEX_GROWTH_RATIO_THRESHOLD",
+    "GatewayBenchArm",
+    "GatewayBenchReport",
+    "run_gateway_benchmark",
+    "gateway_gate_failures",
+    "GATEWAY_SPEEDUP_THRESHOLD",
 ]
 
 #: Cap on the speedup gate at default scale.  The *effective* gate is
@@ -1966,5 +1972,296 @@ def region_index_gate_failures(
             f"indexed cost growth is {report.growth_ratio:.3f} of "
             f"linear growth across the size sweep "
             f"(gate {max_growth_ratio:.2f} — not sub-linear)"
+        )
+    return failures
+
+
+# --------------------------------------------------------------------- #
+# Multi-process gateway benchmark
+# --------------------------------------------------------------------- #
+
+#: Cap on the fleet-scaling gate: 4 workers must serve the drifting-Zipf
+#: replay at >= this multiple of 1 worker's throughput at full scale.
+#: The *effective* gate is core-relative — ``min(2.0, 0.5 * min(4,
+#: cpu_count))`` — and is skipped entirely below 2 cores or at ``--tiny``
+#: scale (where per-request cost is too small for process parallelism to
+#: beat the IPC overhead); the bitwise-identity gate always runs.
+GATEWAY_SPEEDUP_THRESHOLD: float = 2.0
+
+
+@dataclass(frozen=True)
+class GatewayBenchArm:
+    """One replayed arm of the gateway benchmark.
+
+    ``n_workers == 0`` denotes the in-process reference arm (a
+    sequential single-process :class:`InterpretationService`), whose
+    payloads define bitwise identity for every fleet arm.
+    """
+
+    label: str
+    n_workers: int
+    n_requests: int
+    n_ok: int
+    elapsed_s: float
+    requests_per_s: float
+    bitwise_identical: bool
+    n_mismatches: int
+    hit_rate: float
+    harvested: int
+    l2_records: int
+    writer_epoch: int
+    max_epoch_lag: int
+
+    def as_dict(self) -> dict:
+        """JSON-safe rendering (key set pinned by the schema test)."""
+        return {
+            "label": self.label,
+            "n_workers": self.n_workers,
+            "n_requests": self.n_requests,
+            "n_ok": self.n_ok,
+            "elapsed_s": self.elapsed_s,
+            "requests_per_s": self.requests_per_s,
+            "bitwise_identical": self.bitwise_identical,
+            "n_mismatches": self.n_mismatches,
+            "hit_rate": self.hit_rate,
+            "harvested": self.harvested,
+            "l2_records": self.l2_records,
+            "writer_epoch": self.writer_epoch,
+            "max_epoch_lag": self.max_epoch_lag,
+        }
+
+
+@dataclass(frozen=True)
+class GatewayBenchReport:
+    """Single-process reference vs gateway fleets on one replay.
+
+    ``speedup`` is the widest fleet's throughput over the 1-worker
+    fleet's — the process-scaling factor the full-scale gate checks.
+    Identity is absolute: every arm (any worker count, index on or
+    off) must return byte-identical ``result`` payloads to the
+    reference, request by request.
+    """
+
+    dataset: str
+    n_requests: int
+    n_anchors: int
+    cpu_count: int
+    reference: GatewayBenchArm
+    arms: tuple[GatewayBenchArm, ...]
+    speedup: float
+
+    def as_dict(self) -> dict:
+        """JSON-safe rendering (key set pinned by the schema test)."""
+        return {
+            "dataset": self.dataset,
+            "n_requests": self.n_requests,
+            "n_anchors": self.n_anchors,
+            "cpu_count": self.cpu_count,
+            "reference": self.reference.as_dict(),
+            "arms": [arm.as_dict() for arm in self.arms],
+            "speedup": self.speedup,
+        }
+
+    def as_text(self) -> str:
+        lines = [
+            "multi-process gateway: worker-fleet scaling and bitwise "
+            "identity (drifting-Zipf workload)",
+            "",
+            f"{'arm':<22} {'workers':>7} {'req/s':>8} {'hit rate':>8} "
+            f"{'epoch lag':>9} {'bitwise':>8}",
+        ]
+        for arm in (self.reference, *self.arms):
+            lines.append(
+                f"{arm.label:<22} {arm.n_workers:>7} "
+                f"{arm.requests_per_s:>8.1f} {100 * arm.hit_rate:>7.1f}% "
+                f"{arm.max_epoch_lag:>9} "
+                f"{'yes' if arm.bitwise_identical else 'NO':>8}"
+            )
+        lines.append("")
+        lines.append(
+            f"{self.n_requests} requests over {self.n_anchors} "
+            f"region-distinct anchors on {self.dataset} "
+            f"({self.cpu_count} cores); widest fleet speedup vs 1 "
+            f"worker: {self.speedup:.1f}x"
+        )
+        return "\n".join(lines)
+
+
+def run_gateway_benchmark(
+    *,
+    n_requests: int = 240,
+    n_anchors: int = 24,
+    seed: int = 0,
+    tiny: bool = False,
+    concurrency: int = 8,
+    worker_counts: tuple[int, ...] = (1, 4),
+) -> tuple[GatewayBenchReport, float]:
+    """Replay one drifting-Zipf stream through the reference and the
+    fleet arms; returns ``(report, min_speedup)`` with ``min_speedup``
+    already resolved for this machine (0.0 when the scaling gate does
+    not apply — tiny scale or a single-core machine)."""
+    import json as _json
+
+    from repro.serving.gateway import Gateway, replay_workload
+    from repro.serving.worker import (
+        distinct_region_anchors,
+        interpretation_payload,
+        train_worker_model,
+    )
+
+    if tiny:
+        model_kwargs = dict(
+            dataset="blobs", train_size=120, epochs=25, hidden=(8,)
+        )
+        n_requests = min(n_requests, 48)
+        n_anchors = min(n_anchors, 10)
+    else:
+        model_kwargs = dict(
+            dataset="credit-scoring", train_size=800, epochs=120,
+            hidden=(32, 16),
+        )
+
+    _data, test, model = train_worker_model(
+        model_kwargs["dataset"], seed,
+        train_size=model_kwargs["train_size"],
+        epochs=model_kwargs["epochs"], hidden=model_kwargs["hidden"],
+    )
+    api = PredictionAPI(model)
+    anchors = distinct_region_anchors(
+        api, test.X[: 2 * n_anchors], seed=seed, limit=n_anchors
+    )
+    requests = drifting_zipf_workload(anchors, n_requests, seed=seed)
+
+    # Reference: the sequential single-process service.  Its payloads
+    # are canonical — per-instance seeding makes each one a pure
+    # function of (seed, x0) — so every fleet response must match them.
+    service = InterpretationService(
+        PredictionAPI(model), seed=seed, per_instance_seed=True
+    )
+    reference_payloads = []
+    start = time.perf_counter()
+    with service:
+        for x0 in requests:
+            response = service.interpret(x0)
+            reference_payloads.append(
+                _json.dumps(
+                    interpretation_payload(response.interpretation),
+                    sort_keys=True,
+                )
+                if response.ok
+                else None
+            )
+    ref_elapsed = time.perf_counter() - start
+    ref_stats = service.stats()
+    n_ref_ok = sum(1 for p in reference_payloads if p is not None)
+    reference = GatewayBenchArm(
+        label="single-process",
+        n_workers=0,
+        n_requests=len(requests),
+        n_ok=n_ref_ok,
+        elapsed_s=ref_elapsed,
+        requests_per_s=len(requests) / max(ref_elapsed, 1e-9),
+        bitwise_identical=True,
+        n_mismatches=0,
+        hit_rate=ref_stats.hit_rate,
+        harvested=0,
+        l2_records=0,
+        writer_epoch=0,
+        max_epoch_lag=0,
+    )
+
+    arms = []
+    for n_workers in worker_counts:
+        with tempfile.TemporaryDirectory() as tmp:
+            gateway = Gateway(
+                n_workers=n_workers,
+                l2_dir=Path(tmp) / "l2",
+                seed=seed,
+                **model_kwargs,
+            )
+            gateway.start()
+            try:
+                responses, elapsed = replay_workload(
+                    gateway.host, gateway.port, requests,
+                    concurrency=concurrency,
+                )
+                stats = gateway.stats()
+            finally:
+                gateway.stop()
+        mismatches = 0
+        n_ok = 0
+        for response, expected in zip(responses, reference_payloads):
+            if response.get("ok"):
+                n_ok += 1
+                got = _json.dumps(response["result"], sort_keys=True)
+                if got != expected:
+                    mismatches += 1
+            elif expected is not None:
+                mismatches += 1
+        arms.append(
+            GatewayBenchArm(
+                label=f"gateway x{n_workers}",
+                n_workers=n_workers,
+                n_requests=len(requests),
+                n_ok=n_ok,
+                elapsed_s=elapsed,
+                requests_per_s=len(requests) / max(elapsed, 1e-9),
+                bitwise_identical=mismatches == 0,
+                n_mismatches=mismatches,
+                hit_rate=stats.hit_rate,
+                harvested=stats.harvested,
+                l2_records=stats.l2_records,
+                writer_epoch=stats.writer_epoch,
+                max_epoch_lag=stats.max_epoch_lag,
+            )
+        )
+
+    by_workers = {arm.n_workers: arm for arm in arms}
+    widest = max(by_workers)
+    speedup = (
+        by_workers[widest].requests_per_s
+        / max(by_workers[min(by_workers)].requests_per_s, 1e-9)
+        if len(by_workers) > 1
+        else float("nan")
+    )
+    cores = os.cpu_count() or 1
+    report = GatewayBenchReport(
+        dataset=model_kwargs["dataset"],
+        n_requests=len(requests),
+        n_anchors=anchors.shape[0],
+        cpu_count=cores,
+        reference=reference,
+        arms=tuple(arms),
+        speedup=speedup,
+    )
+    min_speedup = (
+        0.0
+        if tiny or cores < 2 or len(by_workers) < 2
+        else min(GATEWAY_SPEEDUP_THRESHOLD, 0.5 * min(widest, cores))
+    )
+    return report, min_speedup
+
+
+def gateway_gate_failures(
+    report: GatewayBenchReport, *, min_speedup: float = 0.0
+) -> list[str]:
+    """Every way the gateway benchmark can fail its gates."""
+    failures = []
+    for arm in report.arms:
+        if not arm.bitwise_identical:
+            failures.append(
+                f"{arm.label}: {arm.n_mismatches} response payload(s) "
+                "differ bitwise from the single-process reference"
+            )
+        if arm.n_ok != arm.n_requests:
+            failures.append(
+                f"{arm.label}: {arm.n_requests - arm.n_ok} request(s) "
+                "did not serve ok"
+            )
+    if min_speedup > 0.0 and not report.speedup >= min_speedup:
+        failures.append(
+            f"widest fleet serves {report.speedup:.1f}x the 1-worker "
+            f"throughput (gate {min_speedup:.1f}x on "
+            f"{report.cpu_count} cores)"
         )
     return failures

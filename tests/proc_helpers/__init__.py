@@ -1,0 +1,132 @@
+"""Harness for the cross-process serving tests.
+
+Two halves live here:
+
+* **subprocess bodies** (`crash_writer.py`) — scripts run with
+  ``sys.executable`` so the tests exercise *real* process boundaries:
+  separate mmaps, separate page caches, kernel-released file locks,
+  and SIGKILL windows armed at exact points inside store operations
+  (the test process imports them only for their deterministic record
+  constructors, never for their process state);
+* **test-side helpers** (below) — spawning those bodies with a
+  ``repro``-importable environment, reading their JSON-line protocol
+  under hard deadlines, and the :class:`CrashWriter` handle the crash
+  tests drive.
+
+This lives in its own package (not ``conftest.py``) because the full
+pytest run collects both ``tests/`` and ``benchmarks/``, each with a
+``conftest`` module — a plain ``from conftest import ...`` resolves to
+whichever directory hit ``sys.path`` first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+#: The model recipe every gateway test process (worker subprocesses and
+#: the in-test reference service alike) trains — small enough that a
+#: worker is ready in ~1s, deterministic so all of them agree bitwise.
+TINY_GATEWAY_KWARGS = dict(
+    dataset="blobs", seed=0, train_size=120, epochs=25, hidden=(8,)
+)
+
+PROC_HELPERS_DIR = Path(__file__).resolve().parent
+_SRC_DIR = PROC_HELPERS_DIR.parents[1] / "src"
+
+
+def subprocess_env(**extra: str) -> dict:
+    """A child-process environment that can import ``repro``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra)
+    return env
+
+
+def read_json_line(proc: subprocess.Popen, timeout_s: float = 30.0) -> dict:
+    """One JSON line from ``proc.stdout``, with a hard deadline.
+
+    Uses ``select`` on the raw fd so a wedged child can never hang the
+    suite; raises ``TimeoutError`` (with the child's status) instead.
+    """
+    deadline = time.monotonic() + timeout_s
+    fd = proc.stdout.fileno()
+    buf = bytearray()
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError(
+                f"no line from pid {proc.pid} within {timeout_s}s "
+                f"(returncode={proc.poll()}, got {bytes(buf)!r})"
+            )
+        ready, _, _ = select.select([fd], [], [], min(remaining, 0.25))
+        if not ready:
+            continue
+        chunk = os.read(fd, 4096)
+        if not chunk:
+            raise EOFError(
+                f"pid {proc.pid} closed stdout "
+                f"(returncode={proc.poll()}, got {bytes(buf)!r})"
+            )
+        buf.extend(chunk)
+        if b"\n" in buf:
+            line, _, rest = bytes(buf).partition(b"\n")
+            assert not rest, f"unexpected extra output: {rest!r}"
+            return json.loads(line)
+
+
+class CrashWriter:
+    """Test-side handle on one ``proc_helpers/crash_writer.py`` process."""
+
+    def __init__(self, directory):
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                str(PROC_HELPERS_DIR / "crash_writer.py"),
+                "--dir", str(directory),
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=subprocess_env(),
+        )
+        ready = read_json_line(self.proc, timeout_s=60.0)
+        assert ready.get("ready"), ready
+
+    def op(self, op: str, *, reply: bool = True, **fields) -> dict | None:
+        self.proc.stdin.write(
+            (json.dumps({"op": op, **fields}) + "\n").encode()
+        )
+        self.proc.stdin.flush()
+        if not reply:
+            return None
+        out = read_json_line(self.proc)
+        assert out.get("ok"), out
+        return out
+
+    def kill_in_window(self, op: str, **fields) -> None:
+        """Arm the pause-before-rename window, issue ``op``, wait for
+        the window event, then SIGKILL inside it."""
+        self.op("arm_pause_before_rename")
+        self.op(op, reply=False, **fields)
+        event = read_json_line(self.proc)
+        assert event.get("event") == "before-rename", event
+        self.proc.kill()
+        self.proc.wait(timeout=30)
+
+    def close(self) -> None:
+        if self.proc.poll() is None:
+            try:
+                self.op("exit")
+                self.proc.wait(timeout=10)
+            except Exception:
+                self.proc.kill()
+        self.proc.wait(timeout=30)
+        for stream in (self.proc.stdin, self.proc.stdout, self.proc.stderr):
+            if stream is not None:
+                stream.close()

@@ -1,0 +1,116 @@
+"""A stdin-driven L2 writer process the crash tests can kill at will.
+
+The test process sends one JSON object per line on stdin and reads one
+JSON reply per line from stdout.  Ops:
+
+* ``{"op": "append", "sig": N}`` — append the deterministic synthetic
+  record keyed by ``N`` (both sides derive identical bytes from the
+  signature, so the reader can verify content without any channel but
+  the store itself);
+* ``{"op": "publish"}`` — persist the tail index (epoch bump);
+* ``{"op": "mark_dead", "sig": N}`` / ``{"op": "compact"}`` /
+  ``{"op": "sync"}``;
+* ``{"op": "arm_pause_before_rename"}`` — the *next* index publish
+  writes the tmp file, emits a ``{"event": "before-rename"}`` line and
+  then hangs forever — the deterministic SIGKILL window for dying
+  mid-publish (tmp written, rename never issued);
+* ``{"op": "state"}`` — live signatures + epoch;
+* ``{"op": "exit"}`` — clean close.
+
+Run as ``python crash_writer.py --dir DIR`` with ``PYTHONPATH`` carrying
+``src``; the writer opens the store with ``exclusive=True`` so the
+kernel-released ``flock`` is part of what the kill tests exercise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+
+def synthetic_record(sig: int, *, d: int = 4, n_pairs: int = 2) -> tuple:
+    """The deterministic record both the writer and the verifying test
+    derive from a signature alone."""
+    rng = np.random.default_rng(sig)
+    pairs = tuple((0, j + 1) for j in range(n_pairs))
+    return (
+        0,
+        pairs,
+        rng.normal(size=(n_pairs, d)),
+        rng.normal(size=n_pairs),
+        rng.normal(size=d),
+        rng.normal(size=d),
+        float(rng.uniform(0.1, 1.0)),
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dir", required=True)
+    args = parser.parse_args()
+
+    from repro.serving.store import SegmentStore
+
+    armed = {"pause": False}
+    real_replace = os.replace
+
+    def replace_with_window(src, dst):
+        if armed["pause"] and str(dst).endswith("index.json"):
+            print(json.dumps({"event": "before-rename"}), flush=True)
+            while True:  # hold the window open until SIGKILL
+                time.sleep(60)
+        return real_replace(src, dst)
+
+    os.replace = replace_with_window
+
+    store = SegmentStore(args.dir, exclusive=True)
+    print(
+        json.dumps({"ready": True, "pid": os.getpid(), "epoch": store.epoch}),
+        flush=True,
+    )
+    for line in sys.stdin:
+        request = json.loads(line)
+        op = request["op"]
+        if op == "append":
+            appended = store.append(
+                request["sig"], *synthetic_record(request["sig"])
+            )
+            reply = {"ok": True, "appended": bool(appended)}
+        elif op == "publish":
+            store.persist_index()
+            reply = {"ok": True, "epoch": store.epoch}
+        elif op == "mark_dead":
+            store.mark_dead(request["sig"])
+            reply = {"ok": True}
+        elif op == "compact":
+            reclaimed = store.compact()
+            reply = {"ok": True, "reclaimed": reclaimed}
+        elif op == "sync":
+            store.sync()
+            reply = {"ok": True}
+        elif op == "arm_pause_before_rename":
+            armed["pause"] = True
+            reply = {"ok": True}
+        elif op == "state":
+            reply = {
+                "ok": True,
+                "live": sorted(store.live_signatures()),
+                "epoch": store.epoch,
+            }
+        elif op == "exit":
+            store.close()
+            print(json.dumps({"ok": True}), flush=True)
+            return 0
+        else:
+            reply = {"ok": False, "error": f"unknown op {op!r}"}
+        print(json.dumps(reply), flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,11 @@ entry points), and the CLI's choice-list pin.
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
 import warnings
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -231,3 +235,82 @@ class TestFloat32UpcastEquivalence:
         )
         assert hit32 is not None and ref is not None
         assert np.array_equal(hit32.decision_features, ref.decision_features)
+
+
+class TestWorkerProcessResolution:
+    """resolve_backend re-resolves per process (the gateway worker seam).
+
+    The resolution singletons are process-wide state; a forked worker
+    inherits the parent's instances, which is a latent bug for
+    device-holding backends (a CUDA context does not survive fork).
+    Resolution must notice the pid change and rebuild, and a spawned
+    worker must honor its own ``REPRO_BACKEND`` environment.
+    """
+
+    def test_pid_change_discards_inherited_singletons(self, monkeypatch):
+        import repro.core.backend as backend_mod
+
+        reset_backend_state()
+        parent = resolve_backend("numpy")
+        assert resolve_backend("numpy") is parent
+        # Simulate being a forked child: same module state, new pid.
+        monkeypatch.setattr(backend_mod, "_owner_pid", -1)
+        child = resolve_backend("numpy")
+        assert child is not parent
+        # And the rebuilt state is again a stable singleton.
+        assert resolve_backend("numpy") is child
+
+    @pytest.mark.skipif(
+        not hasattr(os, "fork"), reason="fork is POSIX-only"
+    )
+    def test_forked_child_rebuilds_its_singleton(self):
+        import repro.core.backend as backend_mod
+
+        reset_backend_state()
+        parent_instance = resolve_backend("stub")
+        pid = os.fork()
+        if pid == 0:
+            # Child: hold a strong reference to the inherited singleton
+            # so an address cannot be recycled, then re-resolve.
+            status = 1
+            try:
+                inherited = backend_mod._instances.get("stub")
+                fresh = resolve_backend("stub")
+                if inherited is parent_instance and fresh is not inherited:
+                    status = 0
+            finally:
+                os._exit(status)
+        _, wait_status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(wait_status) == 0
+
+    def test_spawned_process_honors_backend_env(self, tmp_path):
+        # A genuinely fresh interpreter (the spawn start-method case):
+        # REPRO_BACKEND must drive the default, and the stub's tag
+        # discipline must hold inside that process.
+        script = (
+            "from repro.core.backend import resolve_backend\n"
+            "from repro.exceptions import ValidationError\n"
+            "import numpy as np\n"
+            "be = resolve_backend(None)\n"
+            "assert be.name == 'stub', be.name\n"
+            "tagged = be.asarray(np.eye(2))\n"
+            "try:\n"
+            "    be.matmul(np.eye(2), np.eye(2))\n"
+            "except ValidationError:\n"
+            "    pass\n"
+            "else:\n"
+            "    raise SystemExit('untagged operand not rejected')\n"
+            "out = be.to_host(be.matmul(tagged, tagged))\n"
+            "assert np.array_equal(out, np.eye(2))\n"
+            "print('SPAWN_OK')\n"
+        )
+        env = dict(os.environ)
+        env[BACKEND_ENV_VAR] = "stub"
+        src_root = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=60, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "SPAWN_OK" in proc.stdout

@@ -28,6 +28,9 @@ import pytest
 from repro.core.engine import EngineBenchReport, EngineBenchRow
 from repro.serving import (
     CacheStats,
+    GatewayBenchArm,
+    GatewayBenchReport,
+    GatewayStats,
     IndexScalingRow,
     RegionCache,
     RegionIndexReport,
@@ -161,6 +164,47 @@ def sample_region_index_report() -> RegionIndexReport:
     )
 
 
+def sample_gateway_stats() -> GatewayStats:
+    return GatewayStats(
+        n_requests=20, n_ok=19, n_errors=1, n_workers=2, workers_alive=2,
+        uptime_s=1.5, requests_per_s=13.3, writer_epoch=3,
+        min_worker_epoch=2, max_epoch_lag=1, harvested=6,
+        harvest_duplicates=1, l2_records=6, hit_rate=0.7,
+        per_worker=[{"worker": 0, "pid": 123, "alive": True}],
+    )
+
+
+def sample_l2_reader_stats() -> dict:
+    """A worker tier's meter dict (the ``tier`` payload nested in
+    ``GatewayStats.per_worker``)."""
+    import tempfile
+
+    from repro.serving import L2ReaderCache
+
+    with tempfile.TemporaryDirectory() as directory:
+        reader = L2ReaderCache(directory)
+        stats = reader.stats()
+        reader.close()
+    return stats
+
+
+def sample_gateway_arm() -> GatewayBenchArm:
+    return GatewayBenchArm(
+        label="gateway x4", n_workers=4, n_requests=48, n_ok=48,
+        elapsed_s=0.5, requests_per_s=96.0, bitwise_identical=True,
+        n_mismatches=0, hit_rate=0.8, harvested=10, l2_records=10,
+        writer_epoch=2, max_epoch_lag=1,
+    )
+
+
+def sample_gateway_report() -> GatewayBenchReport:
+    arm = sample_gateway_arm()
+    return GatewayBenchReport(
+        dataset="blobs", n_requests=48, n_anchors=10, cpu_count=4,
+        reference=arm, arms=(arm,), speedup=2.0,
+    )
+
+
 def sample_engine_report() -> EngineBenchReport:
     row = EngineBenchRow(
         n_instances=4, n_points=8, d=4, C=3, engine_solves_per_s=100.0,
@@ -228,6 +272,19 @@ class TestAsDictMatchesFields:
     def test_throughput_arm(self):
         payload = sample_arm().as_dict()
         assert set(payload) == field_names(ThroughputArm)
+
+    def test_gateway_stats(self):
+        payload = sample_gateway_stats().as_dict()
+        assert set(payload) == field_names(GatewayStats)
+
+    def test_gateway_bench_arm(self):
+        payload = sample_gateway_arm().as_dict()
+        assert set(payload) == field_names(GatewayBenchArm)
+
+    def test_gateway_bench_report(self):
+        payload = sample_gateway_report().as_dict()
+        assert set(payload) == field_names(GatewayBenchReport)
+        assert set(payload["reference"]) == field_names(GatewayBenchArm)
 
     def test_throughput_report(self):
         arm = sample_arm()
@@ -338,8 +395,12 @@ class TestDocsGlossary:
             sample_sharded_stats,
             sample_broker_stats,
             sample_tiered_stats,
+            sample_gateway_stats,
         ],
-        ids=["service", "cache", "sharded-cache", "broker", "tiered-store"],
+        ids=[
+            "service", "cache", "sharded-cache", "broker", "tiered-store",
+            "gateway",
+        ],
     )
     def test_keys_documented(self, glossary, payload_factory):
         missing = [
@@ -348,6 +409,14 @@ class TestDocsGlossary:
             if f"`{key}`" not in glossary
         ]
         assert not missing, f"undocumented stats keys: {missing}"
+
+    def test_l2_reader_tier_keys_documented(self, glossary):
+        missing = [
+            key
+            for key in sample_l2_reader_stats()
+            if f"`{key}`" not in glossary
+        ]
+        assert not missing, f"undocumented reader-tier keys: {missing}"
 
 
 class TestBenchmarkCatalogSchemas:
@@ -393,10 +462,11 @@ class TestBenchmarkCatalogSchemas:
             ("BENCH_solve_engine.json", sample_engine_report),
             ("BENCH_region_index.json", sample_region_index_report),
             ("BENCH_backend.json", sample_backend_report),
+            ("BENCH_gateway.json", sample_gateway_report),
         ],
         ids=[
             "serving", "sharded", "tiered-store", "transport", "engine",
-            "region-index", "backend",
+            "region-index", "backend", "gateway",
         ],
     )
     def test_artifact_keys_catalogued(

@@ -29,6 +29,7 @@ from repro.exceptions import ValidationError
 from repro.models.openbox import ground_truth_decision_features
 from repro.serving import (
     InterpretationService,
+    L2ReaderCache,
     RegionCache,
     SegmentStore,
     ShardedInterpretationService,
@@ -471,3 +472,256 @@ class TestTieredTransparency:
             )
             assert np.abs(interp.decision_features - gt).max() < 1e-6
         store.close()
+
+
+# --------------------------------------------------------------------- #
+# Single-writer / many-reader discipline (the gateway's shared L2)
+# --------------------------------------------------------------------- #
+
+
+def _y0_for(interp):
+    """The probability row under which ``interp``'s region claims hold."""
+    claims = np.asarray(
+        [
+            interp.pair_estimates[p].weights @ interp.x0
+            + interp.pair_estimates[p].intercept
+            for p in sorted(interp.pair_estimates)
+        ]
+    )
+    return _probs_for_claims(claims)
+
+
+def _record_of(interp):
+    """``interp`` in the snapshot record format ``SegmentStore.append``
+    takes — the bytes a gateway writer harvests from a worker."""
+    pairs = tuple(sorted(interp.pair_estimates))
+    W = np.stack([interp.pair_estimates[p].weights for p in pairs])
+    b = np.asarray([interp.pair_estimates[p].intercept for p in pairs])
+    return (
+        interp.target_class, pairs, W, b, interp.x0,
+        interp.decision_features, float(interp.final_edge),
+    )
+
+
+class TestReadOnlyAndEpochs:
+    def test_read_only_rejects_every_mutation(self, tmp_path):
+        rng = np.random.default_rng(20)
+        records = _random_records(rng, 2)
+        writer = SegmentStore(tmp_path)
+        _fill(writer, records)
+        writer.close()
+
+        reader = SegmentStore(tmp_path, read_only=True)
+        sig, rec = next(iter(records.items()))
+        assert reader.read(sig)[2].tobytes() == rec[2].tobytes()
+        with pytest.raises(ValidationError, match="read_only"):
+            reader.append(999, *rec)
+        with pytest.raises(ValidationError, match="read_only"):
+            reader.mark_dead(sig)
+        with pytest.raises(ValidationError, match="read_only"):
+            reader.persist_index()
+        with pytest.raises(ValidationError, match="read_only"):
+            reader.sync()
+        with pytest.raises(ValidationError, match="read_only"):
+            reader.compact()
+        reader.close()
+
+    def test_read_only_and_exclusive_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValidationError, match="mutually exclusive"):
+            SegmentStore(tmp_path, read_only=True, exclusive=True)
+
+    def test_exclusive_lock_admits_one_writer_at_a_time(self, tmp_path):
+        first = SegmentStore(tmp_path, exclusive=True)
+        with pytest.raises(ValidationError, match="another writer"):
+            SegmentStore(tmp_path, exclusive=True)
+        # Readers are never blocked by the writer lock.
+        reader = SegmentStore(tmp_path, read_only=True)
+        reader.close()
+        first.close()
+        successor = SegmentStore(tmp_path, exclusive=True)
+        successor.close()
+
+    def test_reader_follows_publishes_without_reopening(self, tmp_path):
+        rng = np.random.default_rng(21)
+        records = _random_records(rng, 3)
+        writer = SegmentStore(tmp_path)
+        _fill(writer, records)
+        writer.persist_index()
+
+        reader = SegmentStore(tmp_path, read_only=True)
+        assert reader.epoch == writer.epoch
+        assert reader.live_signatures() == set(records)
+        assert reader.maybe_refresh() is False      # writer idle: one stat
+
+        late_sig, late = 777, next(iter(records.values()))
+        assert writer.append(late_sig, *late)
+        writer.persist_index()                      # epoch bump
+        assert reader.maybe_refresh() is True
+        assert reader.epoch == writer.epoch
+        assert reader.read(late_sig)[2].tobytes() == late[2].tobytes()
+        reader.close()
+        writer.close()
+
+    def test_reader_keeps_serving_across_a_compaction(self, tmp_path):
+        """The writer compacts (old segment files are unlinked) while a
+        reader holds mmaps of them: the reader's un-refreshed view keeps
+        serving the old inventory bitwise, and the refresh converges."""
+        rng = np.random.default_rng(22)
+        records = _random_records(rng, 4)
+        writer = SegmentStore(tmp_path)
+        _fill(writer, records)
+        writer.persist_index()
+
+        reader = SegmentStore(tmp_path, read_only=True)
+        victim = min(records)
+        for sig, rec in records.items():            # map every segment
+            assert reader.read(sig)[2].tobytes() == rec[2].tobytes()
+
+        writer.mark_dead(victim)
+        writer.compact()
+        # Not yet refreshed: the unlinked files are still mapped, so the
+        # pre-compaction inventory — dead region included — serves.
+        assert reader.live_signatures() == set(records)
+        for sig, rec in records.items():
+            assert reader.read(sig)[2].tobytes() == rec[2].tobytes()
+        assert reader.maybe_refresh() is True
+        assert reader.live_signatures() == set(records) - {victim}
+        for sig in set(records) - {victim}:
+            assert reader.read(sig)[2].tobytes() == records[sig][2].tobytes()
+        reader.close()
+        writer.close()
+
+    def test_new_segment_is_indexed_at_creation(self, tmp_path):
+        """The very first append must land in an *indexed* segment:
+        recovery reaps unindexed segment files as compaction orphans, so
+        registering at creation is what makes a crash right after the
+        first fsync recoverable (and the fleet's fresh L2 adoptable)."""
+        import json
+
+        rng = np.random.default_rng(23)
+        sig, rec = next(iter(_random_records(rng, 1).items()))
+        writer = SegmentStore(tmp_path)
+        assert writer.append(sig, *rec)
+        # No close, no explicit publish: the index on disk already
+        # references the segment (with a pre-append tail).
+        payload = json.loads((tmp_path / "index.json").read_text())
+        assert payload["segments"] == ["segment-00000.seg"]
+
+        # A concurrent fresh open therefore tail-scans the segment and
+        # adopts the fsynced record instead of deleting the file.
+        reader = SegmentStore(tmp_path, read_only=True)
+        assert reader.live_signatures() == {sig}
+        assert reader.read(sig)[2].tobytes() == rec[2].tobytes()
+        reader.close()
+        writer.close()
+
+
+class TestL2ReaderCacheTier:
+    def _shared_store(self, tmp_path, n, *, seed):
+        rng = np.random.default_rng(seed)
+        interps = [
+            _affine_interp(
+                rng.normal(size=4), rng.normal(size=(2, 4)),
+                rng.normal(size=2),
+            )
+            for _ in range(n)
+        ]
+        writer = SegmentStore(tmp_path)
+        for i, interp in enumerate(interps):
+            assert writer.append(1000 + i, *_record_of(interp))
+        writer.persist_index()
+        return writer, interps
+
+    def test_l2_hit_promotes_bitwise_then_serves_from_l1(self, tmp_path):
+        writer, interps = self._shared_store(tmp_path, 3, seed=30)
+        reader = L2ReaderCache(tmp_path, max_entries=8)
+        target = interps[0]
+        y0 = _y0_for(target)
+
+        hit = reader.lookup(target.x0, y0, target.target_class)
+        assert hit is not None
+        assert hit.method == L2ReaderCache.served_method
+        assert (
+            hit.decision_features.tobytes()
+            == target.decision_features.tobytes()
+        )
+        for pair, est in target.pair_estimates.items():
+            assert (
+                hit.pair_estimates[pair].weights.tobytes()
+                == est.weights.tobytes()
+            )
+        stats = reader.stats()
+        assert stats["l2_hits"] == 1 and stats["l1_hits"] == 0
+        assert stats["l2_records"] == 3
+
+        again = reader.lookup(target.x0, y0, target.target_class)
+        assert again is not None                    # promoted: RAM hit
+        assert reader.stats()["l1_hits"] == 1
+        reader.close()
+        writer.close()
+
+    def test_insert_is_private_to_the_reader(self, tmp_path):
+        """Workers never write the shared directory: an insert lands in
+        the reader's own L1 only, invisible to every other reader."""
+        writer, _ = self._shared_store(tmp_path, 1, seed=31)
+        rng = np.random.default_rng(32)
+        fresh = _affine_interp(
+            rng.normal(size=4), rng.normal(size=(2, 4)), rng.normal(size=2)
+        )
+        reader_a = L2ReaderCache(tmp_path, max_entries=8)
+        reader_b = L2ReaderCache(tmp_path, max_entries=8)
+        assert reader_a.insert(fresh)
+        assert reader_a.lookup(
+            fresh.x0, _y0_for(fresh), fresh.target_class
+        ) is not None
+        assert reader_b.lookup(
+            fresh.x0, _y0_for(fresh), fresh.target_class
+        ) is None
+        assert reader_b.stats()["l2_misses"] == 1
+        assert len(writer) == 1                     # shared dir untouched
+        reader_a.close()
+        reader_b.close()
+        writer.close()
+
+    def test_lookups_converge_on_new_epochs(self, tmp_path):
+        writer, interps = self._shared_store(tmp_path, 1, seed=33)
+        reader = L2ReaderCache(tmp_path, max_entries=8)
+        assert reader.lookup(
+            interps[0].x0, _y0_for(interps[0]), interps[0].target_class
+        ) is not None
+
+        rng = np.random.default_rng(34)
+        late = _affine_interp(
+            rng.normal(size=4), rng.normal(size=(2, 4)), rng.normal(size=2)
+        )
+        assert writer.append(2000, *_record_of(late))
+        writer.persist_index()
+        # The miss path refreshes to the new epoch and finds the record.
+        hit = reader.lookup(late.x0, _y0_for(late), late.target_class)
+        assert hit is not None
+        assert (
+            hit.decision_features.tobytes()
+            == late.decision_features.tobytes()
+        )
+        stats = reader.stats()
+        assert stats["refreshes"] >= 1
+        assert stats["epoch"] == writer.epoch
+        reader.close()
+        writer.close()
+
+    def test_region_index_on_serves_identical_bytes(self, tmp_path):
+        writer, interps = self._shared_store(tmp_path, 4, seed=35)
+        plain = L2ReaderCache(tmp_path, max_entries=8)
+        indexed = L2ReaderCache(tmp_path, max_entries=8, region_index=True)
+        for interp in interps:
+            y0 = _y0_for(interp)
+            a = plain.lookup(interp.x0, y0, interp.target_class)
+            b = indexed.lookup(interp.x0, y0, interp.target_class)
+            assert a is not None and b is not None
+            assert (
+                a.decision_features.tobytes()
+                == b.decision_features.tobytes()
+            )
+        plain.close()
+        indexed.close()
+        writer.close()

@@ -317,3 +317,78 @@ class TestServeFlagValidation:
              "--compact-ratio", "0.6", "--shards", "4"]
         )
         assert _validate_serve_flags(args) is None
+
+
+class TestGatewayFlagValidation:
+    """The multi-process gateway flags must be coherent before any
+    worker process is spawned: every contradictory combination exits 2
+    naming the offending flag, never silently ignores it."""
+
+    def run_serve(self, capsys, *flags: str) -> tuple[int, str]:
+        code = main(["serve", *flags])
+        return code, capsys.readouterr().err
+
+    def test_gateway_knobs_require_gateway(self, capsys):
+        for flags in (
+            ["--gateway-workers", "4"],
+            ["--port", "8080"],
+        ):
+            code, err = self.run_serve(capsys, *flags)
+            assert code == 2
+            assert "--gateway" in err and "silently ignored" in err
+
+    def test_gateway_requires_l2_dir(self, capsys):
+        code, err = self.run_serve(capsys, "--gateway")
+        assert code == 2
+        assert "--l2-dir" in err and "single writer" in err
+
+    def test_gateway_worker_count_range(self, capsys):
+        code, err = self.run_serve(
+            capsys, "--gateway", "--l2-dir", "l2", "--gateway-workers", "0"
+        )
+        assert code == 2
+        assert "--gateway-workers" in err and ">= 1" in err
+
+    def test_port_range_enforced(self, capsys):
+        code, err = self.run_serve(
+            capsys, "--gateway", "--l2-dir", "l2", "--port", "70000"
+        )
+        assert code == 2
+        assert "--port" in err and "[0, 65535]" in err
+
+    def test_gateway_conflicts_with_in_process_tiers(self, capsys):
+        base = ["--gateway", "--l2-dir", "l2"]
+        for flags, named in (
+            (["--no-cache"], "--no-cache"),
+            (["--broker"], "--broker"),
+            (["--shards", "2"], "--gateway-workers"),
+            (["--workers", "2"], "--gateway-workers"),
+            (["--snapshot", "r.npz"], "--snapshot"),
+            (["--warm-start", "r.npz"], "--warm-start"),
+            (["--eviction", "ttl", "--ttl-s", "30"], "--eviction"),
+            (["--l2-max-bytes", "1048576"], "--l2-max-bytes"),
+            (["--compact-ratio", "0.6"], "--compact-ratio"),
+        ):
+            code, err = self.run_serve(capsys, *base, *flags)
+            assert code == 2, flags
+            assert named in err, (flags, err)
+
+    def test_coherent_gateway_flags_pass_validation(self):
+        from repro.cli import _validate_serve_flags
+
+        args = build_parser().parse_args(
+            ["serve", "--gateway", "--l2-dir", "l2",
+             "--gateway-workers", "4", "--port", "8080",
+             "--region-index", "--index-bits", "12"]
+        )
+        assert _validate_serve_flags(args) is None
+
+    def test_gateway_flag_defaults_pinned(self):
+        """The validator detects non-default gateway knobs against this
+        table; the parser defaults must not drift from it."""
+        from repro.cli import _GATEWAY_FLAG_DEFAULTS
+
+        parser = build_parser()
+        args = parser.parse_args(["serve"])
+        for attr, default in _GATEWAY_FLAG_DEFAULTS.items():
+            assert getattr(args, attr) == default
