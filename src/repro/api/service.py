@@ -276,12 +276,12 @@ class PredictionAPI:
         self._model = model
         self._budget = budget
         self._transform = transform
-        self._query_count = 0
-        self._request_count = 0
+        self._query_count = 0      # guarded-by: _meter_lock
+        self._request_count = 0    # guarded-by: _meter_lock
         # Guards the budget check-then-commit against concurrent round
         # trips (broker-off callers hit _score_blocks from many threads).
         self._meter_lock = threading.Lock()
-        self._reserved_rows = 0
+        self._reserved_rows = 0    # guarded-by: _meter_lock
 
     # ------------------------------------------------------------------ #
     # Public service surface
@@ -299,7 +299,8 @@ class PredictionAPI:
     @property
     def query_count(self) -> int:
         """Total number of instances scored so far."""
-        return self._query_count
+        with self._meter_lock:
+            return self._query_count
 
     @property
     def request_count(self) -> int:
@@ -308,7 +309,8 @@ class PredictionAPI:
         Real services bill per instance but *latency* scales with round
         trips; the batch interpreter optimizes this number.
         """
-        return self._request_count
+        with self._meter_lock:
+            return self._request_count
 
     @property
     def budget(self) -> int | None:

@@ -198,11 +198,12 @@ class SimulatedTransport:
         self.failure_prob = float(failure_prob)
         self.rate_per_s = rate_per_s
         self.burst = int(burst)
-        self._rng = as_generator(seed)
+        # Deterministic fault injection must not interleave draws.
+        self._rng = as_generator(seed)  # guarded-by: _lock
         self._sleep = sleep
         self._clock = clock
-        self._tokens = float(burst)
-        self._last_refill = clock()
+        self._tokens = float(burst)     # guarded-by: _lock
+        self._last_refill = clock()     # guarded-by: _lock
         self._lock = threading.Lock()
 
     def _take_token(self) -> None:
@@ -500,20 +501,20 @@ class QueryBroker:
         self.coalesce = bool(coalesce)
         self._sleep = sleep
         self._cv = threading.Condition()
-        self._pending: deque[_Ticket] = deque()
-        self._leader_active = False
-        self._handles: list[BrokerHandle] = []
+        self._pending: deque[_Ticket] = deque()  # guarded-by: _cv
+        self._leader_active = False              # guarded-by: _cv
+        self._handles: list[BrokerHandle] = []   # guarded-by: _cv
         self._stats_lock = threading.Lock()
-        self._n_requests = 0
-        self._n_rows = 0
-        self._n_round_trips = 0
-        self._n_coalesced = 0
-        self._max_fused_rows = 0
-        self._max_fused_requests = 0
-        self._n_retries = 0
-        self._n_rate_limited = 0
-        self._n_transient = 0
-        self._n_exhausted = 0
+        self._n_requests = 0         # guarded-by: _stats_lock
+        self._n_rows = 0             # guarded-by: _stats_lock
+        self._n_round_trips = 0      # guarded-by: _stats_lock
+        self._n_coalesced = 0        # guarded-by: _stats_lock
+        self._max_fused_rows = 0     # guarded-by: _stats_lock
+        self._max_fused_requests = 0  # guarded-by: _stats_lock
+        self._n_retries = 0          # guarded-by: _stats_lock
+        self._n_rate_limited = 0     # guarded-by: _stats_lock
+        self._n_transient = 0        # guarded-by: _stats_lock
+        self._n_exhausted = 0        # guarded-by: _stats_lock
 
     # ------------------------------------------------------------------ #
     @property
@@ -576,7 +577,7 @@ class QueryBroker:
         assert ticket.result is not None
         return ticket.result
 
-    def _rows_pending(self) -> int:
+    def _rows_pending(self) -> int:  # requires-lock: _cv
         return sum(t.block.shape[0] for t in self._pending)
 
     @staticmethod
@@ -690,7 +691,7 @@ class QueryBroker:
                 return
             self._fail_tickets(batch, exc)
             return
-        except Exception as exc:  # noqa: BLE001 — resolver boundary
+        except Exception as exc:  # boundary: dispatch resolver — every ticket must resolve (callers block on the event), so any failure becomes the tickets' error
             self._fail_tickets(batch, exc)
             return
         except BaseException as exc:

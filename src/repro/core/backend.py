@@ -489,13 +489,13 @@ _FACTORIES = {
 _OPTIONAL = ("cupy", "torch")
 
 _lock = threading.Lock()
-_instances: dict[str, ArrayBackend] = {}
-_warned: set[str] = set()
+_instances: dict[str, ArrayBackend] = {}  # guarded-by: _lock
+_warned: set[str] = set()                 # guarded-by: _lock
 #: Pid that populated ``_instances``.  A forked child inherits the
 #: parent's singletons — for device-holding backends (torch/cupy) those
 #: wrap CUDA contexts that are invalid across ``fork``, so resolution
 #: discards inherited state when it notices the pid changed.
-_owner_pid = os.getpid()
+_owner_pid = os.getpid()  # guarded-by: _lock
 
 
 def backend_available(name: str) -> bool:
@@ -568,7 +568,7 @@ def resolve_backend(backend: "str | ArrayBackend | None" = None) -> ArrayBackend
         return instance
 
 
-def _discard_foreign_state() -> None:
+def _discard_foreign_state() -> None:  # requires-lock: _lock
     """Drop singletons inherited from another process (call under
     ``_lock``).  After ``fork`` the child's ``_instances`` still holds
     the parent's objects; re-resolving them fresh makes worker processes

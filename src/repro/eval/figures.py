@@ -8,6 +8,7 @@ benchmark harness prints them.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,6 +33,8 @@ from repro.metrics import (
 )
 from repro.models.openbox import ground_truth_decision_features
 from repro.utils.rng import as_generator, spawn_generators
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "Fig2Entry",
@@ -274,8 +277,13 @@ def build_fig567_quality(
             c = int(c)
             try:
                 attribution = method.explain(x0, c)
-            except Exception:
+            except Exception as exc:  # boundary: baseline zoo survey — one method's failure must not abort the grid; counted in n_failures and logged
                 failures += 1
+                logger.warning(
+                    "figure 5-7 cell %r: explain failed for class %d: "
+                    "%s: %s",
+                    name, c, type(exc).__name__, exc,
+                )
                 continue
             ground_truth = ground_truth_decision_features(setup.model, x0, c)
             l1_values.append(l1_distance(ground_truth, attribution.values))

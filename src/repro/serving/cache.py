@@ -752,6 +752,7 @@ class RegionCache:
         if group is not None and len(group):
             new_claims = np.asarray(
                 [
+                    # repro-lint: disable=backend-seam tiny per-pair host dot on one candidate; never a hot-path scan
                     interpretation.pair_estimates[p].weights @ x0
                     + interpretation.pair_estimates[p].intercept
                     for p in pairs

@@ -338,11 +338,11 @@ class Gateway:
         self._n_errors = 0
         self._started_at: float | None = None
 
-        self._store: SegmentStore | None = None
+        self._store: SegmentStore | None = None  # guarded-by: _writer_lock
         self._writer_lock = threading.Lock()
         self._harvest_queue: queue.Queue = queue.Queue()
-        self._harvested = 0
-        self._harvest_duplicates = 0
+        self._harvested = 0           # guarded-by: _writer_lock
+        self._harvest_duplicates = 0  # guarded-by: _writer_lock
         self._writer_thread: threading.Thread | None = None
 
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -357,16 +357,17 @@ class Gateway:
         HTTP server.  Blocks until everything serves (or raises after
         cleaning up whatever partially started)."""
         try:
-            self._store = SegmentStore(
-                self.l2_dir,
-                exclusive=True,
-                fsync=self.fsync,
-                region_index=self.region_index,
-                **(
-                    {"index_bits": self.index_bits}
-                    if self.index_bits is not None else {}
-                ),
-            )
+            with self._writer_lock:
+                self._store = SegmentStore(
+                    self.l2_dir,
+                    exclusive=True,
+                    fsync=self.fsync,
+                    region_index=self.region_index,
+                    **(
+                        {"index_bits": self.index_bits}
+                        if self.index_bits is not None else {}
+                    ),
+                )
             self._spawn_workers()
             self._writer_thread = threading.Thread(
                 target=self._writer_loop, name="l2-writer", daemon=True
@@ -446,7 +447,7 @@ class Gateway:
             self._loop = loop
             try:
                 loop.run_until_complete(_bring_up())
-            except BaseException as exc:  # surface to start()
+            except BaseException as exc:  # boundary: captured for start() to re-raise; the loop thread must not die silently
                 failure.append(exc)
                 started.set()
                 return
@@ -520,10 +521,10 @@ class Gateway:
             self._harvest_queue.put(None)
             self._writer_thread.join(timeout=30)
             self._writer_thread = None
-        if self._store is not None:
-            with self._writer_lock:
+        with self._writer_lock:
+            if self._store is not None:
                 self._store.close()
-            self._store = None
+                self._store = None
 
     def __enter__(self) -> "Gateway":
         self.start()
@@ -582,7 +583,7 @@ class Gateway:
                     status, payload = await self._dispatch(
                         method, path, body
                     )
-                except Exception as exc:  # a bug, not a client error
+                except Exception as exc:  # boundary: HTTP 500 envelope — a handler bug must not kill the connection loop
                     status, payload = 500, {
                         "ok": False,
                         "error": {

@@ -233,9 +233,9 @@ class InterpretationService:
         )
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_s)
-        self.metrics = ServiceMetrics(backend=self.backend.name)
+        self.metrics = ServiceMetrics(backend=self.backend.name)  # guarded-by: _metrics_lock
 
-        self._queue: deque[PendingResponse] = deque()
+        self._queue: deque[PendingResponse] = deque()  # guarded-by: _cv
         self._cv = threading.Condition()
         self._flush_lock = threading.Lock()
         # Meter accounting is delta-based against these high-water marks,
@@ -243,16 +243,16 @@ class InterpretationService:
         # flush concurrently (the sharded tier), because every spent query
         # is counted by exactly one _account call.
         self._metrics_lock = threading.Lock()
-        self._metered_queries = api.query_count
-        self._metered_trips = api.request_count
-        self._next_id = 0
+        self._metered_queries = api.query_count  # guarded-by: _metrics_lock
+        self._metered_trips = api.request_count  # guarded-by: _metrics_lock
+        self._next_id = 0              # guarded-by: _cv
         self._workers: list[threading.Thread] = []
-        self._stopping = False
+        self._stopping = False         # guarded-by: _cv
         # Per-worker query clients: broker handles when brokered (exact
         # per-worker attribution, cross-worker trip fusion), else the
         # raw API.  Created lazily under the lock — handle identity must
         # be stable per worker index.
-        self._clients: dict[int, QueryClient] = {}
+        self._clients: dict[int, QueryClient] = {}  # guarded-by: _clients_lock
         self._clients_lock = threading.Lock()
 
     def _client(self, worker_idx: int) -> QueryClient:
@@ -404,7 +404,7 @@ class InterpretationService:
         """
         try:
             return self._process_batch(batch, interpreter, client)
-        except Exception as exc:  # noqa: BLE001 — service boundary
+        except Exception as exc:  # boundary: service envelope boundary — failures become structured error envelopes and the meters still account the aborted flush
             if isinstance(exc, ValidationError):
                 code, retryable = ERROR_INVALID_REQUEST, False
             elif isinstance(exc, TransportError):
@@ -659,7 +659,8 @@ class InterpretationService:
         """Start the background worker loop(s) (idempotent)."""
         if self._workers:
             return
-        self._stopping = False
+        with self._cv:
+            self._stopping = False
         for idx in range(self._n_workers()):
             worker = threading.Thread(
                 target=self._loop,
@@ -709,7 +710,7 @@ class InterpretationService:
             try:
                 while self._flush_worker(worker_idx):
                     pass
-            except Exception:  # noqa: BLE001 — _process already envelopes
+            except Exception:  # boundary: defense in depth — the flush worker must outlive any surprise (_process already envelopes) or pending requests hang forever
                 # Defense in depth: the worker must outlive any surprise,
                 # or every pending request would hang forever.
                 continue
@@ -725,4 +726,5 @@ class InterpretationService:
     # ------------------------------------------------------------------ #
     def stats(self) -> ServiceStats:
         """The stats endpoint: an immutable snapshot of every meter."""
-        return self.metrics.snapshot()
+        with self._metrics_lock:
+            return self.metrics.snapshot()

@@ -280,9 +280,9 @@ class ShardedRegionCache:
         ]
         self._locks = [threading.RLock() for _ in range(self.n_shards)]
         self._state_lock = threading.Lock()
-        self._dim: int | None = None
-        self._min_classes: int | None = None
-        self._misses = 0
+        self._dim: int | None = None          # guarded-by: _state_lock
+        self._min_classes: int | None = None  # guarded-by: _state_lock
+        self._misses = 0                      # guarded-by: _state_lock
         # Convenience mirrors of the per-shard config.
         self.tol = self._shards[0].tol
         self.floor = self._shards[0].floor
@@ -325,9 +325,9 @@ class ShardedRegionCache:
         """
         x0 = as_float64(x0)
         y0 = as_float64(y0)
-        check_lookup_shapes(
-            x0, y0, dim=self._dim, min_classes=self._min_classes
-        )
+        with self._state_lock:
+            dim, min_classes = self._dim, self._min_classes
+        check_lookup_shapes(x0, y0, dim=dim, min_classes=min_classes)
         best: tuple[float, int, int] | None = None  # (dist, shard idx, key)
         for si, shard in enumerate(self._shards):
             with self._locks[si]:
@@ -580,7 +580,7 @@ class ShardedInterpretationService(InterpretationService):
     def _n_workers(self) -> int:
         return self.n_workers
 
-    def _wait_for_capacity(self) -> None:
+    def _wait_for_capacity(self) -> None:  # requires-lock: _cv
         """Block the producer while the queue is at its bound.
 
         Only applies while the worker loop runs — without a consumer the

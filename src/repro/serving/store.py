@@ -1289,8 +1289,10 @@ class TieredRegionStore:
         self.region_index = bool(region_index)
         self.index_bits = check_index_bits(index_bits)
         self.backend = resolve_backend(backend)
+        # SegmentStore itself is not thread-safe; every touch of the
+        # L2 tier serializes on this (reentrant) lock.
         self._lock = threading.RLock()
-        self._l2 = SegmentStore(
+        self._l2 = SegmentStore(  # guarded-by: _lock
             directory,
             max_bytes=l2_max_bytes,
             compact_ratio=compact_ratio,
@@ -1315,10 +1317,10 @@ class TieredRegionStore:
             index_shortlist=index_shortlist,
             backend=self.backend,
         )
-        self._l2_hits = 0
-        self._l2_misses = 0
-        self._demotions = 0
-        self._promotions = 0
+        self._l2_hits = 0      # guarded-by: _lock
+        self._l2_misses = 0    # guarded-by: _lock
+        self._demotions = 0    # guarded-by: _lock
+        self._promotions = 0   # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     @property
@@ -1329,6 +1331,7 @@ class TieredRegionStore:
     @property
     def l2(self) -> SegmentStore:
         """The disk tier (read-only view, for observability)."""
+        # repro-lint: disable=lock-discipline handle read for tests/observability; the reference never changes after __init__
         return self._l2
 
     def __len__(self) -> int:
@@ -1446,10 +1449,12 @@ class TieredRegionStore:
         entries stay in L1 — this is a flush, not an eviction), so a
         clean shutdown loses nothing.  Returns the number of regions
         newly written to disk (already-live ones are skipped)."""
-        before = self._demotions
+        with self._lock:
+            before = self._demotions
         for entry, pairs in self._l1_entries():
             self._demote(entry, pairs)
-        return self._demotions - before
+        with self._lock:
+            return self._demotions - before
 
     def close(self) -> None:
         """Drain L1 to disk, persist the L2 index, release file handles.

@@ -277,7 +277,7 @@ def _serve_connection(conn: socket.socket, service, tier) -> bool:
                             "retryable": False,
                         },
                     }
-            except Exception as exc:  # never let one request kill the loop
+            except Exception as exc:  # boundary: one bad request must not kill the worker loop; the failure returns as an internal_error envelope
                 reply = {
                     "ok": False,
                     "error": {

@@ -1,0 +1,10 @@
+"""Repository tooling, laid out as a package so every tool is invoked
+the same way::
+
+    python -m tools.repro_lint src/
+    python -m tools.check_markdown_links README.md docs/ examples/
+
+Each tool is a subpackage with a ``__main__`` entry point; nothing in
+here imports the ``repro`` runtime, so the tools run on a bare python
+(stdlib only) checkout.
+"""

@@ -24,7 +24,7 @@ silently.
 
 Usage::
 
-    python tools/check_markdown_links.py README.md docs/ examples/
+    python -m tools.check_markdown_links README.md docs/ examples/
 """
 
 from __future__ import annotations

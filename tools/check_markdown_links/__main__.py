@@ -1,0 +1,7 @@
+"""``python -m tools.check_markdown_links`` entry point."""
+
+import sys
+
+from . import main
+
+raise SystemExit(main(sys.argv[1:]))

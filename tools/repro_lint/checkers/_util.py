@@ -1,0 +1,57 @@
+"""Small AST helpers shared by the checkers."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_chain(node: ast.AST) -> list[str] | None:
+    """``np.linalg.solve`` -> ``["np", "linalg", "solve"]``.
+
+    Returns ``None`` when the expression is not a plain dotted name
+    (calls, subscripts, etc. anywhere in the chain).
+    """
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def call_name(call: ast.Call) -> list[str] | None:
+    """The dotted chain of a call's function, if it is a plain name."""
+    return dotted_chain(call.func)
+
+
+def is_constant_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def expr_mentions_self_attr(expr: ast.AST, attr: str) -> bool:
+    """Whether ``self.<attr>`` appears anywhere inside ``expr``.
+
+    Matches through subscripts/calls, so ``with self._locks[si]:`` counts
+    as holding ``_locks``.
+    """
+    for sub in ast.walk(expr):
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr == attr
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def expr_mentions_name(expr: ast.AST, name: str) -> bool:
+    """Whether the bare name appears anywhere inside ``expr``."""
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name
+        for sub in ast.walk(expr)
+    )

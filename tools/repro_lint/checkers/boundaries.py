@@ -1,0 +1,95 @@
+"""exception-boundary: broad handlers must be deliberate and say why.
+
+A bare ``except:`` is forbidden outright (it eats ``KeyboardInterrupt``
+and ``SystemExit``).  ``except Exception`` / ``except BaseException``
+(alone or inside a tuple) is allowed in exactly two shapes:
+
+* **cleanup-and-reraise** — the handler body re-raises (a bare ``raise``
+  or ``raise <the bound name>``): it observes the failure, it does not
+  swallow it; or
+* **a justified boundary** — the ``except`` line (or the line directly
+  above) carries ``# boundary: <justification>`` explaining why this is
+  a legitimate catch-all edge (worker loops that must outlive any
+  request, envelope-producing service boundaries, ...).
+
+The justification is held to the same minimum length as suppressions —
+"boundary: yes" does not count as a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import MIN_JUSTIFICATION, SourceFile
+from ..findings import Finding
+
+RULE = "exception-boundary"
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_names(handler: ast.ExceptHandler) -> list[str]:
+    nodes: list[ast.AST]
+    if handler.type is None:
+        return []
+    if isinstance(handler.type, ast.Tuple):
+        nodes = list(handler.type.elts)
+    else:
+        nodes = [handler.type]
+    return [n.id for n in nodes if isinstance(n, ast.Name) and n.id in _BROAD]
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            if node.exc is None:
+                return True
+            if (
+                handler.name is not None
+                and isinstance(node.exc, ast.Name)
+                and node.exc.id == handler.name
+            ):
+                return True
+    return False
+
+
+def _boundary_comment(sf: SourceFile, handler: ast.ExceptHandler) -> str | None:
+    for line in (handler.lineno, handler.lineno - 1):
+        payload = sf.annotation(line, "boundary")
+        if payload is not None:
+            return payload
+    return None
+
+
+def check(sf: SourceFile, config: dict) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            findings.append(sf.finding(
+                RULE, node,
+                "bare `except:` swallows KeyboardInterrupt/SystemExit; "
+                "catch explicit exception types",
+            ))
+            continue
+        broad = _broad_names(node)
+        if not broad:
+            continue
+        if _reraises(node):
+            continue
+        justification = _boundary_comment(sf, node)
+        if justification is None:
+            findings.append(sf.finding(
+                RULE, node,
+                f"`except {broad[0]}` neither re-raises nor carries a "
+                "`# boundary: <justification>` comment; broad catches "
+                "must be deliberate, documented boundaries",
+            ))
+        elif len(justification) < MIN_JUSTIFICATION:
+            findings.append(sf.finding(
+                "suppression", node,
+                "boundary justification needs at least "
+                f"{MIN_JUSTIFICATION} characters explaining why a broad "
+                "catch is correct here",
+            ))
+    return findings

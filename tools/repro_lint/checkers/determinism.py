@@ -1,0 +1,178 @@
+"""determinism: every solve must stay a pure function of ``(seed, x0)``.
+
+PR 8's fleet-vs-sequential byte-identity rests on nothing nondeterministic
+leaking into the sample streams or the wire format.  Three sub-checks:
+
+1. **Unseeded generators** — ``np.random.default_rng()`` /
+   ``default_rng(None)`` / ``np.random.RandomState()`` with no seed are
+   errors *everywhere*: an OS-entropy generator can never reproduce.
+2. **Global-state randomness** — stdlib ``random.*`` calls and the
+   legacy ``np.random.<fn>`` module-level API are errors everywhere;
+   shared hidden state breaks per-instance stream isolation even when
+   seeded.
+3. **Wall-clock values** — a wall-clock read (``time.time``,
+   ``perf_counter``, ``datetime.now``, ...) is an error when it (a)
+   flows directly into a seed position (an argument to
+   ``default_rng``/``SeedSequence``/``as_generator``/``spawn_generators``
+   or to a ``seed=`` keyword, or an assignment to a ``*seed*`` name) —
+   anywhere; or (b) appears at all inside the solve/wire modules listed
+   in ``config["wallclock_modules"]``, unless the line carries a
+   ``# timing-ok: <why>`` annotation (timing *meters* are legitimate;
+   the annotation makes each one a reviewed decision).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import MIN_JUSTIFICATION, SourceFile
+from ..findings import Finding
+from ._util import call_name, is_constant_none
+
+RULE = "determinism"
+
+_NP_ALIASES = {"np", "numpy"}
+_LEGACY_NP_RANDOM = {
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "bytes",
+}
+_WALLCLOCK_CHAINS = {
+    ("time", "time"), ("time", "time_ns"),
+    ("time", "monotonic"), ("time", "monotonic_ns"),
+    ("time", "perf_counter"), ("time", "perf_counter_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"),
+    ("datetime", "datetime", "now"), ("datetime", "datetime", "utcnow"),
+}
+_SEED_SINKS = {"default_rng", "SeedSequence", "as_generator",
+               "spawn_generators", "seed", "RandomState"}
+
+
+def _imports_stdlib_random(sf: SourceFile) -> set[str]:
+    """Aliases under which the stdlib ``random`` module is importable."""
+    aliases: set[str] = set()
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.add(alias.asname or "random")
+    return aliases
+
+
+def _is_wallclock(chain: list[str] | None) -> bool:
+    return chain is not None and tuple(chain) in _WALLCLOCK_CHAINS
+
+
+def check(sf: SourceFile, config: dict) -> list[Finding]:
+    findings: list[Finding] = []
+    random_aliases = _imports_stdlib_random(sf)
+    wallclock_scoped = sf.in_module(config.get("wallclock_modules", []))
+
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = call_name(node)
+
+        # 1. unseeded generators -------------------------------------- #
+        if chain and chain[-1] in ("default_rng", "RandomState") and (
+            len(chain) == 1 or chain[0] in _NP_ALIASES
+        ):
+            unseeded = not node.args and not node.keywords
+            if node.args and is_constant_none(node.args[0]):
+                unseeded = True
+            if any(
+                kw.arg == "seed" and is_constant_none(kw.value)
+                for kw in node.keywords
+            ):
+                unseeded = True
+            if unseeded:
+                findings.append(sf.finding(
+                    RULE, node,
+                    f"`{'.'.join(chain)}()` without a seed draws OS "
+                    "entropy; every generator must derive from an "
+                    "explicit seed so solves replay byte-identically",
+                ))
+            continue
+
+        # 2. global-state randomness ---------------------------------- #
+        if (
+            chain
+            and len(chain) == 2
+            and chain[0] in random_aliases
+        ):
+            findings.append(sf.finding(
+                RULE, node,
+                f"stdlib `{'.'.join(chain)}(...)` uses hidden global "
+                "state; use a seeded np.random.Generator threaded through "
+                "the call instead",
+            ))
+            continue
+        if (
+            chain
+            and len(chain) == 3
+            and chain[0] in _NP_ALIASES
+            and chain[1] == "random"
+            and chain[2] in _LEGACY_NP_RANDOM
+        ):
+            findings.append(sf.finding(
+                RULE, node,
+                f"legacy `{'.'.join(chain)}(...)` mutates numpy's global "
+                "RNG state; use a seeded Generator instance",
+            ))
+            continue
+
+        # 3. wall-clock reads ----------------------------------------- #
+        if _is_wallclock(chain):
+            flow = _seed_flow(sf, node)
+            if flow is not None:
+                findings.append(sf.finding(
+                    RULE, node,
+                    f"wall-clock `{'.'.join(chain)}()` flows into "
+                    f"{flow}; seeds must come from configuration, never "
+                    "the clock",
+                ))
+            elif wallclock_scoped:
+                why = sf.annotation(node.lineno, "timing-ok")
+                if why is None:
+                    findings.append(sf.finding(
+                        RULE, node,
+                        f"wall-clock `{'.'.join(chain)}()` inside a "
+                        "solve/wire-format module; annotate the line "
+                        "`# timing-ok: <why>` if this is a timing meter "
+                        "that never reaches results",
+                    ))
+                elif len(why) < MIN_JUSTIFICATION:
+                    findings.append(sf.finding(
+                        "suppression", node,
+                        "timing-ok annotation needs a justification of "
+                        f"at least {MIN_JUSTIFICATION} characters",
+                    ))
+    return findings
+
+
+def _seed_flow(sf: SourceFile, clock_call: ast.Call) -> str | None:
+    """How the clock value reaches a seed, if it does (1-2 hops up)."""
+    node: ast.AST = clock_call
+    for anc in sf.ancestors(clock_call):
+        if isinstance(anc, ast.keyword):
+            if anc.arg and "seed" in anc.arg.lower():
+                return f"keyword `{anc.arg}=`"
+            node = anc
+            continue
+        if isinstance(anc, ast.Call):
+            chain = call_name(anc)
+            if chain and chain[-1] in _SEED_SINKS and (
+                node in anc.args or node in anc.keywords
+            ):
+                return f"`{'.'.join(chain)}(...)`"
+            return None
+        if isinstance(anc, ast.Assign):
+            for target in anc.targets:
+                if isinstance(target, ast.Name) and "seed" in target.id.lower():
+                    return f"assignment to `{target.id}`"
+            return None
+        if isinstance(anc, (ast.BinOp, ast.UnaryOp, ast.IfExp)):
+            node = anc
+            continue  # arithmetic on the clock value still carries it
+        return None
+    return None

@@ -1,0 +1,110 @@
+"""durability: crash-safe publish discipline for store-owned paths.
+
+PR 5's recovery contract is *fsync the data, then atomically rename the
+index that points at it*: an ``os.replace`` that is not preceded by an
+``os.fsync`` can publish an index whose bytes never reached disk, and a
+plain ``open(path, "w")`` write can tear under SIGKILL.  Inside the
+store-owned modules (``config["store_modules"]``):
+
+* every ``os.replace(...)`` must be *dominated* by an ``os.fsync(...)``
+  in the same function — approximated lexically as "an fsync call on an
+  earlier line of the same function", which accepts the repo's
+  ``if self.fsync: os.fsync(...)`` test knob (the knob is an explicit,
+  documented opt-out, not an accident this checker should chase);
+* every ``open()`` whose mode can write (``w``/``a``/``x``/``+``) must
+  sit inside a function whitelisted in
+  ``config["store_write_whitelist"]`` (justification required) — new
+  write paths must go through the tmp+fsync+replace helpers or be
+  reviewed into the whitelist.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import SourceFile
+from ..findings import Finding
+from ._util import call_name
+
+RULE = "durability"
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _functions(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _mode_of(call: ast.Call) -> str | None:
+    """The literal mode of an ``open`` call (``None`` when dynamic)."""
+    mode_node: ast.AST | None = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode_node = kw.value
+    if mode_node is None:
+        return "r"
+    if isinstance(mode_node, ast.Constant) and isinstance(
+        mode_node.value, str
+    ):
+        return mode_node.value
+    return None
+
+
+def _write_whitelist(sf: SourceFile, config: dict) -> set[str]:
+    for module, entries in config.get("store_write_whitelist", {}).items():
+        if sf.match_path.endswith(module):
+            return set(entries)
+    return set()
+
+
+def check(sf: SourceFile, config: dict) -> list[Finding]:
+    if not sf.in_module(config.get("store_modules", [])):
+        return []
+    findings: list[Finding] = []
+    whitelist = _write_whitelist(sf, config)
+
+    for func in _functions(sf.tree):
+        calls = [
+            n for n in ast.walk(func)
+            if isinstance(n, ast.Call)
+            # Stay within this def: nested defs are checked on their own.
+            and sf.enclosing_function(n) is func
+        ]
+        fsync_lines = [
+            c.lineno for c in calls if call_name(c) == ["os", "fsync"]
+        ]
+        for call in calls:
+            chain = call_name(call)
+            if chain == ["os", "replace"]:
+                if not any(line < call.lineno for line in fsync_lines):
+                    findings.append(sf.finding(
+                        RULE, call,
+                        "`os.replace` publish is not dominated by an "
+                        "`os.fsync` in this function; an index can point "
+                        "at bytes that never reached disk (fsync the data "
+                        "file first, then rename)",
+                    ))
+            elif chain == ["open"]:
+                mode = _mode_of(call)
+                if mode is None:
+                    findings.append(sf.finding(
+                        RULE, call,
+                        "`open()` with a dynamic mode in a store-owned "
+                        "module; use a literal mode so write paths stay "
+                        "statically auditable",
+                    ))
+                elif _WRITE_MODE_CHARS & set(mode) and (
+                    func.name not in whitelist
+                ):
+                    findings.append(sf.finding(
+                        RULE, call,
+                        f"writable `open(..., {mode!r})` outside the "
+                        "store's tmp+fsync+replace helpers; route the "
+                        "write through them or whitelist "
+                        f"`{func.name}` in tools/repro_lint/config.py "
+                        "with a justification",
+                    ))
+    return findings

@@ -1,0 +1,86 @@
+"""backend-seam: raw numpy math in seam-covered modules is an error.
+
+PR 7 put every hot-path kernel behind the ``ArrayBackend`` seam so the
+same code serves numpy, cupy, and torch.  The ``StubBackend`` catches
+bypasses *dynamically* — but only on code paths a test happens to
+execute.  This checker closes the gap statically: inside the
+seam-covered modules (``config["seam_modules"]``), the non-portable
+calls —
+
+* ``np.linalg.*`` (solve / lstsq / eigvalsh / norm / ...),
+* ``np.einsum`` and the other fused-product entry points,
+* ``argpartition`` (function or method form),
+* the matmul operator ``@``
+
+— are findings unless they sit inside a whitelisted host-side helper
+(``config["seam_whitelist"]``, justification required) or carry an
+inline suppression.  Exception *types* like ``np.linalg.LinAlgError``
+are attribute loads, not calls, and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import SourceFile
+from ..findings import Finding
+from ._util import dotted_chain
+
+RULE = "backend-seam"
+
+_NP_ALIASES = {"np", "numpy"}
+#: numpy top-level functions that are device-divergent math.
+_SEAM_FUNCS = {
+    "einsum", "argpartition", "matmul", "dot", "tensordot",
+    "inner", "vdot", "outer",
+}
+#: method spellings of the same (``stacks.argpartition(k)``).
+_SEAM_METHODS = {"argpartition", "dot"}
+
+
+def _whitelisted(sf: SourceFile, node: ast.AST, config: dict) -> bool:
+    for module, entries in config.get("seam_whitelist", {}).items():
+        if sf.match_path.endswith(module):
+            return bool(sf.enclosing_function_names(node) & set(entries))
+    return False
+
+
+def check(sf: SourceFile, config: dict) -> list[Finding]:
+    if not sf.in_module(config.get("seam_modules", [])):
+        return []
+    findings: list[Finding] = []
+
+    def flag(node: ast.AST, what: str) -> None:
+        if _whitelisted(sf, node, config):
+            return
+        findings.append(sf.finding(
+            RULE, node,
+            f"{what} bypasses the ArrayBackend seam; route it through a "
+            "backend kernel/adapter, or whitelist the enclosing function "
+            "as a host-side helper in tools/repro_lint/config.py with a "
+            "justification",
+        ))
+
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Call):
+            chain = dotted_chain(node.func)
+            if chain and chain[0] in _NP_ALIASES:
+                if len(chain) >= 3 and chain[1] == "linalg":
+                    flag(node, f"`{'.'.join(chain)}(...)`")
+                    continue
+                if len(chain) == 2 and chain[1] in _SEAM_FUNCS:
+                    flag(node, f"`{'.'.join(chain)}(...)`")
+                    continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SEAM_METHODS
+                and not (chain and chain[0] in _NP_ALIASES)
+            ):
+                flag(node, f"method call `.{node.func.attr}(...)`")
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            flag(node, "the `@` matmul operator")
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.op, ast.MatMult
+        ):
+            flag(node, "the `@=` matmul operator")
+    return findings

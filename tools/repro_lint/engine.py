@@ -1,0 +1,295 @@
+"""The lint engine: file model, annotation parsing, suppressions, runner.
+
+One :class:`SourceFile` is built per linted file — AST plus the comment
+map the checkers read their annotations from (``guarded-by``,
+``requires-lock``, ``timing-ok``, ``boundary``).  The engine runs every
+enabled checker, then applies inline suppressions::
+
+    # repro-lint: disable=<rule>[,<rule>...] <justification>
+
+A suppression silences findings of the named rules on its own line and
+the line directly below it (so it can ride the line above a long
+statement).  Suppressions are themselves linted: an unknown rule name or
+a missing/too-short justification is a ``suppression`` finding, and the
+``suppression`` rule can neither be disabled nor suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .config import DEFAULT_CONFIG, validate_config
+from .findings import RULES, UNSUPPRESSABLE, Finding
+
+SUPPRESS_RE = re.compile(r"repro-lint:\s*(.*)$")
+DISABLE_RE = re.compile(r"^disable=([\w,\-]+)\s*(.*)$", re.DOTALL)
+#: Justifications (suppressions, timing-ok, boundary) must carry at
+#: least this many characters of actual text — enough to force a reason,
+#: short enough to never be the obstacle.
+MIN_JUSTIFICATION = 8
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+class SourceFile:
+    """One parsed file: text, AST, parent links, and comment map."""
+
+    def __init__(self, path: Path, display_path: str, text: str):
+        self.path = path
+        #: Path string used in findings (as the caller spelled it).
+        self.display_path = display_path
+        #: Posix-style string used for config suffix matching.
+        self.match_path = path.as_posix()
+        self.text = text
+        self.tree = ast.parse(text, filename=str(path))
+        self.comments: dict[int, str] = _extract_comments(text)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # ---------------------------------------------------------------- #
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk parent links from ``node`` (exclusive) to the module."""
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        """Nearest enclosing def/lambda, or ``None`` at module/class level."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, _FUNC_NODES):
+                return anc
+        return None
+
+    def enclosing_function_names(self, node: ast.AST) -> set[str]:
+        """Names of every def on the ancestor path (for whitelists)."""
+        return {
+            anc.name
+            for anc in self.ancestors(node)
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+    # ---------------------------------------------------------------- #
+    def annotation(self, line: int, marker: str) -> str | None:
+        """The payload of ``# <marker>: <payload>`` on ``line``, if any."""
+        comment = self.comments.get(line)
+        if comment is None:
+            return None
+        m = re.search(rf"{re.escape(marker)}:\s*(.*)$", comment)
+        return m.group(1).strip() if m else None
+
+    def in_module(self, suffixes: Iterable[str]) -> bool:
+        return any(self.match_path.endswith(suffix) for suffix in suffixes)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=self.display_path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+
+def _extract_comments(text: str) -> dict[int, str]:
+    """Map line number -> comment text (without the leading ``#``)."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string.lstrip("#").strip()
+    except tokenize.TokenError:
+        # A file that tokenizes but does not fully close (rare) still
+        # yields the comments seen before the error.
+        pass
+    return comments
+
+
+# -------------------------------------------------------------------- #
+# Suppressions
+# -------------------------------------------------------------------- #
+@dataclass
+class _Suppression:
+    line: int
+    rules: set[str]
+    justification: str
+
+
+def _parse_suppressions(
+    sf: SourceFile,
+) -> tuple[dict[int, _Suppression], list[Finding]]:
+    """All well-formed suppressions by line, plus findings for bad ones."""
+    by_line: dict[int, _Suppression] = {}
+    bad: list[Finding] = []
+
+    def meta(line: int, message: str) -> Finding:
+        return Finding(
+            path=sf.display_path, line=line, col=0,
+            rule="suppression", message=message,
+        )
+
+    for line, comment in sorted(sf.comments.items()):
+        m = SUPPRESS_RE.search(comment)
+        if m is None:
+            continue
+        body = m.group(1).strip()
+        dm = DISABLE_RE.match(body)
+        if dm is None:
+            bad.append(meta(
+                line,
+                "malformed repro-lint comment; expected "
+                "`# repro-lint: disable=<rule>[,<rule>] <justification>`",
+            ))
+            continue
+        rules = {r.strip() for r in dm.group(1).split(",") if r.strip()}
+        justification = dm.group(2).strip()
+        unknown = sorted(rules - set(RULES))
+        if unknown:
+            bad.append(meta(
+                line,
+                f"suppression names unknown rule(s) {unknown}; known rules: "
+                f"{sorted(RULES)}",
+            ))
+            continue
+        banned = sorted(rules & UNSUPPRESSABLE)
+        if banned:
+            bad.append(meta(
+                line, f"rule(s) {banned} cannot be suppressed",
+            ))
+            continue
+        if len(justification) < MIN_JUSTIFICATION:
+            bad.append(meta(
+                line,
+                f"suppression of {sorted(rules)} needs a justification of "
+                f"at least {MIN_JUSTIFICATION} characters explaining why "
+                "the invariant does not apply here",
+            ))
+            continue
+        by_line[line] = _Suppression(line, rules, justification)
+    return by_line, bad
+
+
+# -------------------------------------------------------------------- #
+# Runner
+# -------------------------------------------------------------------- #
+@dataclass
+class LintReport:
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def as_dict(self) -> dict:
+        return {
+            "tool": "repro-lint",
+            "files_checked": self.files_checked,
+            "rules": self.rules,
+            "n_findings": len(self.findings),
+            "suppressed": self.suppressed,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def as_text(self) -> str:
+        lines = [f.as_text() for f in self.findings]
+        lines.append(
+            f"repro-lint: {len(self.findings)} finding(s), "
+            f"{self.suppressed} suppressed, "
+            f"{self.files_checked} file(s) checked"
+        )
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+
+
+def resolve_rules(
+    enable: Iterable[str] | None = None,
+    disable: Iterable[str] | None = None,
+) -> list[str]:
+    """The active rule list; the ``suppression`` meta-rule is always on."""
+    for name in list(enable or []) + list(disable or []):
+        if name not in RULES:
+            raise ValueError(
+                f"unknown rule {name!r}; known rules: {sorted(RULES)}"
+            )
+    active = set(enable) if enable else set(RULES)
+    active -= set(disable or [])
+    active |= UNSUPPRESSABLE
+    return sorted(active)
+
+
+def lint_file(
+    sf: SourceFile,
+    rules: Iterable[str],
+    config: dict,
+) -> tuple[list[Finding], int]:
+    """Run the checkers for ``rules`` over one file, apply suppressions."""
+    from .checkers import CHECKERS
+
+    suppressions, meta_findings = _parse_suppressions(sf)
+    raw: list[Finding] = []
+    for rule in rules:
+        checker = CHECKERS.get(rule)
+        if checker is not None:
+            raw.extend(checker(sf, config))
+
+    kept: list[Finding] = list(meta_findings)
+    suppressed = 0
+    for finding in raw:
+        covering = None
+        for line in (finding.line, finding.line - 1):
+            sup = suppressions.get(line)
+            if sup is not None and finding.rule in sup.rules:
+                covering = sup
+                break
+        if covering is None:
+            kept.append(finding)
+        else:
+            suppressed += 1
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    enable: Iterable[str] | None = None,
+    disable: Iterable[str] | None = None,
+    config: dict | None = None,
+) -> LintReport:
+    """Lint files/directories and return the aggregated report."""
+    config = config if config is not None else DEFAULT_CONFIG
+    validate_config(config)
+    rules = resolve_rules(enable, disable)
+    report = LintReport(rules=rules)
+    for path in iter_python_files(paths):
+        sf = SourceFile(path, str(path), path.read_text())
+        findings, suppressed = lint_file(sf, rules, config)
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+        report.files_checked += 1
+    report.findings.sort()
+    return report
