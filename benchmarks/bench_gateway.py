@@ -13,10 +13,18 @@ gates:
 
 * **bitwise identity, always** (``--tiny`` included) — every fleet
   response payload equals the single-process reference's, request by
-  request, at every worker count;
+  request, at every worker count — including the overload and
+  rolling-restart arms below;
 * **fleet scaling** (full scale, >= 2 cores) — the 4-worker fleet must
   serve >= ``min(2.0, 0.5 * min(4, cores))`` times the 1-worker
-  fleet's throughput.
+  fleet's throughput;
+* **bounded overload** — a client pool at 2x the admission capacity:
+  every response is a correct 200 or a structured 429, and (full scale
+  only) some shedding happened and admitted p95 stays within the
+  analytic bounded-admission bound — no event-loop collapse;
+* **zero-loss rolling restart** — ``POST /admin/restart`` fired
+  mid-replay replaces every worker process; not one request may be
+  lost, at any scale.
 
 The workload, arms and gates live in
 :func:`repro.serving.run_gateway_benchmark`, shared with the

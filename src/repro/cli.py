@@ -91,6 +91,10 @@ _L2_FLAG_DEFAULTS = {
 _GATEWAY_FLAG_DEFAULTS = {
     "gateway_workers": 2,
     "port": 0,
+    "queue_capacity": 64,
+    "drain_deadline_s": 30.0,
+    "no_supervise": False,
+    "rolling_restart": False,
 }
 
 #: Defaults of the region-index tuning flags, shared between the parser
@@ -211,6 +215,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=_GATEWAY_FLAG_DEFAULTS["port"],
         help="gateway TCP port (requires --gateway; default: 0 = "
         "ephemeral, the bound port is printed on startup)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int,
+        default=_GATEWAY_FLAG_DEFAULTS["queue_capacity"],
+        help="gateway admission capacity: in-flight requests allowed "
+        "before further ones are shed with a 429 overloaded envelope "
+        "(requires --gateway; default: 64)",
+    )
+    serve.add_argument(
+        "--drain-deadline-s", type=float,
+        default=_GATEWAY_FLAG_DEFAULTS["drain_deadline_s"],
+        help="per-worker drain ceiling during a rolling restart, in "
+        "seconds (requires --gateway; default: 30)",
+    )
+    serve.add_argument(
+        "--no-supervise", action="store_true",
+        help="disable the worker supervisor: a dead worker is failed "
+        "over but never respawned (requires --gateway)",
+    )
+    serve.add_argument(
+        "--rolling-restart", action="store_true",
+        help="exercise the drain protocol: issue a rolling restart "
+        "midway through the replay and report the zero-loss outcome "
+        "(requires --gateway)",
     )
     serve.add_argument(
         "--max-entries", type=int, default=512,
@@ -535,6 +563,14 @@ def _validate_serve_flags(args: argparse.Namespace) -> str | None:
         return f"--gateway-workers must be >= 1, got {args.gateway_workers}"
     if not 0 <= args.port <= 65535:
         return f"--port must be in [0, 65535], got {args.port}"
+    if args.queue_capacity < 1:
+        return f"--queue-capacity must be >= 1, got {args.queue_capacity}"
+    if args.drain_deadline_s <= 0:
+        return f"--drain-deadline-s must be > 0, got {args.drain_deadline_s}"
+    if args.no_supervise and args.rolling_restart:
+        return ("--rolling-restart drains and respawns workers through "
+                "the supervisor; --no-supervise contradicts it (drop "
+                "one)")
     if not args.gateway:
         gateway_flags = []
         for attr, default in _GATEWAY_FLAG_DEFAULTS.items():
@@ -845,6 +881,9 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
             region_index=args.region_index,
             index_bits=args.index_bits if args.region_index else None,
             backend=args.backend,
+            supervise=not args.no_supervise,
+            queue_capacity=args.queue_capacity,
+            drain_deadline_s=args.drain_deadline_s,
         )
         gateway.start()
     except (ValidationError, OSError, RuntimeError) as exc:
@@ -854,9 +893,26 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
         print(f"gateway listening on http://{gateway.host}:{gateway.port}")
         print(f"replaying {args.requests} {args.workload} requests over "
               f"{anchors.shape[0]} anchor instances\n")
-        responses, elapsed = replay_workload(
-            gateway.host, gateway.port, requests,
-        )
+        if args.rolling_restart:
+            half = max(1, len(requests) // 2)
+            first, elapsed_first = replay_workload(
+                gateway.host, gateway.port, requests[:half],
+            )
+            print(f"issuing a rolling restart after {half} request(s)...")
+            summary = gateway.rolling_restart()
+            print(f"rolling restart: worker slot(s) "
+                  f"{summary['restarted']} replaced in "
+                  f"{summary['duration_s']:.2f}s "
+                  f"({len(summary['drained_clean'])} drained clean)")
+            second, elapsed_second = replay_workload(
+                gateway.host, gateway.port, requests[half:],
+            )
+            responses = first + second
+            elapsed = elapsed_first + elapsed_second
+        else:
+            responses, elapsed = replay_workload(
+                gateway.host, gateway.port, requests,
+            )
         errors = [r for r in responses if not r.get("ok")]
         print(f"{len(responses) - len(errors)} interpretations served, "
               f"{len(errors)} errors in {elapsed:.2f}s")

@@ -19,7 +19,13 @@ framing to the fleet):
 * ``{"op": "interpret", "x0": [...], "target_class": int | null}``
 * ``{"op": "stats"}`` — service + tier meters, pid, epoch
 * ``{"op": "ping"}``
+* ``{"op": "healthz"}`` — the supervisor's re-admission handshake:
+  proves the worker is not just accepting connections but serving its
+  tier (pid + adopted epoch), before it re-enters rotation
 * ``{"op": "shutdown"}`` — acknowledge, then exit cleanly
+* ``{"op": "crash"}`` — test hook: die instantly (``os._exit``)
+  *without* replying, the deterministic stand-in for a SIGKILL
+  arriving mid-response
 
 Every numeric field round-trips through JSON's shortest-repr float
 serialization, which is exact for float64 — so a worker's response
@@ -264,6 +270,18 @@ def _serve_connection(conn: socket.socket, service, tier) -> bool:
                     reply = _handle_stats(service, tier)
                 elif op == "ping":
                     reply = {"ok": True, "pid": os.getpid()}
+                elif op == "healthz":
+                    reply = {
+                        "ok": True,
+                        "pid": os.getpid(),
+                        "epoch": tier.epoch,
+                    }
+                elif op == "crash":
+                    # Chaos hook: a crash the gateway cannot see coming
+                    # — the request was dispatched, no reply will ever
+                    # arrive.  os._exit skips atexit/finally so the
+                    # socket dies exactly like a SIGKILL would.
+                    os._exit(17)
                 elif op == "shutdown":
                     stream.write(json.dumps({"ok": True}).encode() + b"\n")
                     stream.flush()

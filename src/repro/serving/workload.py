@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -1996,6 +1997,14 @@ class GatewayBenchArm:
     ``n_workers == 0`` denotes the in-process reference arm (a
     sequential single-process :class:`InterpretationService`), whose
     payloads define bitwise identity for every fleet arm.
+
+    ``p50_ms``/``p95_ms`` are admitted-request latency percentiles:
+    exact values for the reference arm (measured per request), the
+    containing histogram bucket's upper bound for fleet arms (from
+    ``GatewayStats``; ``None`` when the percentile overflows the
+    histogram).  ``n_shed``/``n_worker_lost``/``n_restarts`` mirror the
+    gateway counters of the same names — all zero except on the
+    overload and rolling-restart arms that provoke them.
     """
 
     label: str
@@ -2011,6 +2020,11 @@ class GatewayBenchArm:
     l2_records: int
     writer_epoch: int
     max_epoch_lag: int
+    p50_ms: float | None
+    p95_ms: float | None
+    n_shed: int
+    n_worker_lost: int
+    n_restarts: int
 
     def as_dict(self) -> dict:
         """JSON-safe rendering (key set pinned by the schema test)."""
@@ -2028,6 +2042,11 @@ class GatewayBenchArm:
             "l2_records": self.l2_records,
             "writer_epoch": self.writer_epoch,
             "max_epoch_lag": self.max_epoch_lag,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "n_shed": self.n_shed,
+            "n_worker_lost": self.n_worker_lost,
+            "n_restarts": self.n_restarts,
         }
 
 
@@ -2046,8 +2065,14 @@ class GatewayBenchReport:
     n_requests: int
     n_anchors: int
     cpu_count: int
+    tiny: bool
     reference: GatewayBenchArm
     arms: tuple[GatewayBenchArm, ...]
+    overload: GatewayBenchArm
+    rolling_restart: GatewayBenchArm
+    queue_capacity: int
+    overload_concurrency: int
+    p95_bound_ms: float
     speedup: float
 
     def as_dict(self) -> dict:
@@ -2057,8 +2082,14 @@ class GatewayBenchReport:
             "n_requests": self.n_requests,
             "n_anchors": self.n_anchors,
             "cpu_count": self.cpu_count,
+            "tiny": self.tiny,
             "reference": self.reference.as_dict(),
             "arms": [arm.as_dict() for arm in self.arms],
+            "overload": self.overload.as_dict(),
+            "rolling_restart": self.rolling_restart.as_dict(),
+            "queue_capacity": self.queue_capacity,
+            "overload_concurrency": self.overload_concurrency,
+            "p95_bound_ms": self.p95_bound_ms,
             "speedup": self.speedup,
         }
 
@@ -2070,7 +2101,10 @@ class GatewayBenchReport:
             f"{'arm':<22} {'workers':>7} {'req/s':>8} {'hit rate':>8} "
             f"{'epoch lag':>9} {'bitwise':>8}",
         ]
-        for arm in (self.reference, *self.arms):
+        for arm in (
+            self.reference, *self.arms, self.overload,
+            self.rolling_restart,
+        ):
             lines.append(
                 f"{arm.label:<22} {arm.n_workers:>7} "
                 f"{arm.requests_per_s:>8.1f} {100 * arm.hit_rate:>7.1f}% "
@@ -2083,6 +2117,22 @@ class GatewayBenchReport:
             f"region-distinct anchors on {self.dataset} "
             f"({self.cpu_count} cores); widest fleet speedup vs 1 "
             f"worker: {self.speedup:.1f}x"
+        )
+        p95 = (
+            "n/a" if self.overload.p95_ms is None
+            else f"{self.overload.p95_ms:g}ms"
+        )
+        lines.append(
+            f"overload ({self.overload_concurrency} clients over "
+            f"capacity {self.queue_capacity}): {self.overload.n_shed} "
+            f"shed, admitted p95 {p95} (bound "
+            f"{self.p95_bound_ms:.0f}ms)"
+        )
+        lines.append(
+            f"rolling restart mid-replay: "
+            f"{self.rolling_restart.n_restarts} worker(s) replaced, "
+            f"{self.rolling_restart.n_requests - self.rolling_restart.n_ok}"
+            f" request(s) lost"
         )
         return "\n".join(lines)
 
@@ -2102,7 +2152,11 @@ def run_gateway_benchmark(
     not apply — tiny scale or a single-core machine)."""
     import json as _json
 
-    from repro.serving.gateway import Gateway, replay_workload
+    from repro.serving.gateway import (
+        Gateway,
+        GatewayClient,
+        replay_workload,
+    )
     from repro.serving.worker import (
         distinct_region_anchors,
         interpretation_payload,
@@ -2139,10 +2193,13 @@ def run_gateway_benchmark(
         PredictionAPI(model), seed=seed, per_instance_seed=True
     )
     reference_payloads = []
+    latencies_s: list[float] = []
     start = time.perf_counter()
     with service:
         for x0 in requests:
+            t0 = time.perf_counter()
             response = service.interpret(x0)
+            latencies_s.append(time.perf_counter() - t0)
             reference_payloads.append(
                 _json.dumps(
                     interpretation_payload(response.interpretation),
@@ -2154,6 +2211,12 @@ def run_gateway_benchmark(
     ref_elapsed = time.perf_counter() - start
     ref_stats = service.stats()
     n_ref_ok = sum(1 for p in reference_payloads if p is not None)
+    ordered = sorted(latencies_s)
+
+    def _percentile_ms(q: float) -> float:
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return 1e3 * ordered[rank]
+
     reference = GatewayBenchArm(
         label="single-process",
         n_workers=0,
@@ -2168,7 +2231,55 @@ def run_gateway_benchmark(
         l2_records=0,
         writer_epoch=0,
         max_epoch_lag=0,
+        p50_ms=_percentile_ms(0.50),
+        p95_ms=_percentile_ms(0.95),
+        n_shed=0,
+        n_worker_lost=0,
+        n_restarts=0,
     )
+
+    def _score_arm(
+        label: str, n_workers: int, responses: list, elapsed: float,
+        stats,
+    ) -> GatewayBenchArm:
+        """Audit one fleet replay against the reference payloads.
+
+        Bitwise mismatches count only over served answers — a shed
+        (429 ``overloaded``) response is not an answer and is gated
+        separately via ``n_ok + n_shed == n_requests``.
+        """
+        mismatches = 0
+        n_ok = 0
+        for response, expected in zip(responses, reference_payloads):
+            if response.get("ok"):
+                n_ok += 1
+                got = _json.dumps(response["result"], sort_keys=True)
+                if got != expected:
+                    mismatches += 1
+            elif response.get("error", {}).get("code") == "overloaded":
+                continue
+            elif expected is not None:
+                mismatches += 1
+        return GatewayBenchArm(
+            label=label,
+            n_workers=n_workers,
+            n_requests=len(requests),
+            n_ok=n_ok,
+            elapsed_s=elapsed,
+            requests_per_s=len(requests) / max(elapsed, 1e-9),
+            bitwise_identical=mismatches == 0,
+            n_mismatches=mismatches,
+            hit_rate=stats.hit_rate,
+            harvested=stats.harvested,
+            l2_records=stats.l2_records,
+            writer_epoch=stats.writer_epoch,
+            max_epoch_lag=stats.max_epoch_lag,
+            p50_ms=stats.latency_p50_ms,
+            p95_ms=stats.latency_p95_ms,
+            n_shed=stats.n_shed,
+            n_worker_lost=stats.n_worker_lost,
+            n_restarts=stats.n_restarts,
+        )
 
     arms = []
     for n_workers in worker_counts:
@@ -2188,39 +2299,97 @@ def run_gateway_benchmark(
                 stats = gateway.stats()
             finally:
                 gateway.stop()
-        mismatches = 0
-        n_ok = 0
-        for response, expected in zip(responses, reference_payloads):
-            if response.get("ok"):
-                n_ok += 1
-                got = _json.dumps(response["result"], sort_keys=True)
-                if got != expected:
-                    mismatches += 1
-            elif expected is not None:
-                mismatches += 1
-        arms.append(
-            GatewayBenchArm(
-                label=f"gateway x{n_workers}",
-                n_workers=n_workers,
-                n_requests=len(requests),
-                n_ok=n_ok,
-                elapsed_s=elapsed,
-                requests_per_s=len(requests) / max(elapsed, 1e-9),
-                bitwise_identical=mismatches == 0,
-                n_mismatches=mismatches,
-                hit_rate=stats.hit_rate,
-                harvested=stats.harvested,
-                l2_records=stats.l2_records,
-                writer_epoch=stats.writer_epoch,
-                max_epoch_lag=stats.max_epoch_lag,
-            )
-        )
+        arms.append(_score_arm(
+            f"gateway x{n_workers}", n_workers, responses, elapsed, stats,
+        ))
 
     by_workers = {arm.n_workers: arm for arm in arms}
     widest = max(by_workers)
+    narrowest = min(by_workers)
+
+    # Overload arm: a client pool at 2x the admission capacity hammers
+    # a small fleet behind a small queue.  The p95 bound on *admitted*
+    # requests is analytic, not absolute: an admitted request waits
+    # behind at most queue_capacity peers spread over the fleet, so
+    # bounded admission caps its latency at roughly
+    # (capacity / workers + 1) service times — we allow 8x that (cache
+    # hit/miss variance, CI jitter) with a 250ms floor.  Collapse (the
+    # unbounded-task pileup this PR removes) blows through any such
+    # bound.
+    overload_workers = min(2, widest)
+    overload_capacity = max(4, 2 * overload_workers)
+    overload_concurrency = 2 * overload_capacity
+    service_ms = 1e3 * by_workers[narrowest].elapsed_s / len(requests)
+    p95_bound_ms = max(
+        250.0,
+        8.0 * (overload_capacity / overload_workers + 1.0) * service_ms,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        gateway = Gateway(
+            n_workers=overload_workers,
+            l2_dir=Path(tmp) / "l2",
+            seed=seed,
+            queue_capacity=overload_capacity,
+            **model_kwargs,
+        )
+        gateway.start()
+        try:
+            responses, elapsed = replay_workload(
+                gateway.host, gateway.port, requests,
+                concurrency=overload_concurrency,
+            )
+            stats = gateway.stats()
+        finally:
+            gateway.stop()
+    overload = _score_arm(
+        "gateway overload 2x", overload_workers, responses, elapsed,
+        stats,
+    )
+
+    # Rolling-restart arm: POST /admin/restart fires from a side
+    # thread while the replay is in flight; every worker process must
+    # be replaced without losing (or altering) a single request.
+    with tempfile.TemporaryDirectory() as tmp:
+        gateway = Gateway(
+            n_workers=overload_workers,
+            l2_dir=Path(tmp) / "l2",
+            seed=seed,
+            **model_kwargs,
+        )
+        gateway.start()
+        try:
+            summary: dict = {}
+
+            def _trigger_restart():
+                client = GatewayClient(
+                    gateway.host, gateway.port, timeout=600.0
+                )
+                try:
+                    _status, body = client.rolling_restart()
+                    summary.update(body)
+                finally:
+                    client.close()
+
+            trigger = threading.Thread(
+                target=_trigger_restart, name="rolling-restart"
+            )
+            trigger.start()
+            responses, elapsed = replay_workload(
+                gateway.host, gateway.port, requests,
+                concurrency=concurrency,
+            )
+            trigger.join(timeout=600)
+            stats = gateway.stats()
+        finally:
+            gateway.stop()
+    rolling = _score_arm(
+        "gateway rolling-restart", overload_workers, responses, elapsed,
+        stats,
+    )
+
     speedup = (
         by_workers[widest].requests_per_s
-        / max(by_workers[min(by_workers)].requests_per_s, 1e-9)
+        / max(by_workers[narrowest].requests_per_s, 1e-9)
         if len(by_workers) > 1
         else float("nan")
     )
@@ -2230,8 +2399,14 @@ def run_gateway_benchmark(
         n_requests=len(requests),
         n_anchors=anchors.shape[0],
         cpu_count=cores,
+        tiny=bool(tiny),
         reference=reference,
         arms=tuple(arms),
+        overload=overload,
+        rolling_restart=rolling,
+        queue_capacity=overload_capacity,
+        overload_concurrency=overload_concurrency,
+        p95_bound_ms=p95_bound_ms,
         speedup=speedup,
     )
     min_speedup = (
@@ -2245,19 +2420,65 @@ def run_gateway_benchmark(
 def gateway_gate_failures(
     report: GatewayBenchReport, *, min_speedup: float = 0.0
 ) -> list[str]:
-    """Every way the gateway benchmark can fail its gates."""
+    """Every way the gateway benchmark can fail its gates.
+
+    Bitwise identity on admitted answers gates every arm — scaling,
+    overload, rolling restart — at every scale, ``--tiny`` included.
+    The overload arm's load-shedding gates (some shedding happened;
+    admitted p95 within the analytic bound) apply at full scale only:
+    at tiny scale per-request cost is too small and too jittery for
+    either to be deterministic.  The rolling restart's zero-loss gate
+    is absolute.
+    """
     failures = []
-    for arm in report.arms:
+    for arm in (*report.arms, report.overload, report.rolling_restart):
         if not arm.bitwise_identical:
             failures.append(
                 f"{arm.label}: {arm.n_mismatches} response payload(s) "
                 "differ bitwise from the single-process reference"
             )
+    for arm in report.arms:
         if arm.n_ok != arm.n_requests:
             failures.append(
                 f"{arm.label}: {arm.n_requests - arm.n_ok} request(s) "
                 "did not serve ok"
             )
+    overload = report.overload
+    if overload.n_ok + overload.n_shed != overload.n_requests:
+        failures.append(
+            f"{overload.label}: "
+            f"{overload.n_requests - overload.n_ok - overload.n_shed} "
+            "response(s) were neither a correct 200 nor a structured 429"
+        )
+    if not report.tiny:
+        if overload.n_shed == 0:
+            failures.append(
+                f"{overload.label}: no load shedding under "
+                f"{report.overload_concurrency} clients against "
+                f"capacity {report.queue_capacity}"
+            )
+        if (overload.p95_ms is None
+                or overload.p95_ms > report.p95_bound_ms):
+            p95 = (
+                "overflow" if overload.p95_ms is None
+                else f"{overload.p95_ms:g}ms"
+            )
+            failures.append(
+                f"{overload.label}: admitted p95 {p95} exceeds the "
+                f"bounded-admission bound {report.p95_bound_ms:.0f}ms "
+                "(collapse under overload)"
+            )
+    rolling = report.rolling_restart
+    if rolling.n_ok != rolling.n_requests:
+        failures.append(
+            f"{rolling.label}: "
+            f"{rolling.n_requests - rolling.n_ok} request(s) lost "
+            "during the rolling restart"
+        )
+    if rolling.n_restarts < 1:
+        failures.append(
+            f"{rolling.label}: the rolling restart replaced no worker"
+        )
     if min_speedup > 0.0 and not report.speedup >= min_speedup:
         failures.append(
             f"widest fleet serves {report.speedup:.1f}x the 1-worker "

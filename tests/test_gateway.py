@@ -160,11 +160,15 @@ class TestBitwiseIdentity:
 
 
 class TestFleetResilience:
+    """Unsupervised (PR 8) behavior, pinned with ``supervise=False``:
+    a dead worker degrades capacity and is never replaced.  The
+    supervised counterparts live in ``tests/test_gateway_chaos.py``."""
+
     def test_requests_survive_worker_sigkill(
         self, tmp_path, gateway_workload
     ):
         requests, reference = gateway_workload
-        gateway = _start_gateway(tmp_path, n_workers=2)
+        gateway = _start_gateway(tmp_path, n_workers=2, supervise=False)
         try:
             half = len(requests) // 2
             first, _ = replay_workload(
@@ -189,16 +193,26 @@ class TestFleetResilience:
         assert status == 200 and health["workers_alive"] == 1
 
     def test_empty_fleet_is_503_not_garbage(self, tmp_path):
-        gateway = _start_gateway(tmp_path, n_workers=1)
+        """Both halves of the failover classification: the request that
+        *observed* the death (dispatched, then the worker vanished) is
+        a retryable ``worker_lost``; once the fleet is known-empty a
+        request that was never dispatched anywhere is ``no_workers``."""
+        gateway = _start_gateway(tmp_path, n_workers=1, supervise=False)
         try:
             gateway.kill_worker(0)
             client = GatewayClient(gateway.host, gateway.port)
+            lost_status, lost_body = client.request(
+                "POST", "/interpret", {"x0": [0.0] * 5}
+            )
             status, body = client.request(
                 "POST", "/interpret", {"x0": [0.0] * 5}
             )
             health_status, health = client.healthz()
         finally:
             gateway.stop()
+        assert lost_status == 503
+        assert lost_body["error"]["code"] == "worker_lost"
+        assert lost_body["error"]["retryable"] is True
         assert status == 503
         assert body["error"]["code"] == "no_workers"
         assert body["error"]["retryable"] is True

@@ -170,6 +170,11 @@ def sample_gateway_stats() -> GatewayStats:
         uptime_s=1.5, requests_per_s=13.3, writer_epoch=3,
         min_worker_epoch=2, max_epoch_lag=1, harvested=6,
         harvest_duplicates=1, l2_records=6, hit_rate=0.7,
+        n_shed=2, n_worker_lost=1, n_restarts=1, queue_depth=0,
+        queue_depth_peak=3, queue_capacity=64,
+        latency_ms_buckets=[1.0, 2.0, 5.0],
+        latency_ms_counts=[4, 10, 6, 0],
+        latency_p50_ms=2.0, latency_p95_ms=5.0,
         per_worker=[{"worker": 0, "pid": 123, "alive": True}],
     )
 
@@ -193,7 +198,8 @@ def sample_gateway_arm() -> GatewayBenchArm:
         label="gateway x4", n_workers=4, n_requests=48, n_ok=48,
         elapsed_s=0.5, requests_per_s=96.0, bitwise_identical=True,
         n_mismatches=0, hit_rate=0.8, harvested=10, l2_records=10,
-        writer_epoch=2, max_epoch_lag=1,
+        writer_epoch=2, max_epoch_lag=1, p50_ms=4.0, p95_ms=20.0,
+        n_shed=0, n_worker_lost=0, n_restarts=0,
     )
 
 
@@ -201,7 +207,9 @@ def sample_gateway_report() -> GatewayBenchReport:
     arm = sample_gateway_arm()
     return GatewayBenchReport(
         dataset="blobs", n_requests=48, n_anchors=10, cpu_count=4,
-        reference=arm, arms=(arm,), speedup=2.0,
+        tiny=True, reference=arm, arms=(arm,), overload=arm,
+        rolling_restart=arm, queue_capacity=4, overload_concurrency=8,
+        p95_bound_ms=250.0, speedup=2.0,
     )
 
 
@@ -477,6 +485,10 @@ class TestBenchmarkCatalogSchemas:
         keys = set(payload)
         if payload.get("rows"):  # per-row schemas nest under "rows"
             keys |= set(payload["rows"][0])
+        # Gateway arms nest under their own keys; pin their schemas too.
+        for nested in ("reference", "overload", "rolling_restart"):
+            if isinstance(payload.get(nested), dict):
+                keys |= set(payload[nested])
         missing = [key for key in keys if f"`{key}`" not in section]
         assert not missing, (
             f"{artifact}: keys missing from its docs/benchmarks.md "

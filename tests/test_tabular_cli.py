@@ -332,10 +332,37 @@ class TestGatewayFlagValidation:
         for flags in (
             ["--gateway-workers", "4"],
             ["--port", "8080"],
+            ["--queue-capacity", "8"],
+            ["--drain-deadline-s", "5"],
+            ["--no-supervise"],
+            ["--rolling-restart"],
         ):
             code, err = self.run_serve(capsys, *flags)
             assert code == 2
             assert "--gateway" in err and "silently ignored" in err
+
+    def test_queue_capacity_range(self, capsys):
+        code, err = self.run_serve(
+            capsys, "--gateway", "--l2-dir", "l2", "--queue-capacity", "0"
+        )
+        assert code == 2
+        assert "--queue-capacity" in err and ">= 1" in err
+
+    def test_drain_deadline_range(self, capsys):
+        code, err = self.run_serve(
+            capsys, "--gateway", "--l2-dir", "l2",
+            "--drain-deadline-s", "0",
+        )
+        assert code == 2
+        assert "--drain-deadline-s" in err and "> 0" in err
+
+    def test_rolling_restart_contradicts_no_supervise(self, capsys):
+        code, err = self.run_serve(
+            capsys, "--gateway", "--l2-dir", "l2",
+            "--rolling-restart", "--no-supervise",
+        )
+        assert code == 2
+        assert "--rolling-restart" in err and "--no-supervise" in err
 
     def test_gateway_requires_l2_dir(self, capsys):
         code, err = self.run_serve(capsys, "--gateway")
@@ -379,6 +406,8 @@ class TestGatewayFlagValidation:
         args = build_parser().parse_args(
             ["serve", "--gateway", "--l2-dir", "l2",
              "--gateway-workers", "4", "--port", "8080",
+             "--queue-capacity", "16", "--drain-deadline-s", "5",
+             "--rolling-restart",
              "--region-index", "--index-bits", "12"]
         )
         assert _validate_serve_flags(args) is None

@@ -95,9 +95,9 @@ DEFAULT_CONFIG: dict = {
             ),
         },
         "repro/serving/gateway.py": {
-            "_spawn_workers": (
-                "per-worker stderr log capture; diagnostics, not store "
-                "data"
+            "_popen_worker": (
+                "per-worker stderr log capture (initial spawn and "
+                "supervisor respawn); diagnostics, not store data"
             ),
         },
     },
